@@ -1,0 +1,145 @@
+// Ablations of AIRCHITECT's design choices (DESIGN.md "worth ablating"):
+//   1. Embedding front-end vs raw standardized-float MLP input — the
+//      paper's explanation for the MLP-B vs AIRCHITECT gap (Fig. 9).
+//   2. Embedding width (4 / 8 / 16 / 32).
+//   3. Input quantization granularity (feature vocab 8 / 16 / 32 / 64).
+//   4. Dataset size (learning curve).
+// All runs on case study 1 with a shared test split.
+
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/pipeline.hpp"
+#include "models/neural.hpp"
+#include "search/exhaustive.hpp"
+#include "workload/sampler.hpp"
+
+using namespace airch;
+
+namespace {
+
+/// Runs one variant and returns test accuracy.
+double run_variant(const ArrayDataflowStudy& study, const Dataset& data,
+                   NeuralClassifier::Options o, const std::string& name) {
+  std::cerr << "[ablation] " << name << "...\n";
+  NeuralClassifier clf(name, o);
+  ExperimentOptions opts;
+  opts.score_performance = false;
+  return run_experiment(study, clf, data, opts).test_accuracy;
+}
+
+/// run_experiment with a custom encoder vocabulary (ablation 3 needs to
+/// control FeatureEncoder's max_vocab, which the pipeline fixes at its
+/// default — so this variant re-implements the split inline).
+double run_vocab_variant(const ArrayDataflowStudy& study, const Dataset& data, int max_vocab,
+                         int epochs, std::uint64_t seed) {
+  std::cerr << "[ablation] vocab=" << max_vocab << "...\n";
+  (void)study;
+  Dataset shuffled = data;
+  Rng rng(7);
+  shuffled.shuffle(rng);
+  auto splits = shuffled.split3(0.8, 0.1);
+  const FeatureEncoder enc(splits.train, max_vocab);
+  auto clf = make_airchitect(seed, epochs);
+  clf->fit(splits.train, splits.val, enc);
+  return clf->accuracy(splits.test, enc);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("bench_ablation", "AIRCHITECT design-choice ablations (case study 1)");
+  args.flag_i64("points", 20000, "dataset size for ablations 1-3");
+  args.flag_i64("epochs", 8, "training epochs");
+  args.flag_i64("seed", 8, "RNG seed");
+  args.parse(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.i64("seed"));
+  const int epochs = static_cast<int>(args.i64("epochs"));
+
+  const ArrayDataflowStudy study;
+  std::cerr << "[ablation] generating " << args.i64("points") << " points...\n";
+  const Dataset data = study.generate(static_cast<std::size_t>(args.i64("points")), seed);
+
+  // ---------------------------------------------------- 1 + 2: embedding
+  std::cout << "=== Ablation 1+2: input front-end (embed_dim 0 = raw float MLP) ===\n";
+  AsciiTable t1({"embed_dim", "test acc"});
+  for (std::size_t dim : {0u, 4u, 8u, 16u, 32u}) {
+    NeuralClassifier::Options o;
+    o.hidden = {256};
+    o.embed_dim = dim;
+    o.epochs = epochs;
+    o.seed = seed;
+    const double acc = run_variant(study, data, o, "embed" + std::to_string(dim));
+    t1.add_row({dim == 0 ? "none (MLP-B)" : std::to_string(dim),
+                AsciiTable::fmt(100.0 * acc, 1) + "%"});
+  }
+  t1.print(std::cout);
+  std::cout << "Expected: the embedding front-end beats the raw MLP (the paper's\n"
+               "AIrchitect-vs-MLP-B gap); width saturates around 16.\n\n";
+
+  // ---------------------------------------------------- 3: quantization
+  std::cout << "=== Ablation 3: input quantization granularity ===\n";
+  AsciiTable t3({"max vocab / column", "test acc"});
+  for (int vocab : {8, 16, 32, 64}) {
+    const double acc = run_vocab_variant(study, data, vocab, epochs, seed);
+    t3.add_row({std::to_string(vocab), AsciiTable::fmt(100.0 * acc, 1) + "%"});
+  }
+  t3.print(std::cout);
+  std::cout << "Expected: too-coarse buckets blur decision boundaries; accuracy grows\n"
+               "with vocabulary then saturates.\n\n";
+
+  // ---------------------------------------------------- 4: dataset size
+  std::cout << "=== Ablation 4: learning curve (dataset size) ===\n";
+  AsciiTable t4({"points", "test acc"});
+  for (std::int64_t n : {2000, 8000, 30000}) {
+    std::cerr << "[ablation] n=" << n << "...\n";
+    const Dataset d = study.generate(static_cast<std::size_t>(n), seed + 100);
+    auto clf = make_airchitect(seed, epochs);
+    ExperimentOptions opts;
+    opts.score_performance = false;
+    const double acc = run_experiment(study, *clf, d, opts).test_accuracy;
+    t4.add_row({std::to_string(n), AsciiTable::fmt(100.0 * acc, 1) + "%"});
+  }
+  t4.print(std::cout);
+  std::cout << "Expected: monotone improvement — the paper's 94% needs millions of\n"
+               "points; this curve shows the trajectory.\n\n";
+
+  // ---------------------------------------------------- 5: objectives
+  // Extension experiment (paper future work: "other design spaces"):
+  // how the optimal design shifts when the search objective changes from
+  // runtime to energy to EDP.
+  std::cout << "=== Ablation 5: search objective (runtime vs energy vs EDP) ===\n";
+  {
+    const ArrayDataflowSearch search(study.space(), study.simulator());
+    const ObjectiveEvaluator eval(study.simulator());
+    Rng rng(seed + 5);
+    const LogUniformGemmSampler sampler;
+    const std::size_t nq = 2000;
+    AsciiTable t5({"objective", "OS", "WS", "IS", "mean MACs used", "agrees with runtime"});
+    for (Objective obj : {Objective::kRuntime, Objective::kEnergy, Objective::kEdp}) {
+      Rng obj_rng(seed + 6);  // same workloads for every objective
+      int df[3] = {0, 0, 0};
+      double macs_sum = 0.0;
+      int agree = 0;
+      for (std::size_t q = 0; q < nq; ++q) {
+        const GemmWorkload w = sampler.sample(obj_rng);
+        const auto best = search.best_with_objective(w, 10, eval, obj);
+        const ArrayConfig& c = study.space().config(best.label);
+        ++df[dataflow_index(c.dataflow)];
+        macs_sum += static_cast<double>(c.macs());
+        if (best.label == search.best(w, 10).label) ++agree;
+      }
+      t5.add_row({to_string(obj), AsciiTable::fmt(100.0 * df[0] / nq, 0) + "%",
+                  AsciiTable::fmt(100.0 * df[1] / nq, 0) + "%",
+                  AsciiTable::fmt(100.0 * df[2] / nq, 0) + "%",
+                  AsciiTable::fmt(macs_sum / nq, 0),
+                  AsciiTable::fmt(100.0 * agree / nq, 0) + "%"});
+    }
+    t5.print(std::cout);
+    std::cout << "Expected: energy-optimal designs use fewer MACs (less fill/drain waste,\n"
+                 "less SRAM streaming) and shift the dataflow mix; EDP sits between.\n";
+    (void)rng;
+  }
+  return 0;
+}

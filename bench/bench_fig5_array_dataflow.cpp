@@ -1,0 +1,100 @@
+// Reproduces paper Fig. 5: the design-aware analysis of optimal array
+// shapes and dataflows.
+//  (a-c) Relative frequency of optimal array dimensions per dataflow at a
+//        2^9 MAC budget over sampled GEMM workloads.
+//  (d)   Optimal aspect-ratio pattern and dataflow mix for MAC budgets
+//        2^5 .. 2^15.
+//
+// Expected shape (paper): most-frequent shapes are square or 1:2
+// (cols = 2 x rows); every shape is optimal for at least one workload;
+// no single dataflow dominates given shape alone.
+
+#include <iostream>
+#include <map>
+
+#include "common/cli.hpp"
+#include "common/math_utils.hpp"
+#include "common/parallel.hpp"
+#include "common/table.hpp"
+#include "search/exhaustive.hpp"
+#include "workload/sampler.hpp"
+
+using namespace airch;
+
+int main(int argc, char** argv) {
+  ArgParser args("bench_fig5_array_dataflow", "optimal array shape/dataflow frequencies");
+  args.flag_i64("workloads", 10000, "GEMM workloads per budget (paper: 10^4)");
+  args.flag_i64("seed", 1, "RNG seed");
+  args.parse(argc, argv);
+  const auto n = static_cast<std::size_t>(args.i64("workloads"));
+
+  const ArrayDataflowSpace space(18);
+  const Simulator sim;
+  const ArrayDataflowSearch search(space, sim);
+  const LogUniformGemmSampler sampler;
+
+  // ---------------------------------------------------- Fig. 5(a-c)
+  std::cout << "=== Fig. 5(a-c): optimal (rows x cols) frequency per dataflow, 2^9 MACs ===\n";
+  Rng rng(static_cast<std::uint64_t>(args.i64("seed")));
+  const auto workloads = sampler.sample_many(rng, n);
+  std::vector<int> labels(n);
+  parallel_for(n, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) labels[i] = search.best(workloads[i], 9).label;
+  });
+
+  std::map<std::string, std::map<std::string, int>> freq;  // dataflow -> shape -> count
+  std::map<std::string, int> df_total;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ArrayConfig& c = space.config(labels[i]);
+    ++freq[to_string(c.dataflow)][std::to_string(c.rows) + "x" + std::to_string(c.cols)];
+    ++df_total[to_string(c.dataflow)];
+  }
+  for (const auto& [df, shapes] : freq) {
+    std::cout << "\n-- dataflow " << df << " (" << df_total[df] << " workloads) --\n";
+    AsciiTable t({"shape", "share", ""});
+    std::vector<std::pair<int, std::string>> sorted;
+    for (const auto& [shape, count] : shapes) sorted.emplace_back(count, shape);
+    std::sort(sorted.rbegin(), sorted.rend());
+    for (const auto& [count, shape] : sorted) {
+      const double share = static_cast<double>(count) / df_total[df];
+      t.add_row({shape, AsciiTable::fmt(100.0 * share, 1) + "%", bar(share, 40)});
+    }
+    t.print(std::cout);
+  }
+
+  // ---------------------------------------------------- Fig. 5(d)
+  std::cout << "\n=== Fig. 5(d): optimal aspect ratio & dataflow mix vs MAC budget ===\n";
+  AsciiTable t({"budget", "square", "1:2", "other", "OS", "WS", "IS"});
+  for (int budget = 5; budget <= 15; ++budget) {
+    Rng budget_rng(static_cast<std::uint64_t>(args.i64("seed")) + budget);
+    const auto ws = sampler.sample_many(budget_rng, n);
+    std::vector<int> ls(n);
+    parallel_for(n, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) ls[i] = search.best(ws[i], budget).label;
+    });
+    int square = 0, twice = 0, other = 0;
+    int df_count[3] = {0, 0, 0};
+    for (std::size_t i = 0; i < n; ++i) {
+      const ArrayConfig& c = space.config(ls[i]);
+      if (c.rows == c.cols) {
+        ++square;
+      } else if (c.cols == 2 * c.rows || c.rows == 2 * c.cols) {
+        ++twice;
+      } else {
+        ++other;
+      }
+      ++df_count[dataflow_index(c.dataflow)];
+    }
+    const double dn = static_cast<double>(n);
+    t.add_row({"2^" + std::to_string(budget), AsciiTable::fmt(100.0 * square / dn, 1) + "%",
+               AsciiTable::fmt(100.0 * twice / dn, 1) + "%",
+               AsciiTable::fmt(100.0 * other / dn, 1) + "%",
+               AsciiTable::fmt(100.0 * df_count[0] / dn, 1) + "%",
+               AsciiTable::fmt(100.0 * df_count[1] / dn, 1) + "%",
+               AsciiTable::fmt(100.0 * df_count[2] / dn, 1) + "%"});
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper check: square + 1:2 shapes should dominate; all three dataflows "
+               "should stay represented at every budget.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces paper Fig. 8: the quantized input/output spaces of the three
+// case studies, including the exact space sizes the paper reports
+// (459 / 1000 / 1944) and the first/last rows of each label table.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "search/space.hpp"
+
+using namespace airch;
+
+int main() {
+  // ---------------------------------------------------- Fig. 8(a)
+  std::cout << "=== Fig. 8(a): input spaces ===\n";
+  AsciiTable ta({"case study", "input dims", "parameters"});
+  ta.add_row({"1 (array+dataflow)", "4", "budget_exp, M, N, K"});
+  ta.add_row({"2 (buffer sizing)", "8",
+              "limit_kb, M, N, K, rows, cols, dataflow, bandwidth"});
+  ta.add_row({"3 (scheduling)", "12", "M,N,K per workload x 4"});
+  ta.print(std::cout);
+
+  // ---------------------------------------------------- Fig. 8(b)
+  const ArrayDataflowSpace s1(18);
+  std::cout << "\n=== Fig. 8(b): array/dataflow space, size = " << s1.size()
+            << " (paper: 459) ===\n";
+  AsciiTable tb({"id", "rows", "cols", "dataflow"});
+  for (int id : {0, 1, 2, 3, s1.size() - 1}) {
+    const ArrayConfig& c = s1.config(id);
+    tb.add_row({std::to_string(id), std::to_string(c.rows), std::to_string(c.cols),
+                to_string(c.dataflow)});
+  }
+  tb.print(std::cout);
+
+  // ---------------------------------------------------- Fig. 8(c)
+  const BufferSizeSpace s2;
+  std::cout << "\n=== Fig. 8(c): buffer-size space, size = " << s2.size()
+            << " (paper: 1000) ===\n";
+  AsciiTable tc({"id", "IFMAP KB", "Filter KB", "OFMAP KB"});
+  for (int id : {0, 1, 2, 3, s2.size() - 1}) {
+    const MemoryConfig m = s2.config(id);
+    tc.add_row({std::to_string(id), std::to_string(m.ifmap_kb), std::to_string(m.filter_kb),
+                std::to_string(m.ofmap_kb)});
+  }
+  tc.print(std::cout);
+
+  // ---------------------------------------------------- Fig. 8(d)
+  const ScheduleSpace s3(4);
+  std::cout << "\n=== Fig. 8(d): schedule space, size = " << s3.size()
+            << " (paper: 1944) ===\n";
+  AsciiTable td({"id", "wl@arr0", "df0", "wl@arr1", "df1", "wl@arr2", "df2", "wl@arr3", "df3"});
+  for (int id : {0, 1, 2, 3, s3.size() - 1}) {
+    const auto s = s3.config(id);
+    td.add_row({std::to_string(id), std::to_string(s.workload_of[0]),
+                to_string(s.dataflow_of[0]), std::to_string(s.workload_of[1]),
+                to_string(s.dataflow_of[1]), std::to_string(s.workload_of[2]),
+                to_string(s.dataflow_of[2]), std::to_string(s.workload_of[3]),
+                to_string(s.dataflow_of[3])});
+  }
+  td.print(std::cout);
+
+  const bool ok = s1.size() == 459 && s2.size() == 1000 && s3.size() == 1944;
+  std::cout << "\nSpace sizes match the paper: " << (ok ? "YES" : "NO") << '\n';
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+// Extension experiment beyond the paper's CNN-only evaluation: does a
+// case-1 recommender trained on the generic log-uniform GEMM population
+// transfer to transformer workloads (BERT-base / GPT-2-small projections,
+// attention products, FFNs) — and across sequence lengths?
+//
+// This probes the paper's implicit claim that the learned design space is
+// a property of GEMM geometry, not of the CNN-derived training set.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/math_utils.hpp"
+#include "common/table.hpp"
+#include "core/recommender.hpp"
+#include "search/exhaustive.hpp"
+#include "workload/model_zoo.hpp"
+
+using namespace airch;
+
+int main(int argc, char** argv) {
+  ArgParser args("bench_transformer_generalization",
+                 "case-1 recommender on transformer GEMMs (extension)");
+  args.flag_i64("points", 40000, "training dataset size");
+  args.flag_i64("epochs", 10, "training epochs");
+  args.flag_i64("budget_exp", 12, "MAC budget exponent for queries");
+  args.flag_i64("seed", 21, "RNG seed");
+  args.parse(argc, argv);
+  const int budget = static_cast<int>(args.i64("budget_exp"));
+
+  ArrayDataflowStudy study;
+  Recommender::TrainOptions opts;
+  opts.dataset_size = static_cast<std::size_t>(args.i64("points"));
+  opts.epochs = static_cast<int>(args.i64("epochs"));
+  opts.seed = static_cast<std::uint64_t>(args.i64("seed"));
+  std::cerr << "[tf] training recommender...\n";
+  const Recommender rec = Recommender::train(study, opts);
+  const ArrayDataflowSearch search(study.space(), study.simulator());
+
+  auto score = [&](const GemmWorkload& w) {
+    const ArrayConfig pred = rec.recommend_array(w, budget);
+    const auto best = search.best(w, budget);
+    std::int64_t pred_cycles = study.simulator().compute_cycles(w, pred);
+    if (pred.macs() > pow2(budget)) pred_cycles *= ceil_div(pred.macs(), pow2(budget));
+    return std::min(1.0, static_cast<double>(best.cycles) / static_cast<double>(pred_cycles));
+  };
+
+  // ------------------------------------------- per-network summary
+  std::cout << "=== Transformer networks, budget 2^" << budget << " ===\n";
+  AsciiTable t({"network", "layers", "exact match", "geomean achieved"});
+  for (const auto& net : transformer_zoo()) {
+    const auto gemms = net.gemms();
+    int exact = 0;
+    double log_sum = 0.0;
+    for (const auto& w : gemms) {
+      const double s = score(w);
+      log_sum += std::log(s);
+      if (s >= 1.0 - 1e-12) ++exact;
+    }
+    t.add_row({net.name, std::to_string(gemms.size()),
+               std::to_string(exact) + "/" + std::to_string(gemms.size()),
+               AsciiTable::fmt(100.0 * std::exp(log_sum / static_cast<double>(gemms.size())), 1) +
+                   "%"});
+  }
+  t.print(std::cout);
+
+  // ------------------------------------------- sequence-length sweep
+  std::cout << "\n=== Sequence-length sweep (BERT-base blocks) ===\n";
+  AsciiTable ts({"seq len", "geomean achieved", "worst layer"});
+  for (std::int64_t seq : {32, 64, 128, 256, 512, 1024}) {
+    const auto gemms = make_bert_base(seq).gemms();
+    double log_sum = 0.0, worst = 1.0;
+    for (const auto& w : gemms) {
+      const double s = score(w);
+      log_sum += std::log(s);
+      worst = std::min(worst, s);
+    }
+    ts.add_row({std::to_string(seq),
+                AsciiTable::fmt(100.0 * std::exp(log_sum / static_cast<double>(gemms.size())), 1) +
+                    "%",
+                AsciiTable::fmt(100.0 * worst, 1) + "%"});
+  }
+  ts.print(std::cout);
+  std::cout << "\nExpected: achieved/optimal stays high across networks and sequence\n"
+               "lengths — the learned space transfers because it depends only on GEMM\n"
+               "geometry, which the log-uniform training distribution covers.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Case study 2 end-to-end: train a buffer-sizing recommender and compare
+// its one-shot recommendations against exhaustive search on fresh
+// workloads — search quality at inference cost.
+//
+//   ./buffer_sizing [--points=15000] [--epochs=8] [--queries=10]
+
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/math_utils.hpp"
+#include "common/table.hpp"
+#include "core/recommender.hpp"
+#include "search/exhaustive.hpp"
+#include "workload/sampler.hpp"
+
+int main(int argc, char** argv) {
+  using namespace airch;
+  ArgParser args("buffer_sizing", "learned SRAM buffer sizing vs exhaustive search");
+  args.flag_i64("points", 15000, "training dataset size");
+  args.flag_i64("epochs", 8, "training epochs");
+  args.flag_i64("queries", 10, "fresh workloads to compare on");
+  args.flag_i64("seed", 11, "RNG seed");
+  args.parse(argc, argv);
+
+  BufferSizingStudy study;
+  std::cout << "Training buffer-sizing recommender on " << args.i64("points")
+            << " search-labelled points...\n";
+  Recommender::TrainOptions opts;
+  opts.dataset_size = static_cast<std::size_t>(args.i64("points"));
+  opts.epochs = static_cast<int>(args.i64("epochs"));
+  opts.seed = static_cast<std::uint64_t>(args.i64("seed"));
+  const Recommender rec = Recommender::train(study, opts);
+  std::cout << "Validation accuracy: " << AsciiTable::fmt(100.0 * rec.report().val_accuracy, 1)
+            << "%\n\n";
+
+  const BufferSearch search(study.space(), study.simulator());
+  Rng rng(static_cast<std::uint64_t>(args.i64("seed")) + 99);
+  const LogUniformGemmSampler sampler;
+
+  AsciiTable t({"workload", "array", "bw", "budget", "recommended (I/F/O KB)",
+                "search (I/F/O KB)", "stalls ratio"});
+  double worst_ratio = 1.0;
+  for (std::int64_t q = 0; q < args.i64("queries"); ++q) {
+    const GemmWorkload w = sampler.sample(rng);
+    const int macs_exp = static_cast<int>(rng.uniform_int(6, 14));
+    const int row_exp = static_cast<int>(rng.uniform_int(1, macs_exp - 1));
+    const ArrayConfig array{pow2(row_exp), pow2(macs_exp - row_exp),
+                            dataflow_from_index(static_cast<int>(rng.uniform_int(0, 2)))};
+    const std::int64_t bw = rng.uniform_int(1, 100);
+    const std::int64_t budget = rng.uniform_int(4, 18) * 100;
+
+    const MemoryConfig pred = rec.recommend_buffers(budget, w, array, bw);
+    const auto best = search.best(w, array, bw, budget);
+    const MemoryConfig opt = study.space().config(best.label);
+
+    const ComputeResult compute = compute_latency(w, array);
+    MemoryConfig pm = pred;
+    pm.bandwidth = bw;
+    const auto pred_stalls = memory_behavior(w, array, pm, compute).stall_cycles;
+    const double ratio = static_cast<double>(compute.cycles + best.stall_cycles) /
+                         static_cast<double>(compute.cycles + pred_stalls);
+    worst_ratio = std::min(worst_ratio, ratio);
+
+    auto fmt_mem = [](const MemoryConfig& m) {
+      return std::to_string(m.ifmap_kb) + "/" + std::to_string(m.filter_kb) + "/" +
+             std::to_string(m.ofmap_kb);
+    };
+    t.add_row({w.to_string(), array.to_string(), std::to_string(bw), std::to_string(budget),
+               fmt_mem(pred), fmt_mem(opt), AsciiTable::fmt(ratio, 3)});
+  }
+  t.print(std::cout);
+  std::cout << "\nstalls ratio = optimal end-to-end runtime / recommended end-to-end runtime "
+               "(1.000 = matches search).\nWorst query: "
+            << AsciiTable::fmt(worst_ratio, 3) << '\n';
+  return 0;
+}

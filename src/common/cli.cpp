@@ -1,0 +1,118 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace airch {
+
+ArgParser& ArgParser::flag_i64(const std::string& name, std::int64_t default_value,
+                               const std::string& help) {
+  flags_[name] = Flag{Kind::kI64, help, std::to_string(default_value)};
+  order_.push_back(name);
+  return *this;
+}
+
+ArgParser& ArgParser::flag_f64(const std::string& name, double default_value,
+                               const std::string& help) {
+  std::ostringstream os;
+  os << default_value;
+  flags_[name] = Flag{Kind::kF64, help, os.str()};
+  order_.push_back(name);
+  return *this;
+}
+
+ArgParser& ArgParser::flag_str(const std::string& name, const std::string& default_value,
+                               const std::string& help) {
+  flags_[name] = Flag{Kind::kStr, help, default_value};
+  order_.push_back(name);
+  return *this;
+}
+
+ArgParser& ArgParser::flag_bool(const std::string& name, bool default_value,
+                                const std::string& help) {
+  flags_[name] = Flag{Kind::kBool, help, default_value ? "true" : "false"};
+  order_.push_back(name);
+  return *this;
+}
+
+void ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage();
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    std::string name;
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(2, eq - 2);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg.substr(2);
+      auto it = flags_.find(name);
+      if (it != flags_.end() && it->second.kind == Kind::kBool) {
+        value = "true";  // bare boolean flag
+      } else {
+        if (i + 1 >= argc) throw std::invalid_argument("missing value for flag --" + name);
+        value = argv[++i];
+      }
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) throw std::invalid_argument("unknown flag --" + name);
+    // Validate parse for numeric kinds now so errors surface at startup.
+    if (it->second.kind == Kind::kI64) {
+      std::size_t pos = 0;
+      (void)std::stoll(value, &pos);
+      if (pos != value.size()) throw std::invalid_argument("bad integer for --" + name + ": " + value);
+    } else if (it->second.kind == Kind::kF64) {
+      std::size_t pos = 0;
+      (void)std::stod(value, &pos);
+      if (pos != value.size()) throw std::invalid_argument("bad real for --" + name + ": " + value);
+    } else if (it->second.kind == Kind::kBool) {
+      if (value != "true" && value != "false" && value != "1" && value != "0") {
+        throw std::invalid_argument("bad boolean for --" + name + ": " + value);
+      }
+    }
+    it->second.value = value;
+  }
+}
+
+const ArgParser::Flag& ArgParser::get(const std::string& name, Kind kind) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) throw std::invalid_argument("flag not registered: " + name);
+  if (it->second.kind != kind) throw std::invalid_argument("flag kind mismatch: " + name);
+  return it->second;
+}
+
+std::int64_t ArgParser::i64(const std::string& name) const {
+  return std::stoll(get(name, Kind::kI64).value);
+}
+
+double ArgParser::f64(const std::string& name) const { return std::stod(get(name, Kind::kF64).value); }
+
+const std::string& ArgParser::str(const std::string& name) const {
+  return get(name, Kind::kStr).value;
+}
+
+bool ArgParser::boolean(const std::string& name) const {
+  const std::string& v = get(name, Kind::kBool).value;
+  return v == "true" || v == "1";
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    os << "  --" << name << " (default: " << f.value << ")\n      " << f.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace airch

@@ -1,0 +1,66 @@
+#include "common/csv.hpp"
+
+#include <stdexcept>
+
+namespace airch {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cur;
+  for (char c : line) {
+    if (c == '"') throw std::runtime_error("quoted CSV fields are not supported");
+    if (c == ',') {
+      cells.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  cells.push_back(cur);
+  return cells;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("cannot open for writing: " + path);
+}
+
+void CsvWriter::write_header(const std::vector<std::string>& columns) {
+  columns_ = columns.size();
+  write_row(columns);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  if (columns_ != 0 && cells.size() != columns_) {
+    throw std::runtime_error("CSV row width mismatch");
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row_i64(const std::vector<std::int64_t>& cells) {
+  std::vector<std::string> s;
+  s.reserve(cells.size());
+  for (auto v : cells) s.push_back(std::to_string(v));
+  write_row(s);
+}
+
+CsvReader::CsvReader(const std::string& path) : in_(path) {
+  if (!in_) throw std::runtime_error("cannot open for reading: " + path);
+  std::string line;
+  if (std::getline(in_, line)) header_ = split_csv_line(line);
+}
+
+bool CsvReader::next_row(std::vector<std::string>& cells) {
+  std::string line;
+  while (std::getline(in_, line)) {
+    if (line.empty()) continue;
+    cells = split_csv_line(line);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace airch

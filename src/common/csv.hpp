@@ -1,0 +1,46 @@
+#pragma once
+// Tiny CSV reader/writer for dataset persistence and bench output.
+// Values never contain commas or quotes in this project, so no quoting
+// support is needed; the reader rejects quoted fields explicitly.
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace airch {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_header(const std::vector<std::string>& columns);
+  void write_row(const std::vector<std::string>& cells);
+  void write_row_i64(const std::vector<std::int64_t>& cells);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+};
+
+class CsvReader {
+ public:
+  /// Opens `path`; throws std::runtime_error on failure.
+  explicit CsvReader(const std::string& path);
+
+  /// Header read at construction time.
+  const std::vector<std::string>& header() const { return header_; }
+
+  /// Reads next data row into `cells`; returns false at EOF.
+  bool next_row(std::vector<std::string>& cells);
+
+ private:
+  std::ifstream in_;
+  std::vector<std::string> header_;
+};
+
+/// Splits a CSV line on commas (no quoting).
+std::vector<std::string> split_csv_line(const std::string& line);
+
+}  // namespace airch

@@ -1,0 +1,33 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace airch {
+
+unsigned hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const unsigned workers = std::min<std::size_t>(hardware_threads(), n);
+  if (workers <= 1 || n < 256) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t chunk = (n + workers - 1) / workers;
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    threads.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace airch

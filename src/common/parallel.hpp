@@ -1,0 +1,18 @@
+#pragma once
+// Minimal fork-join helper: statically partitions [0, n) across hardware
+// threads. Dataset generation and exhaustive search are embarrassingly
+// parallel; this keeps them fast without pulling in a task framework.
+
+#include <cstddef>
+#include <functional>
+
+namespace airch {
+
+/// Number of worker threads used by parallel_for (>= 1).
+unsigned hardware_threads();
+
+/// Invokes fn(begin, end) on disjoint chunks covering [0, n), concurrently.
+/// fn must be thread-safe across chunks. Runs inline when n is small.
+void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace airch

@@ -1,0 +1,62 @@
+#pragma once
+// Deterministic, seedable PRNG (xoshiro256**) plus the handful of
+// distributions the library needs. We avoid <random> engines in hot paths
+// because their cross-platform reproducibility for real distributions is
+// not guaranteed, and dataset generation must be bit-reproducible.
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace airch {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Re-initialise state from a 64-bit seed via SplitMix64.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform();
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double normal();
+
+  /// Normal with given mean / stddev.
+  double normal(double mu, double sigma) { return mu + sigma * normal(); }
+
+  /// Integer sampled log-uniformly in [lo, hi] (both >= 1): exponent drawn
+  /// uniformly, so each octave is equally likely. Matches the heavy-tailed
+  /// GEMM-dimension distribution in the paper's Fig. 7(a).
+  std::int64_t log_uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample an index according to non-negative weights (at least one > 0).
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace airch

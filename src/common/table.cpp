@@ -1,0 +1,47 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace airch {
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) throw std::invalid_argument("table row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void AsciiTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "  " : "") << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    os << '\n';
+  };
+  print_row(columns_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string bar(double fraction, int width) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const int n = static_cast<int>(fraction * width + 0.5);
+  return std::string(static_cast<std::size_t>(n), '#');
+}
+
+}  // namespace airch

@@ -1,0 +1,33 @@
+#pragma once
+// ASCII table printer used by bench binaries to render figure/table data
+// in a form directly comparable with the paper's charts.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace airch {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string fmt(double v, int precision = 3);
+
+  /// Render with column alignment and a header separator.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One-line horizontal bar for distribution-style figure output,
+/// e.g. bar(0.42, 40) -> "################".
+std::string bar(double fraction, int width);
+
+}  // namespace airch

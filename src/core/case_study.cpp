@@ -1,0 +1,124 @@
+#include "core/case_study.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/math_utils.hpp"
+#include "common/parallel.hpp"
+
+namespace airch {
+
+const char* case_name(CaseId id) {
+  switch (id) {
+    case CaseId::kArrayDataflow: return "Case Study 1: Array and Dataflow";
+    case CaseId::kBufferSizing: return "Case Study 2: Buffer Sizing";
+    case CaseId::kScheduling: return "Case Study 3: Multi-array Scheduling";
+  }
+  return "?";
+}
+
+std::vector<double> CaseStudy::normalized_performance_batch(
+    const Dataset& test, const std::vector<std::int32_t>& preds) const {
+  if (preds.size() != test.size()) throw std::invalid_argument("prediction count mismatch");
+  std::vector<double> out(test.size());
+  parallel_for(test.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i] = normalized_performance(test[i], preds[i]);
+    }
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------- case 1
+
+ArrayDataflowStudy::ArrayDataflowStudy(Case1Config cfg, int max_macs_exp)
+    : cfg_(cfg), space_(max_macs_exp) {}
+
+Dataset ArrayDataflowStudy::generate(std::size_t n, std::uint64_t seed) const {
+  return generate_case1(n, space_, sim_, cfg_, seed);
+}
+
+double ArrayDataflowStudy::normalized_performance(const DataPoint& point,
+                                                  std::int32_t predicted) const {
+  const Case1Features f = decode_case1(point.features);
+  ArrayDataflowSearch search(space_, sim_);
+  const std::int64_t best = search.cycles_of(f.workload, point.label);
+  std::int64_t pred = search.cycles_of(f.workload, predicted);
+  // A prediction that exceeds the MAC budget is not buildable as-is; the
+  // closest realizable design time-multiplexes it onto the budget, which
+  // serializes execution by the overshoot factor.
+  const std::int64_t budget = pow2(std::min(f.budget_exp, 62));
+  const std::int64_t macs = space_.config(predicted).macs();
+  if (macs > budget) pred *= ceil_div(macs, budget);
+  return std::min(1.0, static_cast<double>(best) / static_cast<double>(pred));
+}
+
+// ---------------------------------------------------------------- case 2
+
+BufferSizingStudy::BufferSizingStudy(Case2Config cfg) : cfg_(cfg) {}
+
+Dataset BufferSizingStudy::generate(std::size_t n, std::uint64_t seed) const {
+  return generate_case2(n, space_, sim_, cfg_, seed);
+}
+
+double BufferSizingStudy::normalized_performance(const DataPoint& point,
+                                                 std::int32_t predicted) const {
+  const Case2Features f = decode_case2(point.features);
+  BufferSearch search(space_, sim_);
+  const ComputeResult compute = compute_latency(f.workload, f.array);
+  const std::int64_t best_stalls = search.stalls_of(f.workload, f.array, f.bandwidth, point.label);
+  // Clamp an over-budget prediction to the nearest realizable design:
+  // greedily shrink the largest buffer until the shared capacity limit is
+  // met (each buffer stays on the space's quantization grid).
+  MemoryConfig pred_mem = space_.config(predicted);
+  const std::int64_t step = space_.step_kb();
+  while (pred_mem.total_kb() > f.limit_kb) {
+    std::int64_t* largest = &pred_mem.ifmap_kb;
+    if (pred_mem.filter_kb > *largest) largest = &pred_mem.filter_kb;
+    if (pred_mem.ofmap_kb > *largest) largest = &pred_mem.ofmap_kb;
+    if (*largest <= step) break;  // already at the floor everywhere
+    *largest -= step;
+  }
+  pred_mem.bandwidth = f.bandwidth;
+  const std::int64_t pred_stalls =
+      memory_behavior(f.workload, f.array, pred_mem, compute).stall_cycles;
+  // End-to-end runtime ratio (stall-only ratio would divide by zero on
+  // stall-free optima).
+  return static_cast<double>(compute.cycles + best_stalls) /
+         static_cast<double>(compute.cycles + pred_stalls);
+}
+
+// ---------------------------------------------------------------- case 3
+
+SchedulingStudy::SchedulingStudy(Case3Config cfg, int num_arrays)
+    : cfg_(cfg),
+      space_(num_arrays),
+      sim_(),
+      search_(space_, default_scheduled_arrays(), sim_) {
+  if (num_arrays != static_cast<int>(default_scheduled_arrays().size())) {
+    throw std::invalid_argument("SchedulingStudy currently ships a 4-array system");
+  }
+}
+
+Dataset SchedulingStudy::generate(std::size_t n, std::uint64_t seed) const {
+  return generate_case3(n, space_, search_.arrays(), sim_, cfg_, seed);
+}
+
+double SchedulingStudy::normalized_performance(const DataPoint& point,
+                                               std::int32_t predicted) const {
+  const auto workloads = decode_case3(point.features);
+  const auto best = search_.evaluate(workloads, point.label);
+  const auto pred = search_.evaluate(workloads, predicted);
+  return static_cast<double>(best.makespan_cycles) / static_cast<double>(pred.makespan_cycles);
+}
+
+std::unique_ptr<CaseStudy> make_case_study(CaseId id) {
+  switch (id) {
+    case CaseId::kArrayDataflow: return std::make_unique<ArrayDataflowStudy>();
+    case CaseId::kBufferSizing: return std::make_unique<BufferSizingStudy>();
+    case CaseId::kScheduling: return std::make_unique<SchedulingStudy>();
+  }
+  throw std::invalid_argument("unknown case id");
+}
+
+}  // namespace airch

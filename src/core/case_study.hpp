@@ -1,0 +1,107 @@
+#pragma once
+// Case-study bindings: each of the paper's three DSE problems packaged as
+// (output space, dataset generator, prediction scorer). The scorer
+// re-simulates a predicted configuration and normalizes its achieved
+// performance against the search optimum — the metric behind the paper's
+// Fig. 10(g, h) misprediction-penalty analysis.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dataset/dataset.hpp"
+#include "dataset/generator.hpp"
+#include "search/exhaustive.hpp"
+#include "search/space.hpp"
+#include "sim/simulator.hpp"
+
+namespace airch {
+
+enum class CaseId { kArrayDataflow = 1, kBufferSizing = 2, kScheduling = 3 };
+
+const char* case_name(CaseId id);
+
+/// One case study: owns its spaces/simulator and exposes generation and
+/// prediction scoring. Thread-compatible (const after construction).
+class CaseStudy {
+ public:
+  virtual ~CaseStudy() = default;
+
+  virtual CaseId id() const = 0;
+  virtual int num_classes() const = 0;
+
+  /// Search-labelled dataset of `n` points (paper Step 3).
+  virtual Dataset generate(std::size_t n, std::uint64_t seed) const = 0;
+
+  /// Achieved performance of predicted label on one point, normalized to
+  /// the optimum: 1.0 = matches the search optimum, <1.0 = slower.
+  virtual double normalized_performance(const DataPoint& point,
+                                        std::int32_t predicted) const = 0;
+
+  /// Normalized performance for a full test set (parallelized).
+  std::vector<double> normalized_performance_batch(const Dataset& test,
+                                                   const std::vector<std::int32_t>& preds) const;
+};
+
+// Concrete case studies. Construction parameters default to the paper's.
+
+class ArrayDataflowStudy final : public CaseStudy {
+ public:
+  explicit ArrayDataflowStudy(Case1Config cfg = {}, int max_macs_exp = 18);
+
+  CaseId id() const override { return CaseId::kArrayDataflow; }
+  int num_classes() const override { return space_.size(); }
+  Dataset generate(std::size_t n, std::uint64_t seed) const override;
+  double normalized_performance(const DataPoint& point, std::int32_t predicted) const override;
+
+  const ArrayDataflowSpace& space() const { return space_; }
+  const Simulator& simulator() const { return sim_; }
+
+ private:
+  Case1Config cfg_;
+  ArrayDataflowSpace space_;
+  Simulator sim_;
+};
+
+class BufferSizingStudy final : public CaseStudy {
+ public:
+  explicit BufferSizingStudy(Case2Config cfg = {});
+
+  CaseId id() const override { return CaseId::kBufferSizing; }
+  int num_classes() const override { return space_.size(); }
+  Dataset generate(std::size_t n, std::uint64_t seed) const override;
+  double normalized_performance(const DataPoint& point, std::int32_t predicted) const override;
+
+  const BufferSizeSpace& space() const { return space_; }
+  const Simulator& simulator() const { return sim_; }
+
+ private:
+  Case2Config cfg_;
+  BufferSizeSpace space_;
+  Simulator sim_;
+};
+
+class SchedulingStudy final : public CaseStudy {
+ public:
+  explicit SchedulingStudy(Case3Config cfg = {}, int num_arrays = 4);
+
+  CaseId id() const override { return CaseId::kScheduling; }
+  int num_classes() const override { return space_.size(); }
+  Dataset generate(std::size_t n, std::uint64_t seed) const override;
+  double normalized_performance(const DataPoint& point, std::int32_t predicted) const override;
+
+  const ScheduleSpace& space() const { return space_; }
+  const ScheduleSearch& search() const { return search_; }
+  const Simulator& simulator() const { return sim_; }
+
+ private:
+  Case3Config cfg_;
+  ScheduleSpace space_;
+  Simulator sim_;
+  ScheduleSearch search_;
+};
+
+/// Factory by case id with default (paper) parameters.
+std::unique_ptr<CaseStudy> make_case_study(CaseId id);
+
+}  // namespace airch

@@ -1,0 +1,52 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/math_utils.hpp"
+#include "ml/metrics.hpp"
+
+namespace airch {
+
+ExperimentResult run_experiment(const CaseStudy& study, Classifier& clf, const Dataset& data,
+                                const ExperimentOptions& options) {
+  Dataset shuffled = data;
+  Rng rng(options.shuffle_seed);
+  shuffled.shuffle(rng);
+  auto splits = shuffled.split3(options.train_frac, options.val_frac);
+
+  FeatureEncoder enc(splits.train);
+
+  ExperimentResult r;
+  r.train_size = splits.train.size();
+  r.val_size = splits.val.size();
+  r.test_size = splits.test.size();
+  r.history = clf.fit(splits.train, splits.val, enc);
+
+  const Dataset& test = splits.test;
+  r.predictions = clf.predict(test, enc);
+
+  std::size_t correct = 0;
+  r.actual_hist.assign(static_cast<std::size_t>(study.num_classes()), 0);
+  r.predicted_hist.assign(static_cast<std::size_t>(study.num_classes()), 0);
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (r.predictions[i] == test[i].label) ++correct;
+    ++r.actual_hist[static_cast<std::size_t>(test[i].label)];
+    ++r.predicted_hist[static_cast<std::size_t>(r.predictions[i])];
+  }
+  r.test_accuracy = test.empty() ? 0.0 : static_cast<double>(correct) / static_cast<double>(test.size());
+  if (!test.empty()) {
+    std::vector<std::int32_t> actual(test.size());
+    for (std::size_t i = 0; i < test.size(); ++i) actual[i] = test[i].label;
+    r.test_macro_f1 = ml::macro_f1(actual, r.predictions, study.num_classes());
+    r.label_js_divergence = ml::jensen_shannon_divergence(r.actual_hist, r.predicted_hist);
+  }
+
+  if (options.score_performance && !test.empty()) {
+    r.normalized_perf = study.normalized_performance_batch(test, r.predictions);
+    r.geomean_perf = geomean(r.normalized_perf);
+    std::sort(r.normalized_perf.begin(), r.normalized_perf.end());
+  }
+  return r;
+}
+
+}  // namespace airch

@@ -1,0 +1,121 @@
+#include "core/recommender.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+#include <stdexcept>
+
+namespace airch {
+
+Recommender::Recommender(const CaseStudy& study, std::unique_ptr<NeuralClassifier> model,
+                         std::unique_ptr<FeatureEncoder> encoder)
+    : study_(&study), model_(std::move(model)), encoder_(std::move(encoder)) {
+  if (!model_ || !encoder_) throw std::invalid_argument("null model or encoder");
+}
+
+Recommender Recommender::train(const CaseStudy& study, const TrainOptions& options) {
+  Dataset data = study.generate(options.dataset_size, options.seed);
+  Rng rng(options.seed ^ 0xA5A5A5A5ULL);
+  data.shuffle(rng);
+  auto [train, val] = data.split(options.train_frac);
+
+  auto encoder = std::make_unique<FeatureEncoder>(train);
+  auto model = make_airchitect(options.seed, options.epochs);
+  auto history = model->fit(train, val, *encoder);
+
+  Recommender rec(study, std::move(model), std::move(encoder));
+  rec.report_.history = std::move(history);
+  rec.report_.val_accuracy =
+      rec.report_.history.empty() ? 0.0 : rec.report_.history.back().val_accuracy;
+  return rec;
+}
+
+std::int32_t Recommender::recommend_label(const std::vector<std::int64_t>& features) const {
+  const auto proba = model_->predict_proba(features, *encoder_);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < proba.size(); ++i) {
+    if (proba[i] > proba[best]) best = i;
+  }
+  return static_cast<std::int32_t>(best);
+}
+
+std::vector<std::int32_t> Recommender::recommend_topk(
+    const std::vector<std::int64_t>& features, int k) const {
+  const auto proba = model_->predict_proba(features, *encoder_);
+  std::vector<std::int32_t> labels(proba.size());
+  std::iota(labels.begin(), labels.end(), 0);
+  const auto kk = std::min<std::size_t>(static_cast<std::size_t>(std::max(k, 1)), labels.size());
+  std::partial_sort(labels.begin(), labels.begin() + static_cast<std::ptrdiff_t>(kk),
+                    labels.end(), [&](std::int32_t a, std::int32_t b) {
+                      return proba[static_cast<std::size_t>(a)] >
+                             proba[static_cast<std::size_t>(b)];
+                    });
+  labels.resize(kk);
+  return labels;
+}
+
+void Recommender::save(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  os << "airchitect-recommender v1\n";
+  os << static_cast<int>(study_->id()) << ' ' << study_->num_classes() << '\n';
+  os << report_.val_accuracy << '\n';
+  model_->save(os);
+  encoder_->save(os);
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+Recommender Recommender::load(const std::string& path, const CaseStudy& study) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  std::string magic, version;
+  if (!(is >> magic >> version) || magic != "airchitect-recommender" || version != "v1") {
+    throw std::runtime_error("bad recommender header");
+  }
+  int case_id = 0, classes = 0;
+  double val_acc = 0.0;
+  if (!(is >> case_id >> classes >> val_acc)) throw std::runtime_error("bad recommender metadata");
+  if (case_id != static_cast<int>(study.id()) || classes != study.num_classes()) {
+    throw std::runtime_error("recommender was trained for a different case study");
+  }
+  auto model = NeuralClassifier::load(is);
+  auto encoder = std::make_unique<FeatureEncoder>(FeatureEncoder::load(is));
+  Recommender rec(study, std::move(model), std::move(encoder));
+  rec.report_.val_accuracy = val_acc;
+  return rec;
+}
+
+ArrayConfig Recommender::recommend_array(const GemmWorkload& w, int budget_exp) const {
+  const auto* study = dynamic_cast<const ArrayDataflowStudy*>(study_);
+  if (!study) throw std::logic_error("recommender was not trained for case study 1");
+  const std::int32_t label = recommend_label({budget_exp, w.m, w.n, w.k});
+  return study->space().config(label);
+}
+
+MemoryConfig Recommender::recommend_buffers(std::int64_t limit_kb, const GemmWorkload& w,
+                                            const ArrayConfig& array,
+                                            std::int64_t bandwidth) const {
+  const auto* study = dynamic_cast<const BufferSizingStudy*>(study_);
+  if (!study) throw std::logic_error("recommender was not trained for case study 2");
+  const std::int32_t label = recommend_label({limit_kb, w.m, w.n, w.k, array.rows, array.cols,
+                                              dataflow_index(array.dataflow), bandwidth});
+  MemoryConfig mem = study->space().config(label);
+  mem.bandwidth = bandwidth;
+  return mem;
+}
+
+ScheduleSpace::Schedule Recommender::recommend_schedule(
+    const std::vector<GemmWorkload>& workloads) const {
+  const auto* study = dynamic_cast<const SchedulingStudy*>(study_);
+  if (!study) throw std::logic_error("recommender was not trained for case study 3");
+  std::vector<std::int64_t> features;
+  features.reserve(workloads.size() * 3);
+  for (const auto& w : workloads) {
+    features.push_back(w.m);
+    features.push_back(w.n);
+    features.push_back(w.k);
+  }
+  return study->space().config(recommend_label(features));
+}
+
+}  // namespace airch

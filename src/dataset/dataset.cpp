@@ -1,0 +1,74 @@
+#include "dataset/dataset.hpp"
+
+#include <stdexcept>
+
+#include "common/csv.hpp"
+
+namespace airch {
+
+void Dataset::add(DataPoint p) {
+  if (static_cast<int>(p.features.size()) != num_features()) {
+    throw std::invalid_argument("feature arity mismatch");
+  }
+  if (p.label < 0 || p.label >= num_classes_) throw std::invalid_argument("label out of range");
+  points_.push_back(std::move(p));
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double fraction) const {
+  if (fraction < 0.0 || fraction > 1.0) throw std::invalid_argument("bad split fraction");
+  const auto head_n = static_cast<std::size_t>(fraction * static_cast<double>(size()));
+  Dataset head(feature_names_, num_classes_);
+  Dataset tail(feature_names_, num_classes_);
+  for (std::size_t i = 0; i < size(); ++i) {
+    (i < head_n ? head : tail).points_.push_back(points_[i]);
+  }
+  return {std::move(head), std::move(tail)};
+}
+
+Dataset::TrainValTest Dataset::split3(double train_frac, double val_frac) const {
+  if (train_frac + val_frac > 1.0) throw std::invalid_argument("split fractions exceed 1");
+  auto [train, rest] = split(train_frac);
+  const double remaining = 1.0 - train_frac;
+  auto [val, test] = rest.split(remaining > 0.0 ? val_frac / remaining : 0.0);
+  return {std::move(train), std::move(val), std::move(test)};
+}
+
+std::vector<std::int64_t> Dataset::label_histogram() const {
+  std::vector<std::int64_t> h(static_cast<std::size_t>(num_classes_), 0);
+  for (const auto& p : points_) ++h[static_cast<std::size_t>(p.label)];
+  return h;
+}
+
+void Dataset::save_csv(const std::string& path) const {
+  CsvWriter writer(path);
+  std::vector<std::string> header = feature_names_;
+  header.push_back("label");
+  writer.write_header(header);
+  for (const auto& p : points_) {
+    std::vector<std::int64_t> row = p.features;
+    row.push_back(p.label);
+    writer.write_row_i64(row);
+  }
+}
+
+Dataset Dataset::load_csv(const std::string& path, int num_classes) {
+  CsvReader reader(path);
+  std::vector<std::string> names = reader.header();
+  if (names.empty() || names.back() != "label") {
+    throw std::runtime_error("dataset CSV must end with a 'label' column");
+  }
+  names.pop_back();
+  Dataset ds(names, num_classes);
+  std::vector<std::string> cells;
+  while (reader.next_row(cells)) {
+    if (cells.size() != names.size() + 1) throw std::runtime_error("dataset CSV row width mismatch");
+    DataPoint p;
+    p.features.reserve(names.size());
+    for (std::size_t i = 0; i < names.size(); ++i) p.features.push_back(std::stoll(cells[i]));
+    p.label = static_cast<std::int32_t>(std::stol(cells.back()));
+    ds.add(std::move(p));
+  }
+  return ds;
+}
+
+}  // namespace airch

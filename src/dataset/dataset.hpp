@@ -1,0 +1,64 @@
+#pragma once
+// Labelled datasets for the three case studies: integer feature vectors
+// (the paper's input spaces, Fig. 8(a)) with a dense class label (the
+// quantized output spaces, Fig. 8(b-d)).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace airch {
+
+struct DataPoint {
+  std::vector<std::int64_t> features;
+  std::int32_t label = 0;
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::vector<std::string> feature_names, int num_classes)
+      : feature_names_(std::move(feature_names)), num_classes_(num_classes) {}
+
+  const std::vector<std::string>& feature_names() const { return feature_names_; }
+  int num_features() const { return static_cast<int>(feature_names_.size()); }
+  int num_classes() const { return num_classes_; }
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const DataPoint& operator[](std::size_t i) const { return points_[i]; }
+  const std::vector<DataPoint>& points() const { return points_; }
+
+  /// Appends a point; feature arity and label range are validated.
+  void add(DataPoint p);
+
+  void shuffle(Rng& rng) { rng.shuffle(points_); }
+
+  /// Splits off the first `fraction` of points (call shuffle first).
+  /// Returns {head, tail} preserving metadata.
+  std::pair<Dataset, Dataset> split(double fraction) const;
+
+  /// Three-way split used by the paper (e.g. 80:10:10).
+  struct TrainValTest;
+  TrainValTest split3(double train_frac, double val_frac) const;
+
+  /// Per-class frequency histogram (size == num_classes).
+  std::vector<std::int64_t> label_histogram() const;
+
+  /// CSV persistence: header = feature names + "label".
+  void save_csv(const std::string& path) const;
+  static Dataset load_csv(const std::string& path, int num_classes);
+
+ private:
+  std::vector<std::string> feature_names_;
+  int num_classes_ = 0;
+  std::vector<DataPoint> points_;
+};
+
+struct Dataset::TrainValTest {
+  Dataset train, val, test;
+};
+
+}  // namespace airch

@@ -1,0 +1,210 @@
+#include "dataset/encoding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace airch {
+
+std::int32_t FeatureEncoder::Column::bucket_of(std::int64_t v) const {
+  if (exact) {
+    // Unseen values map to the nearest known value's bucket.
+    auto it = value_to_index.lower_bound(v);
+    if (it == value_to_index.end()) return std::prev(it)->second;
+    if (it->first == v || it == value_to_index.begin()) return it->second;
+    auto prev = std::prev(it);
+    return (v - prev->first <= it->first - v) ? prev->second : it->second;
+  }
+  const auto it = std::lower_bound(boundaries.begin(), boundaries.end(), v);
+  return static_cast<std::int32_t>(it - boundaries.begin());
+}
+
+int FeatureEncoder::Column::vocab() const {
+  return exact ? static_cast<int>(value_to_index.size())
+               : static_cast<int>(boundaries.size()) + 1;
+}
+
+float FeatureEncoder::Column::standardize(std::int64_t v) const {
+  const double z = (std::log1p(static_cast<double>(std::max<std::int64_t>(v, 0))) - mean) / stddev;
+  return static_cast<float>(z);
+}
+
+FeatureEncoder::FeatureEncoder(const Dataset& train, int max_vocab) {
+  if (train.empty()) throw std::invalid_argument("cannot fit encoder on empty dataset");
+  if (max_vocab < 2) throw std::invalid_argument("max_vocab must be >= 2");
+  const int nf = train.num_features();
+  columns_.resize(static_cast<std::size_t>(nf));
+
+  std::vector<std::int64_t> values(train.size());
+  for (int col = 0; col < nf; ++col) {
+    Column& c = columns_[static_cast<std::size_t>(col)];
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      values[i] = train[i].features[static_cast<std::size_t>(col)];
+    }
+
+    // Float statistics in log1p space.
+    double sum = 0.0;
+    for (auto v : values) sum += std::log1p(static_cast<double>(std::max<std::int64_t>(v, 0)));
+    c.mean = sum / static_cast<double>(values.size());
+    double var = 0.0;
+    for (auto v : values) {
+      const double d = std::log1p(static_cast<double>(std::max<std::int64_t>(v, 0))) - c.mean;
+      var += d * d;
+    }
+    c.stddev = std::sqrt(var / static_cast<double>(values.size()));
+    if (c.stddev < 1e-9) c.stddev = 1.0;  // constant column
+
+    // Bucket vocabulary.
+    std::vector<std::int64_t> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<std::int64_t> unique = sorted;
+    unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+    if (static_cast<int>(unique.size()) <= max_vocab) {
+      c.exact = true;
+      for (std::size_t i = 0; i < unique.size(); ++i) {
+        c.value_to_index[unique[i]] = static_cast<std::int32_t>(i);
+      }
+    } else {
+      // Rank-quantile boundaries: max_vocab-1 cuts -> max_vocab buckets.
+      c.exact = false;
+      for (int q = 1; q < max_vocab; ++q) {
+        const auto rank = static_cast<std::size_t>(
+            static_cast<double>(q) / max_vocab * static_cast<double>(sorted.size()));
+        c.boundaries.push_back(sorted[std::min(rank, sorted.size() - 1)]);
+      }
+      c.boundaries.erase(std::unique(c.boundaries.begin(), c.boundaries.end()),
+                         c.boundaries.end());
+    }
+  }
+}
+
+std::vector<int> FeatureEncoder::vocab_sizes() const {
+  std::vector<int> out;
+  out.reserve(columns_.size());
+  for (const auto& c : columns_) out.push_back(c.vocab());
+  return out;
+}
+
+std::int32_t FeatureEncoder::bucket(int col, std::int64_t value) const {
+  return columns_[static_cast<std::size_t>(col)].bucket_of(value);
+}
+
+ml::IntBatch FeatureEncoder::encode_int(const Dataset& ds, std::size_t begin,
+                                        std::size_t end) const {
+  if (ds.num_features() != num_features()) throw std::invalid_argument("feature arity mismatch");
+  ml::IntBatch out;
+  out.resize(end - begin, columns_.size());
+  for (std::size_t i = begin; i < end; ++i) {
+    for (std::size_t f = 0; f < columns_.size(); ++f) {
+      out(i - begin, f) = columns_[f].bucket_of(ds[i].features[f]);
+    }
+  }
+  return out;
+}
+
+ml::Matrix FeatureEncoder::encode_float(const Dataset& ds, std::size_t begin,
+                                        std::size_t end) const {
+  if (ds.num_features() != num_features()) throw std::invalid_argument("feature arity mismatch");
+  ml::Matrix out(end - begin, columns_.size());
+  for (std::size_t i = begin; i < end; ++i) {
+    for (std::size_t f = 0; f < columns_.size(); ++f) {
+      out(i - begin, f) = columns_[f].standardize(ds[i].features[f]);
+    }
+  }
+  return out;
+}
+
+ml::IntBatch FeatureEncoder::encode_int_gather(const Dataset& ds,
+                                               const std::vector<std::size_t>& idx,
+                                               std::size_t begin, std::size_t end) const {
+  ml::IntBatch out;
+  out.resize(end - begin, columns_.size());
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto& p = ds[idx[i]];
+    for (std::size_t f = 0; f < columns_.size(); ++f) {
+      out(i - begin, f) = columns_[f].bucket_of(p.features[f]);
+    }
+  }
+  return out;
+}
+
+ml::Matrix FeatureEncoder::encode_float_gather(const Dataset& ds,
+                                               const std::vector<std::size_t>& idx,
+                                               std::size_t begin, std::size_t end) const {
+  ml::Matrix out(end - begin, columns_.size());
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto& p = ds[idx[i]];
+    for (std::size_t f = 0; f < columns_.size(); ++f) {
+      out(i - begin, f) = columns_[f].standardize(p.features[f]);
+    }
+  }
+  return out;
+}
+
+ml::IntBatch FeatureEncoder::encode_int(const std::vector<std::int64_t>& features) const {
+  if (features.size() != columns_.size()) throw std::invalid_argument("feature arity mismatch");
+  ml::IntBatch out;
+  out.resize(1, columns_.size());
+  for (std::size_t f = 0; f < columns_.size(); ++f) out(0, f) = columns_[f].bucket_of(features[f]);
+  return out;
+}
+
+ml::Matrix FeatureEncoder::encode_float(const std::vector<std::int64_t>& features) const {
+  if (features.size() != columns_.size()) throw std::invalid_argument("feature arity mismatch");
+  ml::Matrix out(1, columns_.size());
+  for (std::size_t f = 0; f < columns_.size(); ++f) {
+    out(0, f) = columns_[f].standardize(features[f]);
+  }
+  return out;
+}
+
+void FeatureEncoder::save(std::ostream& os) const {
+  os << "encoder v1 " << columns_.size() << "\n";
+  os.precision(17);
+  for (const auto& c : columns_) {
+    os << (c.exact ? "exact" : "quantile") << ' ' << c.mean << ' ' << c.stddev << ' ';
+    if (c.exact) {
+      os << c.value_to_index.size();
+      for (const auto& [v, idx] : c.value_to_index) os << ' ' << v << ' ' << idx;
+    } else {
+      os << c.boundaries.size();
+      for (auto b : c.boundaries) os << ' ' << b;
+    }
+    os << '\n';
+  }
+}
+
+FeatureEncoder FeatureEncoder::load(std::istream& is) {
+  std::string magic, version;
+  std::size_t ncols = 0;
+  if (!(is >> magic >> version >> ncols) || magic != "encoder" || version != "v1") {
+    throw std::runtime_error("bad encoder header");
+  }
+  FeatureEncoder enc;
+  enc.columns_.resize(ncols);
+  for (auto& c : enc.columns_) {
+    std::string kind;
+    std::size_t n = 0;
+    if (!(is >> kind >> c.mean >> c.stddev >> n)) throw std::runtime_error("bad encoder column");
+    c.exact = kind == "exact";
+    if (!c.exact && kind != "quantile") throw std::runtime_error("bad encoder column kind");
+    if (c.exact) {
+      for (std::size_t i = 0; i < n; ++i) {
+        std::int64_t v;
+        std::int32_t idx;
+        if (!(is >> v >> idx)) throw std::runtime_error("bad encoder vocab entry");
+        c.value_to_index[v] = idx;
+      }
+    } else {
+      c.boundaries.resize(n);
+      for (auto& b : c.boundaries) {
+        if (!(is >> b)) throw std::runtime_error("bad encoder boundary");
+      }
+    }
+  }
+  return enc;
+}
+
+}  // namespace airch

@@ -1,0 +1,165 @@
+#include "dataset/generator.hpp"
+
+#include <stdexcept>
+
+#include "common/math_utils.hpp"
+#include "common/parallel.hpp"
+
+namespace airch {
+
+namespace {
+/// Sampled inputs are drawn serially (cheap, keeps determinism independent
+/// of thread count); the expensive search labelling runs in parallel.
+template <typename Input, typename LabelFn>
+void label_parallel(std::vector<Input>& inputs, std::vector<std::int32_t>& labels,
+                    const LabelFn& fn) {
+  labels.resize(inputs.size());
+  parallel_for(inputs.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) labels[i] = fn(inputs[i]);
+  });
+}
+}  // namespace
+
+// --------------------------------------------------------------- case 1
+
+Dataset generate_case1(std::size_t n, const ArrayDataflowSpace& space, const Simulator& sim,
+                       const Case1Config& cfg, std::uint64_t seed) {
+  if (cfg.budget_min_exp < 2 || cfg.budget_max_exp > space.max_macs_exp() ||
+      cfg.budget_min_exp > cfg.budget_max_exp) {
+    throw std::invalid_argument("case 1 budget range invalid for space");
+  }
+  Rng rng(seed);
+  LogUniformGemmSampler sampler(cfg.dims);
+
+  std::vector<Case1Features> inputs(n);
+  for (auto& in : inputs) {
+    in.budget_exp = static_cast<int>(rng.uniform_int(cfg.budget_min_exp, cfg.budget_max_exp));
+    in.workload = sampler.sample(rng);
+  }
+
+  ArrayDataflowSearch search(space, sim);
+  std::vector<std::int32_t> labels;
+  label_parallel(inputs, labels, [&](const Case1Features& in) {
+    return static_cast<std::int32_t>(search.best(in.workload, in.budget_exp).label);
+  });
+
+  Dataset ds({"budget_exp", "M", "N", "K"}, space.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    ds.add({{inputs[i].budget_exp, inputs[i].workload.m, inputs[i].workload.n,
+             inputs[i].workload.k},
+            labels[i]});
+  }
+  return ds;
+}
+
+Case1Features decode_case1(const std::vector<std::int64_t>& features) {
+  if (features.size() != 4) throw std::invalid_argument("case 1 expects 4 features");
+  Case1Features f;
+  f.budget_exp = static_cast<int>(features[0]);
+  f.workload = {features[1], features[2], features[3]};
+  return f;
+}
+
+// --------------------------------------------------------------- case 2
+
+Dataset generate_case2(std::size_t n, const BufferSizeSpace& space, const Simulator& sim,
+                       const Case2Config& cfg, std::uint64_t seed) {
+  Rng rng(seed);
+  LogUniformGemmSampler sampler(cfg.dims);
+
+  std::vector<Case2Features> inputs(n);
+  for (auto& in : inputs) {
+    in.workload = sampler.sample(rng);
+    // Array shape: split a random MAC exponent into row/col exponents.
+    const int macs_exp =
+        static_cast<int>(rng.uniform_int(cfg.array_macs_min_exp, cfg.array_macs_max_exp));
+    const int row_exp = static_cast<int>(rng.uniform_int(1, macs_exp - 1));
+    in.array.rows = pow2(row_exp);
+    in.array.cols = pow2(macs_exp - row_exp);
+    in.array.dataflow = dataflow_from_index(static_cast<int>(rng.uniform_int(0, 2)));
+    in.bandwidth = rng.uniform_int(cfg.bw_min, cfg.bw_max);
+    // Limit is quantized to the space's step so it is itself a legal size.
+    const std::int64_t steps_min = cfg.limit_min_kb / space.step_kb();
+    const std::int64_t steps_max = cfg.limit_max_kb / space.step_kb();
+    in.limit_kb = rng.uniform_int(steps_min, steps_max) * space.step_kb();
+  }
+
+  BufferSearch search(space, sim);
+  std::vector<std::int32_t> labels;
+  label_parallel(inputs, labels, [&](const Case2Features& in) {
+    return static_cast<std::int32_t>(
+        search.best(in.workload, in.array, in.bandwidth, in.limit_kb).label);
+  });
+
+  Dataset ds({"limit_kb", "M", "N", "K", "rows", "cols", "dataflow", "bandwidth"}, space.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& in = inputs[i];
+    ds.add({{in.limit_kb, in.workload.m, in.workload.n, in.workload.k, in.array.rows,
+             in.array.cols, dataflow_index(in.array.dataflow), in.bandwidth},
+            labels[i]});
+  }
+  return ds;
+}
+
+Case2Features decode_case2(const std::vector<std::int64_t>& features) {
+  if (features.size() != 8) throw std::invalid_argument("case 2 expects 8 features");
+  Case2Features f;
+  f.limit_kb = features[0];
+  f.workload = {features[1], features[2], features[3]};
+  f.array.rows = features[4];
+  f.array.cols = features[5];
+  f.array.dataflow = dataflow_from_index(static_cast<int>(features[6]));
+  f.bandwidth = features[7];
+  return f;
+}
+
+// --------------------------------------------------------------- case 3
+
+Dataset generate_case3(std::size_t n, const ScheduleSpace& space,
+                       const std::vector<ScheduledArray>& arrays, const Simulator& sim,
+                       const Case3Config& cfg, std::uint64_t seed) {
+  Rng rng(seed);
+  LogUniformGemmSampler sampler(cfg.dims);
+  const int w = space.num_arrays();
+
+  std::vector<std::vector<GemmWorkload>> inputs(n);
+  for (auto& in : inputs) in = sampler.sample_many(rng, static_cast<std::size_t>(w));
+
+  ScheduleSearch search(space, arrays, sim);
+  std::vector<std::int32_t> labels;
+  label_parallel(inputs, labels, [&](const std::vector<GemmWorkload>& wls) {
+    return static_cast<std::int32_t>(search.best(wls).label);
+  });
+
+  std::vector<std::string> names;
+  for (int i = 0; i < w; ++i) {
+    names.push_back("M" + std::to_string(i));
+    names.push_back("N" + std::to_string(i));
+    names.push_back("K" + std::to_string(i));
+  }
+  Dataset ds(names, space.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    DataPoint p;
+    for (const auto& wl : inputs[i]) {
+      p.features.push_back(wl.m);
+      p.features.push_back(wl.n);
+      p.features.push_back(wl.k);
+    }
+    p.label = labels[i];
+    ds.add(std::move(p));
+  }
+  return ds;
+}
+
+std::vector<GemmWorkload> decode_case3(const std::vector<std::int64_t>& features) {
+  if (features.size() % 3 != 0 || features.empty()) {
+    throw std::invalid_argument("case 3 features must be M,N,K triples");
+  }
+  std::vector<GemmWorkload> out;
+  for (std::size_t i = 0; i < features.size(); i += 3) {
+    out.push_back({features[i], features[i + 1], features[i + 2]});
+  }
+  return out;
+}
+
+}  // namespace airch

@@ -1,0 +1,81 @@
+#pragma once
+// Search-labelled dataset generators — the paper's Step 3 (Fig. 1(b)):
+// sample workloads/constraints from the Fig. 7(a)-style distribution, run
+// the conventional simulate-and-search optimizer, record (input, optimal
+// label). Feature layouts follow Fig. 8(a) exactly; decode helpers invert
+// them so evaluation code can re-simulate a prediction's true cost.
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/dataset.hpp"
+#include "search/exhaustive.hpp"
+#include "search/space.hpp"
+#include "sim/simulator.hpp"
+#include "workload/gemm.hpp"
+#include "workload/sampler.hpp"
+
+namespace airch {
+
+// --------------------------------------------------------------- case 1
+// Features: [mac_budget_exp, M, N, K]; label: ArrayDataflowSpace id.
+
+struct Case1Config {
+  int budget_min_exp = 5;
+  int budget_max_exp = 18;
+  GemmDimBounds dims;
+};
+
+struct Case1Features {
+  int budget_exp = 0;
+  GemmWorkload workload;
+};
+
+Dataset generate_case1(std::size_t n, const ArrayDataflowSpace& space, const Simulator& sim,
+                       const Case1Config& cfg, std::uint64_t seed);
+
+Case1Features decode_case1(const std::vector<std::int64_t>& features);
+
+// --------------------------------------------------------------- case 2
+// Features: [limit_kb, M, N, K, rows, cols, dataflow, bandwidth];
+// label: BufferSizeSpace id.
+
+struct Case2Config {
+  int array_macs_min_exp = 4;   ///< paper: arrays between 2^4 and 2^18 MACs
+  int array_macs_max_exp = 18;
+  std::int64_t bw_min = 1;      ///< bytes/cycle
+  std::int64_t bw_max = 100;
+  /// Total (shared) memory capacity feature range, multiples of the space
+  /// step. Must be at least 3x the step so some config is feasible.
+  std::int64_t limit_min_kb = 400;
+  std::int64_t limit_max_kb = 1800;
+  GemmDimBounds dims;
+};
+
+struct Case2Features {
+  std::int64_t limit_kb = 0;
+  GemmWorkload workload;
+  ArrayConfig array;
+  std::int64_t bandwidth = 0;
+};
+
+Dataset generate_case2(std::size_t n, const BufferSizeSpace& space, const Simulator& sim,
+                       const Case2Config& cfg, std::uint64_t seed);
+
+Case2Features decode_case2(const std::vector<std::int64_t>& features);
+
+// --------------------------------------------------------------- case 3
+// Features: [M,N,K] per workload (12 ints for 4 arrays); label:
+// ScheduleSpace id.
+
+struct Case3Config {
+  GemmDimBounds dims;
+};
+
+Dataset generate_case3(std::size_t n, const ScheduleSpace& space,
+                       const std::vector<ScheduledArray>& arrays, const Simulator& sim,
+                       const Case3Config& cfg, std::uint64_t seed);
+
+std::vector<GemmWorkload> decode_case3(const std::vector<std::int64_t>& features);
+
+}  // namespace airch

@@ -1,0 +1,25 @@
+#include "ml/activation.hpp"
+
+#include <cassert>
+
+namespace airch::ml {
+
+Matrix ReluLayer::forward(const Matrix& x, bool /*training*/) {
+  Matrix y = x;
+  mask_.resize(x.rows(), x.cols());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const bool pos = y.data()[i] > 0.0f;
+    mask_.data()[i] = pos ? 1.0f : 0.0f;
+    if (!pos) y.data()[i] = 0.0f;
+  }
+  return y;
+}
+
+Matrix ReluLayer::backward(const Matrix& grad_out) {
+  assert(grad_out.rows() == mask_.rows() && grad_out.cols() == mask_.cols());
+  Matrix g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i) g.data()[i] *= mask_.data()[i];
+  return g;
+}
+
+}  // namespace airch::ml

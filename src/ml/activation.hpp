@@ -1,0 +1,18 @@
+#pragma once
+// Stateless activation layers.
+
+#include "ml/layer.hpp"
+
+namespace airch::ml {
+
+class ReluLayer final : public Layer {
+ public:
+  Matrix forward(const Matrix& x, bool training) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::size_t output_dim(std::size_t input_dim) const override { return input_dim; }
+
+ private:
+  Matrix mask_;  // 1 where input > 0
+};
+
+}  // namespace airch::ml

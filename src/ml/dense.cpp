@@ -1,0 +1,48 @@
+#include "ml/dense.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace airch::ml {
+
+DenseLayer::DenseLayer(std::size_t in_dim, std::size_t out_dim, Rng& rng)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      w_(in_dim, out_dim),
+      b_(out_dim, 0.0f),
+      w_grad_(in_dim, out_dim),
+      b_grad_(out_dim, 0.0f) {
+  if (in_dim == 0 || out_dim == 0) throw std::invalid_argument("zero-sized dense layer");
+  w_.init_glorot(rng);
+}
+
+Matrix DenseLayer::forward(const Matrix& x, bool /*training*/) {
+  assert(x.cols() == in_dim_);
+  cached_input_ = x;
+  Matrix y(x.rows(), out_dim_);
+  matmul(x, false, w_, false, y);
+  add_row_broadcast(y, b_);
+  return y;
+}
+
+Matrix DenseLayer::backward(const Matrix& grad_out) {
+  assert(grad_out.rows() == cached_input_.rows() && grad_out.cols() == out_dim_);
+  // dW = x^T * dY ; db = column sums of dY ; dX = dY * W^T
+  matmul(cached_input_, true, grad_out, false, w_grad_);
+  column_sums(grad_out, b_grad_);
+  Matrix grad_in(grad_out.rows(), in_dim_);
+  matmul(grad_out, false, w_, true, grad_in);
+  return grad_in;
+}
+
+std::vector<ParamRef> DenseLayer::params() {
+  return {{w_.data(), w_grad_.data(), w_.size()}, {b_.data(), b_grad_.data(), b_.size()}};
+}
+
+std::size_t DenseLayer::output_dim(std::size_t input_dim) const {
+  assert(input_dim == in_dim_);
+  (void)input_dim;
+  return out_dim_;
+}
+
+}  // namespace airch::ml

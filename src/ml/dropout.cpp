@@ -1,0 +1,34 @@
+#include "ml/dropout.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace airch::ml {
+
+DropoutLayer::DropoutLayer(double rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
+  if (rate < 0.0 || rate >= 1.0) throw std::invalid_argument("dropout rate must be in [0, 1)");
+}
+
+Matrix DropoutLayer::forward(const Matrix& x, bool training) {
+  last_forward_training_ = training;
+  if (!training || rate_ == 0.0) return x;
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
+  mask_.resize(x.rows(), x.cols());
+  Matrix y = x;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const bool keep = rng_.uniform() >= rate_;
+    mask_.data()[i] = keep ? keep_scale : 0.0f;
+    y.data()[i] *= mask_.data()[i];
+  }
+  return y;
+}
+
+Matrix DropoutLayer::backward(const Matrix& grad_out) {
+  if (!last_forward_training_ || rate_ == 0.0) return grad_out;
+  assert(grad_out.rows() == mask_.rows() && grad_out.cols() == mask_.cols());
+  Matrix g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i) g.data()[i] *= mask_.data()[i];
+  return g;
+}
+
+}  // namespace airch::ml

@@ -1,0 +1,64 @@
+#include "ml/embedding.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace airch::ml {
+
+EmbeddingBag::EmbeddingBag(std::vector<int> vocab_sizes, std::size_t dim, Rng& rng)
+    : vocab_sizes_(std::move(vocab_sizes)), dim_(dim) {
+  if (vocab_sizes_.empty() || dim_ == 0) throw std::invalid_argument("empty embedding spec");
+  tables_.reserve(vocab_sizes_.size());
+  table_grads_.reserve(vocab_sizes_.size());
+  for (int vocab : vocab_sizes_) {
+    if (vocab < 1) throw std::invalid_argument("vocab size must be >= 1");
+    Matrix t(static_cast<std::size_t>(vocab), dim_);
+    t.init_glorot(rng);
+    tables_.push_back(std::move(t));
+    table_grads_.emplace_back(static_cast<std::size_t>(vocab), dim_);
+  }
+}
+
+Matrix EmbeddingBag::forward(const IntBatch& indices) {
+  assert(indices.cols == vocab_sizes_.size());
+  cached_indices_ = indices;
+  Matrix out(indices.rows, output_dim());
+  for (std::size_t r = 0; r < indices.rows; ++r) {
+    float* dst = out.row(r);
+    for (std::size_t f = 0; f < vocab_sizes_.size(); ++f) {
+      const int vocab = vocab_sizes_[f];
+      const auto idx = static_cast<std::size_t>(
+          std::clamp<std::int32_t>(indices(r, f), 0, vocab - 1));
+      const float* src = tables_[f].row(idx);
+      std::copy(src, src + dim_, dst + f * dim_);
+    }
+  }
+  return out;
+}
+
+void EmbeddingBag::backward(const Matrix& grad_out) {
+  assert(grad_out.rows() == cached_indices_.rows && grad_out.cols() == output_dim());
+  for (auto& g : table_grads_) g.fill(0.0f);
+  for (std::size_t r = 0; r < cached_indices_.rows; ++r) {
+    const float* src = grad_out.row(r);
+    for (std::size_t f = 0; f < vocab_sizes_.size(); ++f) {
+      const int vocab = vocab_sizes_[f];
+      const auto idx = static_cast<std::size_t>(
+          std::clamp<std::int32_t>(cached_indices_(r, f), 0, vocab - 1));
+      float* dst = table_grads_[f].row(idx);
+      for (std::size_t d = 0; d < dim_; ++d) dst[d] += src[f * dim_ + d];
+    }
+  }
+}
+
+std::vector<ParamRef> EmbeddingBag::params() {
+  std::vector<ParamRef> out;
+  out.reserve(tables_.size());
+  for (std::size_t f = 0; f < tables_.size(); ++f) {
+    out.push_back({tables_[f].data(), table_grads_[f].data(), tables_[f].size()});
+  }
+  return out;
+}
+
+}  // namespace airch::ml

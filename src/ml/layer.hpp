@@ -1,0 +1,38 @@
+#pragma once
+// Layer abstraction for the float part of a network (everything after the
+// embedding front-end). Layers cache whatever they need from forward() for
+// the subsequent backward(); one forward/backward pair per batch.
+
+#include <memory>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace airch::ml {
+
+/// A view of one trainable parameter tensor and its gradient, consumed by
+/// optimizers. The pointed-to storage lives inside the layer.
+struct ParamRef {
+  float* value = nullptr;
+  float* grad = nullptr;
+  std::size_t size = 0;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes layer output for `x` (batch rows).
+  virtual Matrix forward(const Matrix& x, bool training) = 0;
+
+  /// Given dL/d(output), accumulates parameter gradients and returns
+  /// dL/d(input). Must be called after forward() on the same batch.
+  virtual Matrix backward(const Matrix& grad_out) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<ParamRef> params() { return {}; }
+
+  virtual std::size_t output_dim(std::size_t input_dim) const = 0;
+};
+
+}  // namespace airch::ml

@@ -1,0 +1,71 @@
+#include "ml/loss.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace airch::ml {
+
+LossResult softmax_cross_entropy(const Matrix& logits, const std::vector<std::int32_t>& labels) {
+  assert(logits.rows() == labels.size());
+  const std::size_t batch = logits.rows();
+  const std::size_t classes = logits.cols();
+  LossResult r;
+  r.grad.resize(batch, classes);
+
+  double total_loss = 0.0;
+  for (std::size_t i = 0; i < batch; ++i) {
+    const float* row = logits.row(i);
+    float* grad_row = r.grad.row(i);
+    const float max_logit = *std::max_element(row, row + classes);
+
+    double denom = 0.0;
+    for (std::size_t j = 0; j < classes; ++j) denom += std::exp(static_cast<double>(row[j] - max_logit));
+
+    const auto label = static_cast<std::size_t>(labels[i]);
+    assert(label < classes);
+
+    std::size_t argmax = 0;
+    for (std::size_t j = 0; j < classes; ++j) {
+      const double p = std::exp(static_cast<double>(row[j] - max_logit)) / denom;
+      grad_row[j] = static_cast<float>(p / static_cast<double>(batch));
+      if (row[j] > row[argmax]) argmax = j;
+    }
+    grad_row[label] -= 1.0f / static_cast<float>(batch);
+
+    const double p_label =
+        std::exp(static_cast<double>(row[label] - max_logit)) / denom;
+    total_loss += -std::log(std::max(p_label, 1e-12));
+    if (argmax == label) ++r.correct;
+  }
+  r.loss = total_loss / static_cast<double>(batch);
+  return r;
+}
+
+void softmax_rows(Matrix& m) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    float* row = m.row(i);
+    const float max_logit = *std::max_element(row, row + m.cols());
+    double denom = 0.0;
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      row[j] = static_cast<float>(std::exp(static_cast<double>(row[j] - max_logit)));
+      denom += row[j];
+    }
+    for (std::size_t j = 0; j < m.cols(); ++j) row[j] = static_cast<float>(row[j] / denom);
+  }
+}
+
+std::vector<std::int32_t> argmax_rows(const Matrix& m) {
+  std::vector<std::int32_t> out(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const float* row = m.row(i);
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < m.cols(); ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[i] = static_cast<std::int32_t>(best);
+  }
+  return out;
+}
+
+}  // namespace airch::ml

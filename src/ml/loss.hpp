@@ -1,0 +1,27 @@
+#pragma once
+// Softmax + categorical cross-entropy (the paper's training loss), fused
+// for the numerically stable combined gradient (softmax - onehot) / batch.
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace airch::ml {
+
+struct LossResult {
+  double loss = 0.0;      ///< mean cross-entropy over the batch
+  Matrix grad;            ///< dL/dlogits, batch-mean scaled
+  std::size_t correct = 0;  ///< argmax == label count (for accuracy)
+};
+
+/// logits: batch x classes; labels: batch entries in [0, classes).
+LossResult softmax_cross_entropy(const Matrix& logits, const std::vector<std::int32_t>& labels);
+
+/// In-place row-wise softmax (used at inference for probability output).
+void softmax_rows(Matrix& m);
+
+/// Row-wise argmax.
+std::vector<std::int32_t> argmax_rows(const Matrix& m);
+
+}  // namespace airch::ml

@@ -1,0 +1,62 @@
+#include "ml/matrix.hpp"
+
+#include <cmath>
+
+namespace airch::ml {
+
+void Matrix::init_glorot(Rng& rng) {
+  const double limit = std::sqrt(6.0 / static_cast<double>(rows_ + cols_));
+  for (auto& v : data_) v = static_cast<float>(rng.uniform(-limit, limit));
+}
+
+void matmul(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b, Matrix& c,
+            float alpha, float beta) {
+  const std::size_t m = trans_a ? a.cols() : a.rows();
+  const std::size_t k = trans_a ? a.rows() : a.cols();
+  const std::size_t k2 = trans_b ? b.cols() : b.rows();
+  const std::size_t n = trans_b ? b.rows() : b.cols();
+  assert(k == k2);
+  (void)k2;
+  assert(c.rows() == m && c.cols() == n);
+
+  if (beta == 0.0f) {
+    c.fill(0.0f);
+  } else if (beta != 1.0f) {
+    for (std::size_t i = 0; i < c.size(); ++i) c.data()[i] *= beta;
+  }
+
+  // ikj loop order keeps the innermost accesses contiguous for the
+  // untransposed cases; the transposed variants fall back to strided reads
+  // of one operand, which is fine at classifier sizes.
+  for (std::size_t i = 0; i < m; ++i) {
+    float* c_row = c.row(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float a_val = alpha * (trans_a ? a(p, i) : a(i, p));
+      if (a_val == 0.0f) continue;
+      if (!trans_b) {
+        const float* b_row = b.row(p);
+        for (std::size_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
+      } else {
+        for (std::size_t j = 0; j < n; ++j) c_row[j] += a_val * b(j, p);
+      }
+    }
+  }
+}
+
+void add_row_broadcast(Matrix& y, const std::vector<float>& row) {
+  assert(row.size() == y.cols());
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    float* yr = y.row(i);
+    for (std::size_t j = 0; j < y.cols(); ++j) yr[j] += row[j];
+  }
+}
+
+void column_sums(const Matrix& m, std::vector<float>& out) {
+  out.assign(m.cols(), 0.0f);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const float* r = m.row(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) out[j] += r[j];
+  }
+}
+
+}  // namespace airch::ml

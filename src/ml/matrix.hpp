@@ -1,0 +1,66 @@
+#pragma once
+// Dense row-major float32 matrix — the numeric workhorse of the NN stack.
+// Sized for classifier training (batches of a few hundred by a few hundred
+// features): a cache-friendly ikj GEMM is all the performance this needs.
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace airch::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float value = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(std::size_t r) { return data_.data() + r * cols_; }
+  const float* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0f);
+  }
+
+  /// Glorot-uniform initialization for weight matrices.
+  void init_glorot(Rng& rng);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = alpha * op(A) * op(B) + beta * C, where op is optional transpose.
+/// Shapes are checked with assert; callers size C beforehand.
+void matmul(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b, Matrix& c,
+            float alpha = 1.0f, float beta = 0.0f);
+
+/// y += row_vector broadcast over rows of y (bias add).
+void add_row_broadcast(Matrix& y, const std::vector<float>& row);
+
+/// out[j] = sum over rows of m(:, j) (bias gradient reduction).
+void column_sums(const Matrix& m, std::vector<float>& out);
+
+}  // namespace airch::ml

@@ -1,0 +1,81 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace airch::ml {
+
+double topk_accuracy(const Matrix& scores, const std::vector<std::int32_t>& labels, int k) {
+  assert(scores.rows() == labels.size());
+  if (labels.empty()) return 0.0;
+  if (k < 1) throw std::invalid_argument("k must be >= 1");
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < scores.rows(); ++i) {
+    const float* row = scores.row(i);
+    const float label_score = row[static_cast<std::size_t>(labels[i])];
+    // The label is in the top k iff fewer than k scores strictly exceed it.
+    int better = 0;
+    for (std::size_t j = 0; j < scores.cols(); ++j) {
+      if (row[j] > label_score) ++better;
+    }
+    if (better < k) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(labels.size());
+}
+
+double jensen_shannon_divergence(const std::vector<std::int64_t>& hist_p,
+                                 const std::vector<std::int64_t>& hist_q) {
+  if (hist_p.size() != hist_q.size()) throw std::invalid_argument("histogram size mismatch");
+  const double sum_p = static_cast<double>(std::accumulate(hist_p.begin(), hist_p.end(), std::int64_t{0}));
+  const double sum_q = static_cast<double>(std::accumulate(hist_q.begin(), hist_q.end(), std::int64_t{0}));
+  if (sum_p <= 0.0 || sum_q <= 0.0) throw std::invalid_argument("empty histogram");
+  double js = 0.0;
+  for (std::size_t i = 0; i < hist_p.size(); ++i) {
+    const double p = static_cast<double>(hist_p[i]) / sum_p;
+    const double q = static_cast<double>(hist_q[i]) / sum_q;
+    const double m = 0.5 * (p + q);
+    if (p > 0.0) js += 0.5 * p * std::log(p / m);
+    if (q > 0.0) js += 0.5 * q * std::log(q / m);
+  }
+  return std::max(0.0, js);
+}
+
+std::vector<ClassCounts> confusion_counts(const std::vector<std::int32_t>& labels,
+                                          const std::vector<std::int32_t>& predictions,
+                                          int num_classes) {
+  if (labels.size() != predictions.size()) throw std::invalid_argument("length mismatch");
+  std::vector<ClassCounts> counts(static_cast<std::size_t>(num_classes));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const auto y = static_cast<std::size_t>(labels[i]);
+    const auto p = static_cast<std::size_t>(predictions[i]);
+    if (y >= counts.size() || p >= counts.size()) throw std::out_of_range("label out of range");
+    if (y == p) {
+      ++counts[y].tp;
+    } else {
+      ++counts[y].fn;
+      ++counts[p].fp;
+    }
+  }
+  return counts;
+}
+
+double macro_f1(const std::vector<std::int32_t>& labels,
+                const std::vector<std::int32_t>& predictions, int num_classes) {
+  const auto counts = confusion_counts(labels, predictions, num_classes);
+  double f1_sum = 0.0;
+  int present = 0;
+  for (const auto& c : counts) {
+    if (c.tp + c.fn == 0) continue;  // class absent from ground truth
+    ++present;
+    const double precision =
+        c.tp + c.fp > 0 ? static_cast<double>(c.tp) / static_cast<double>(c.tp + c.fp) : 0.0;
+    const double recall = static_cast<double>(c.tp) / static_cast<double>(c.tp + c.fn);
+    if (precision + recall > 0.0) f1_sum += 2.0 * precision * recall / (precision + recall);
+  }
+  return present > 0 ? f1_sum / present : 0.0;
+}
+
+}  // namespace airch::ml

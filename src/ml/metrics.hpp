@@ -1,0 +1,39 @@
+#pragma once
+// Classification metrics beyond plain accuracy, used by the evaluation
+// pipeline and the Fig. 10 analysis: top-k accuracy (for the hybrid
+// recommend-then-rerank mode), distribution divergence between actual and
+// predicted labels (quantifying Fig. 10(d-f) visually-matching claims),
+// and macro-averaged F1 (robust to the heavy class imbalance of DSE
+// label spaces).
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace airch::ml {
+
+/// Fraction of rows whose true label is among the k highest scores.
+/// scores: batch x classes; labels: batch entries.
+double topk_accuracy(const Matrix& scores, const std::vector<std::int32_t>& labels, int k);
+
+/// Symmetrised KL divergence (Jensen-Shannon, base-e, in [0, ln 2])
+/// between two label histograms. Histograms need not be normalized.
+double jensen_shannon_divergence(const std::vector<std::int64_t>& hist_p,
+                                 const std::vector<std::int64_t>& hist_q);
+
+/// Macro-averaged F1 over the classes that appear in `labels`.
+double macro_f1(const std::vector<std::int32_t>& labels,
+                const std::vector<std::int32_t>& predictions, int num_classes);
+
+/// Per-class confusion counts for one class: tp / fp / fn.
+struct ClassCounts {
+  std::int64_t tp = 0, fp = 0, fn = 0;
+};
+
+/// Confusion counts per class (size num_classes).
+std::vector<ClassCounts> confusion_counts(const std::vector<std::int32_t>& labels,
+                                          const std::vector<std::int32_t>& predictions,
+                                          int num_classes);
+
+}  // namespace airch::ml

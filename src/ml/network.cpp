@@ -1,0 +1,108 @@
+#include "ml/network.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "ml/activation.hpp"
+#include "ml/dropout.hpp"
+
+namespace airch::ml {
+
+Matrix Sequential::forward(const Matrix& x, bool training) {
+  Matrix cur = x;
+  for (auto& layer : layers_) cur = layer->forward(cur, training);
+  return cur;
+}
+
+Matrix Sequential::backward(const Matrix& grad_out) {
+  Matrix cur = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) cur = (*it)->backward(cur);
+  return cur;
+}
+
+std::vector<ParamRef> Sequential::params() {
+  std::vector<ParamRef> out;
+  for (auto& layer : layers_) {
+    auto p = layer->params();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+namespace {
+void build_body(Sequential& body, std::size_t in_dim, const std::vector<std::size_t>& hidden,
+                std::size_t classes, Rng& rng, double dropout) {
+  std::size_t cur = in_dim;
+  for (std::size_t h : hidden) {
+    body.add(std::make_unique<DenseLayer>(cur, h, rng));
+    body.add(std::make_unique<ReluLayer>());
+    if (dropout > 0.0) body.add(std::make_unique<DropoutLayer>(dropout, rng.next_u64()));
+    cur = h;
+  }
+  body.add(std::make_unique<DenseLayer>(cur, classes, rng));
+}
+}  // namespace
+
+FeedForwardNet::FeedForwardNet(std::vector<int> vocab_sizes, std::size_t embed_dim,
+                               const std::vector<std::size_t>& hidden, std::size_t classes,
+                               Rng& rng, double dropout)
+    : embedding_(std::make_unique<EmbeddingBag>(std::move(vocab_sizes), embed_dim, rng)),
+      classes_(classes) {
+  build_body(body_, embedding_->output_dim(), hidden, classes, rng, dropout);
+}
+
+FeedForwardNet::FeedForwardNet(std::size_t input_dim, const std::vector<std::size_t>& hidden,
+                               std::size_t classes, Rng& rng, double dropout)
+    : classes_(classes) {
+  build_body(body_, input_dim, hidden, classes, rng, dropout);
+}
+
+Matrix FeedForwardNet::logits(const IntBatch& x, bool training) {
+  if (!embedding_) throw std::logic_error("net has no embedding front-end");
+  return body_.forward(embedding_->forward(x), training);
+}
+
+Matrix FeedForwardNet::logits(const Matrix& x, bool training) {
+  if (embedding_) throw std::logic_error("net expects integer (embedding) input");
+  return body_.forward(x, training);
+}
+
+TrainStats FeedForwardNet::apply_loss_and_step(const Matrix& logits_out,
+                                               const std::vector<std::int32_t>& y,
+                                               Optimizer& opt) {
+  const LossResult lr = softmax_cross_entropy(logits_out, y);
+  const Matrix grad_in = body_.backward(lr.grad);
+  if (embedding_) embedding_->backward(grad_in);
+  opt.step(params());
+  return {lr.loss, lr.correct, y.size()};
+}
+
+TrainStats FeedForwardNet::train_batch(const IntBatch& x, const std::vector<std::int32_t>& y,
+                                       Optimizer& opt) {
+  assert(x.rows == y.size());
+  return apply_loss_and_step(logits(x, /*training=*/true), y, opt);
+}
+
+TrainStats FeedForwardNet::train_batch(const Matrix& x, const std::vector<std::int32_t>& y,
+                                       Optimizer& opt) {
+  assert(x.rows() == y.size());
+  return apply_loss_and_step(logits(x, /*training=*/true), y, opt);
+}
+
+std::vector<std::int32_t> FeedForwardNet::predict(const IntBatch& x) {
+  return argmax_rows(logits(x, /*training=*/false));
+}
+
+std::vector<std::int32_t> FeedForwardNet::predict(const Matrix& x) {
+  return argmax_rows(logits(x, /*training=*/false));
+}
+
+std::vector<ParamRef> FeedForwardNet::params() {
+  std::vector<ParamRef> out;
+  if (embedding_) out = embedding_->params();
+  auto body = body_.params();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+}  // namespace airch::ml

@@ -1,0 +1,77 @@
+#pragma once
+// Sequential float network, plus FeedForwardNet: the complete classifier
+// body used by both the paper's MLP baselines (float input) and
+// AIRCHITECT (per-feature embedding input, Fig. 2).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/dense.hpp"
+#include "ml/embedding.hpp"
+#include "ml/layer.hpp"
+#include "ml/loss.hpp"
+#include "ml/optimizer.hpp"
+
+namespace airch::ml {
+
+class Sequential {
+ public:
+  void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+
+  Matrix forward(const Matrix& x, bool training);
+  /// Backward through all layers; returns dL/d(input of first layer).
+  Matrix backward(const Matrix& grad_out);
+  std::vector<ParamRef> params();
+  std::size_t num_layers() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+struct TrainStats {
+  double loss = 0.0;
+  std::size_t correct = 0;
+  std::size_t count = 0;
+};
+
+/// MLP classifier with either a float input or an embedding front-end.
+class FeedForwardNet {
+ public:
+  /// Embedding-input variant (AIRCHITECT): per-feature vocabularies,
+  /// an embedding width, then hidden ReLU layers and a logits layer.
+  /// dropout > 0 inserts inverted-dropout after every hidden activation.
+  FeedForwardNet(std::vector<int> vocab_sizes, std::size_t embed_dim,
+                 const std::vector<std::size_t>& hidden, std::size_t classes, Rng& rng,
+                 double dropout = 0.0);
+
+  /// Float-input variant (MLP-A..D baselines).
+  FeedForwardNet(std::size_t input_dim, const std::vector<std::size_t>& hidden,
+                 std::size_t classes, Rng& rng, double dropout = 0.0);
+
+  bool has_embedding() const { return embedding_ != nullptr; }
+  std::size_t num_classes() const { return classes_; }
+
+  /// Forward to logits. Exactly one of these is legal per variant.
+  Matrix logits(const IntBatch& x, bool training);
+  Matrix logits(const Matrix& x, bool training);
+
+  /// One SGD step on a batch; returns loss/accuracy stats.
+  TrainStats train_batch(const IntBatch& x, const std::vector<std::int32_t>& y, Optimizer& opt);
+  TrainStats train_batch(const Matrix& x, const std::vector<std::int32_t>& y, Optimizer& opt);
+
+  std::vector<std::int32_t> predict(const IntBatch& x);
+  std::vector<std::int32_t> predict(const Matrix& x);
+
+  std::vector<ParamRef> params();
+
+ private:
+  TrainStats apply_loss_and_step(const Matrix& logits_out, const std::vector<std::int32_t>& y,
+                                 Optimizer& opt);
+
+  std::unique_ptr<EmbeddingBag> embedding_;
+  Sequential body_;
+  std::size_t classes_ = 0;
+};
+
+}  // namespace airch::ml

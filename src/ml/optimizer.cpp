@@ -1,0 +1,76 @@
+#include "ml/optimizer.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace airch::ml {
+
+void Sgd::step(const std::vector<ParamRef>& params) {
+  for (const auto& p : params) {
+    for (std::size_t i = 0; i < p.size; ++i) {
+      p.value[i] -= static_cast<float>(lr_) * p.grad[i];
+    }
+  }
+}
+
+void SgdMomentum::step(const std::vector<ParamRef>& params) {
+  if (velocity_.empty()) {
+    velocity_.reserve(params.size());
+    for (const auto& p : params) velocity_.emplace_back(p.size, 0.0f);
+  }
+  if (velocity_.size() != params.size()) throw std::logic_error("parameter list changed");
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    const auto& p = params[k];
+    auto& vel = velocity_[k];
+    assert(vel.size() == p.size);
+    for (std::size_t i = 0; i < p.size; ++i) {
+      vel[i] = static_cast<float>(momentum_) * vel[i] - static_cast<float>(lr_) * p.grad[i];
+      p.value[i] += vel[i];
+    }
+  }
+}
+
+void Adam::step(const std::vector<ParamRef>& params) {
+  if (m_.empty()) {
+    m_.reserve(params.size());
+    v_.reserve(params.size());
+    for (const auto& p : params) {
+      m_.emplace_back(p.size, 0.0f);
+      v_.emplace_back(p.size, 0.0f);
+    }
+  }
+  if (m_.size() != params.size()) throw std::logic_error("parameter list changed");
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, t_);
+  const double bias2 = 1.0 - std::pow(beta2_, t_);
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    const auto& p = params[k];
+    auto& m = m_[k];
+    auto& v = v_[k];
+    assert(m.size() == p.size);
+    for (std::size_t i = 0; i < p.size; ++i) {
+      const double g = p.grad[i];
+      m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * g);
+      v[i] = static_cast<float>(beta2_ * v[i] + (1.0 - beta2_) * g * g);
+      const double m_hat = m[i] / bias1;
+      const double v_hat = v[i] / bias2;
+      p.value[i] -= static_cast<float>(lr_ * m_hat / (std::sqrt(v_hat) + eps_));
+    }
+  }
+}
+
+double ExponentialDecaySchedule::operator()(int epoch) const {
+  if (epoch < 1) throw std::invalid_argument("epoch is 1-based");
+  return initial * std::pow(decay, epoch - 1);
+}
+
+double CosineSchedule::operator()(int epoch) const {
+  if (epoch < 1) throw std::invalid_argument("epoch is 1-based");
+  if (total_epochs <= 1) return epoch <= 1 ? initial : floor;
+  const double progress =
+      std::min(1.0, static_cast<double>(epoch - 1) / static_cast<double>(total_epochs - 1));
+  return floor + 0.5 * (initial - floor) * (1.0 + std::cos(progress * M_PI));
+}
+
+}  // namespace airch::ml

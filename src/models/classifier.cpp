@@ -1,0 +1,15 @@
+#include "models/classifier.hpp"
+
+namespace airch {
+
+double Classifier::accuracy(const Dataset& ds, const FeatureEncoder& enc) {
+  if (ds.empty()) return 0.0;
+  const auto preds = predict(ds, enc);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (preds[i] == ds[i].label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(ds.size());
+}
+
+}  // namespace airch

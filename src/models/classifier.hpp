@@ -1,0 +1,43 @@
+#pragma once
+// Common interface over every classifier evaluated in the paper's Fig. 9:
+// the off-the-shelf baselines (SVCs, boosted trees, MLP-A..D) and
+// AIRCHITECT itself. A classifier is fitted against a FeatureEncoder-
+// prepared dataset and predicts output-space labels.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataset/dataset.hpp"
+#include "dataset/encoding.hpp"
+
+namespace airch {
+
+/// Per-epoch training telemetry (single entry for non-iterative models).
+struct EpochStats {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+  double val_accuracy = 0.0;
+};
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Trains on `train`, monitoring `val`; returns the training history.
+  /// `enc` must have been fitted on `train`.
+  virtual std::vector<EpochStats> fit(const Dataset& train, const Dataset& val,
+                                      const FeatureEncoder& enc) = 0;
+
+  /// Predicts labels for every point of `ds`.
+  virtual std::vector<std::int32_t> predict(const Dataset& ds, const FeatureEncoder& enc) = 0;
+
+  /// Convenience: fraction of points whose prediction matches the label.
+  double accuracy(const Dataset& ds, const FeatureEncoder& enc);
+};
+
+}  // namespace airch

@@ -1,0 +1,263 @@
+#include "models/gbt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/parallel.hpp"
+
+namespace airch {
+
+float GbtClassifier::Tree::predict(const std::int32_t* buckets) const {
+  int cur = 0;
+  while (!nodes[static_cast<std::size_t>(cur)].is_leaf) {
+    const Node& n = nodes[static_cast<std::size_t>(cur)];
+    cur = buckets[n.feature] <= n.threshold ? n.left : n.right;
+  }
+  return nodes[static_cast<std::size_t>(cur)].value;
+}
+
+namespace {
+struct SplitChoice {
+  double gain = 0.0;
+  int feature = -1;
+  std::int32_t threshold = 0;
+};
+}  // namespace
+
+GbtClassifier::Tree GbtClassifier::fit_tree(const std::vector<std::int32_t>& buckets,
+                                            std::size_t num_features,
+                                            const std::vector<int>& vocab,
+                                            const std::vector<float>& grad,
+                                            const std::vector<float>& hess,
+                                            std::vector<std::size_t>& indices) const {
+  Tree tree;
+
+  // Recursive partitioning over `indices` in-place; work stack of
+  // (node id, begin, end, depth).
+  struct Work {
+    int node;
+    std::size_t begin, end;
+    int depth;
+  };
+  tree.nodes.push_back({});
+  std::vector<Work> stack{{0, 0, indices.size(), 0}};
+
+  while (!stack.empty()) {
+    const Work w = stack.back();
+    stack.pop_back();
+
+    double g_sum = 0.0, h_sum = 0.0;
+    for (std::size_t i = w.begin; i < w.end; ++i) {
+      g_sum += grad[indices[i]];
+      h_sum += hess[indices[i]];
+    }
+    const double parent_score = g_sum * g_sum / (h_sum + options_.lambda);
+
+    auto make_leaf = [&] {
+      tree.nodes[static_cast<std::size_t>(w.node)].is_leaf = true;
+      tree.nodes[static_cast<std::size_t>(w.node)].value =
+          static_cast<float>(-g_sum / (h_sum + options_.lambda));
+    };
+
+    if (w.depth >= options_.max_depth || w.end - w.begin < 2 * options_.min_node_size) {
+      make_leaf();
+      continue;
+    }
+
+    // Histogram split search over all features and bucket thresholds.
+    SplitChoice best;
+    std::vector<double> g_hist, h_hist;
+    std::vector<std::size_t> c_hist;
+    for (std::size_t f = 0; f < num_features; ++f) {
+      const auto nb = static_cast<std::size_t>(vocab[f]);
+      if (nb < 2) continue;
+      g_hist.assign(nb, 0.0);
+      h_hist.assign(nb, 0.0);
+      c_hist.assign(nb, 0);
+      for (std::size_t i = w.begin; i < w.end; ++i) {
+        const std::size_t row = indices[i];
+        const auto b = static_cast<std::size_t>(buckets[row * num_features + f]);
+        g_hist[b] += grad[row];
+        h_hist[b] += hess[row];
+        ++c_hist[b];
+      }
+      double g_left = 0.0, h_left = 0.0;
+      std::size_t c_left = 0;
+      for (std::size_t t = 0; t + 1 < nb; ++t) {
+        g_left += g_hist[t];
+        h_left += h_hist[t];
+        c_left += c_hist[t];
+        const std::size_t c_right = (w.end - w.begin) - c_left;
+        if (c_left < options_.min_node_size || c_right < options_.min_node_size) continue;
+        const double g_right = g_sum - g_left;
+        const double h_right = h_sum - h_left;
+        const double gain = g_left * g_left / (h_left + options_.lambda) +
+                            g_right * g_right / (h_right + options_.lambda) - parent_score -
+                            options_.gamma;
+        if (gain > best.gain) {
+          best = {gain, static_cast<int>(f), static_cast<std::int32_t>(t)};
+        }
+      }
+    }
+
+    if (best.feature < 0) {
+      make_leaf();
+      continue;
+    }
+
+    // Partition indices by the chosen split.
+    const auto mid = static_cast<std::size_t>(
+        std::partition(indices.begin() + static_cast<std::ptrdiff_t>(w.begin),
+                       indices.begin() + static_cast<std::ptrdiff_t>(w.end),
+                       [&](std::size_t row) {
+                         return buckets[row * num_features +
+                                        static_cast<std::size_t>(best.feature)] <= best.threshold;
+                       }) -
+        indices.begin());
+
+    const int left = static_cast<int>(tree.nodes.size());
+    const int right = left + 1;
+    tree.nodes.push_back({});  // may reallocate: take the node reference after
+    tree.nodes.push_back({});
+    Node& node = tree.nodes[static_cast<std::size_t>(w.node)];
+    node.is_leaf = false;
+    node.feature = best.feature;
+    node.threshold = best.threshold;
+    node.left = left;
+    node.right = right;
+    stack.push_back({left, w.begin, mid, w.depth + 1});
+    stack.push_back({right, mid, w.end, w.depth + 1});
+  }
+  return tree;
+}
+
+std::vector<EpochStats> GbtClassifier::fit(const Dataset& train, const Dataset& val,
+                                           const FeatureEncoder& enc) {
+  classes_ = train.num_classes();
+  rounds_.clear();
+  const auto nf = static_cast<std::size_t>(train.num_features());
+  const std::vector<int> vocab = enc.vocab_sizes();
+
+  // Optional subsample: K-class boosting cost scales with n * K.
+  Rng rng(options_.seed);
+  std::vector<std::size_t> keep(train.size());
+  std::iota(keep.begin(), keep.end(), 0);
+  if (train.size() > options_.max_train_points) {
+    rng.shuffle(keep);
+    keep.resize(options_.max_train_points);
+  }
+  const std::size_t n = keep.size();
+
+  // Pre-bucketize once.
+  std::vector<std::int32_t> buckets(n * nf);
+  std::vector<std::int32_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& p = train[keep[i]];
+    labels[i] = p.label;
+    for (std::size_t f = 0; f < nf; ++f) {
+      buckets[i * nf + f] = enc.bucket(static_cast<int>(f), p.features[f]);
+    }
+  }
+
+  const auto k = static_cast<std::size_t>(classes_);
+  std::vector<float> scores(n * k, 0.0f);
+  std::vector<float> prob(n * k);
+  std::vector<float> grad(n), hess(n);
+
+  std::vector<EpochStats> history;
+  for (int round = 1; round <= options_.rounds; ++round) {
+    // Softmax over current scores.
+    double loss_sum = 0.0;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* s = &scores[i * k];
+      float* p = &prob[i * k];
+      const float mx = *std::max_element(s, s + k);
+      double denom = 0.0;
+      for (std::size_t c = 0; c < k; ++c) denom += std::exp(static_cast<double>(s[c] - mx));
+      std::size_t argmax = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        p[c] = static_cast<float>(std::exp(static_cast<double>(s[c] - mx)) / denom);
+        if (s[c] > s[argmax]) argmax = c;
+      }
+      const auto y = static_cast<std::size_t>(labels[i]);
+      loss_sum += -std::log(std::max<double>(p[y], 1e-12));
+      if (argmax == y) ++correct;
+    }
+
+    // One tree per class, parallel across classes.
+    std::vector<Tree> round_trees(k);
+    std::vector<std::vector<float>> class_grad(k), class_hess(k);
+    for (std::size_t c = 0; c < k; ++c) {
+      class_grad[c].resize(n);
+      class_hess[c].resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const float p = prob[i * k + c];
+        const float y = labels[i] == static_cast<std::int32_t>(c) ? 1.0f : 0.0f;
+        class_grad[c][i] = p - y;
+        class_hess[c][i] = std::max(p * (1.0f - p), 1e-6f);
+      }
+    }
+    parallel_for(k, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t c = begin; c < end; ++c) {
+        std::vector<std::size_t> idx(n);
+        std::iota(idx.begin(), idx.end(), 0);
+        round_trees[c] = fit_tree(buckets, nf, vocab, class_grad[c], class_hess[c], idx);
+      }
+    });
+
+    // Update scores with shrinkage.
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int32_t* row = &buckets[i * nf];
+      for (std::size_t c = 0; c < k; ++c) {
+        scores[i * k + c] += static_cast<float>(options_.learning_rate) *
+                             round_trees[c].predict(row);
+      }
+    }
+    rounds_.push_back(std::move(round_trees));
+
+    EpochStats es;
+    es.epoch = round;
+    es.train_loss = n ? loss_sum / static_cast<double>(n) : 0.0;
+    es.train_accuracy = n ? static_cast<double>(correct) / static_cast<double>(n) : 0.0;
+    es.val_accuracy =
+        (!val.empty() && round == options_.rounds) ? accuracy(val, enc) : 0.0;
+    history.push_back(es);
+  }
+  return history;
+}
+
+std::vector<std::int32_t> GbtClassifier::predict(const Dataset& ds, const FeatureEncoder& enc) {
+  if (rounds_.empty()) throw std::logic_error("predict before fit");
+  const auto nf = static_cast<std::size_t>(ds.num_features());
+  const auto k = static_cast<std::size_t>(classes_);
+  std::vector<std::int32_t> out(ds.size());
+  parallel_for(ds.size(), [&](std::size_t begin, std::size_t end) {
+    std::vector<std::int32_t> row(nf);
+    std::vector<float> score(k);
+    for (std::size_t i = begin; i < end; ++i) {
+      for (std::size_t f = 0; f < nf; ++f) {
+        row[f] = enc.bucket(static_cast<int>(f), ds[i].features[f]);
+      }
+      std::fill(score.begin(), score.end(), 0.0f);
+      for (const auto& trees : rounds_) {
+        for (std::size_t c = 0; c < k; ++c) {
+          score[c] += static_cast<float>(options_.learning_rate) * trees[c].predict(row.data());
+        }
+      }
+      out[i] = static_cast<std::int32_t>(
+          std::max_element(score.begin(), score.end()) - score.begin());
+    }
+  });
+  return out;
+}
+
+std::unique_ptr<GbtClassifier> make_xgboost_like(std::uint64_t seed) {
+  GbtClassifier::Options o;
+  o.seed = seed;
+  return std::make_unique<GbtClassifier>("XGBoost", o);
+}
+
+}  // namespace airch

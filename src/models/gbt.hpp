@@ -1,0 +1,61 @@
+#pragma once
+// Gradient-boosted decision trees with a softmax multiclass objective —
+// our from-scratch stand-in for the paper's XGBoost baseline. Second-order
+// (gradient + hessian) boosting with histogram split finding over the
+// FeatureEncoder's bucketized features, depth-limited trees, and shrinkage.
+
+#include <cstdint>
+#include <vector>
+
+#include "models/classifier.hpp"
+
+namespace airch {
+
+class GbtClassifier final : public Classifier {
+ public:
+  struct Options {
+    int rounds = 10;          ///< boosting rounds (one tree per class each)
+    int max_depth = 4;
+    double learning_rate = 0.3;
+    double lambda = 1.0;      ///< L2 on leaf weights
+    double gamma = 0.0;       ///< minimum split gain
+    std::size_t min_node_size = 16;
+    std::size_t max_train_points = 50000;  ///< subsample cap (keeps K-class boosting tractable)
+    std::uint64_t seed = 1;
+  };
+
+  GbtClassifier(std::string name, Options options)
+      : name_(std::move(name)), options_(options) {}
+
+  std::string name() const override { return name_; }
+  std::vector<EpochStats> fit(const Dataset& train, const Dataset& val,
+                              const FeatureEncoder& enc) override;
+  std::vector<std::int32_t> predict(const Dataset& ds, const FeatureEncoder& enc) override;
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    int feature = -1;
+    std::int32_t threshold = 0;  ///< go left if bucket <= threshold
+    int left = -1;
+    int right = -1;
+    float value = 0.0f;
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+    float predict(const std::int32_t* buckets) const;
+  };
+
+  Tree fit_tree(const std::vector<std::int32_t>& buckets, std::size_t num_features,
+                const std::vector<int>& vocab, const std::vector<float>& grad,
+                const std::vector<float>& hess, std::vector<std::size_t>& indices) const;
+
+  std::string name_;
+  Options options_;
+  int classes_ = 0;
+  std::vector<std::vector<Tree>> rounds_;  // rounds_[r][k] = tree for class k
+};
+
+std::unique_ptr<GbtClassifier> make_xgboost_like(std::uint64_t seed = 1);
+
+}  // namespace airch

@@ -1,0 +1,220 @@
+#include "models/neural.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+namespace airch {
+
+namespace {
+constexpr std::size_t kPredictChunk = 2048;
+}
+
+std::vector<EpochStats> NeuralClassifier::fit(const Dataset& train, const Dataset& val,
+                                              const FeatureEncoder& enc) {
+  Rng rng(options_.seed);
+  fitted_input_dim_ = static_cast<std::size_t>(train.num_features());
+  fitted_vocab_ = uses_embedding() ? enc.vocab_sizes() : std::vector<int>{};
+  build_net(static_cast<std::size_t>(train.num_classes()), fitted_input_dim_, fitted_vocab_);
+  ml::Adam opt(options_.learning_rate);
+
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<EpochStats> history;
+  double best_val = -1.0;
+  int epochs_since_best = 0;
+  const ml::ExponentialDecaySchedule lr_schedule{options_.learning_rate, options_.lr_decay};
+  for (int epoch = 1; epoch <= options_.epochs; ++epoch) {
+    opt.set_learning_rate(lr_schedule(epoch));
+    rng.shuffle(order);
+    double loss_sum = 0.0;
+    std::size_t correct = 0;
+    std::size_t seen = 0;
+    for (std::size_t begin = 0; begin < train.size(); begin += options_.batch_size) {
+      const std::size_t end = std::min(train.size(), begin + options_.batch_size);
+      std::vector<std::int32_t> labels(end - begin);
+      for (std::size_t i = begin; i < end; ++i) labels[i - begin] = train[order[i]].label;
+      ml::TrainStats stats;
+      if (uses_embedding()) {
+        stats = net_->train_batch(enc.encode_int_gather(train, order, begin, end), labels, opt);
+      } else {
+        stats = net_->train_batch(enc.encode_float_gather(train, order, begin, end), labels, opt);
+      }
+      loss_sum += stats.loss * static_cast<double>(stats.count);
+      correct += stats.correct;
+      seen += stats.count;
+    }
+    const bool need_val = !val.empty() && (options_.early_stop_patience > 0 ||
+                                           epoch % options_.log_every_epochs == 0 ||
+                                           epoch == options_.epochs);
+    const double val_acc = need_val ? accuracy(val, enc) : 0.0;
+    if (epoch % options_.log_every_epochs == 0 || epoch == options_.epochs) {
+      EpochStats es;
+      es.epoch = epoch;
+      es.train_loss = seen ? loss_sum / static_cast<double>(seen) : 0.0;
+      es.train_accuracy = seen ? static_cast<double>(correct) / static_cast<double>(seen) : 0.0;
+      es.val_accuracy = val_acc;
+      history.push_back(es);
+    }
+    if (options_.early_stop_patience > 0 && !val.empty()) {
+      if (val_acc > best_val) {
+        best_val = val_acc;
+        epochs_since_best = 0;
+      } else if (++epochs_since_best >= options_.early_stop_patience) {
+        break;  // the paper's case 2 overfits past ~22 epochs; stop here
+      }
+    }
+  }
+  return history;
+}
+
+std::vector<std::int32_t> NeuralClassifier::predict(const Dataset& ds, const FeatureEncoder& enc) {
+  if (!net_) throw std::logic_error("predict before fit");
+  std::vector<std::int32_t> out;
+  out.reserve(ds.size());
+  for (std::size_t begin = 0; begin < ds.size(); begin += kPredictChunk) {
+    const std::size_t end = std::min(ds.size(), begin + kPredictChunk);
+    std::vector<std::int32_t> chunk;
+    if (uses_embedding()) {
+      chunk = net_->predict(enc.encode_int(ds, begin, end));
+    } else {
+      chunk = net_->predict(enc.encode_float(ds, begin, end));
+    }
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  }
+  return out;
+}
+
+std::vector<float> NeuralClassifier::predict_proba(const std::vector<std::int64_t>& features,
+                                                   const FeatureEncoder& enc) {
+  if (!net_) throw std::logic_error("predict before fit");
+  ml::Matrix logits = uses_embedding() ? net_->logits(enc.encode_int(features), false)
+                                       : net_->logits(enc.encode_float(features), false);
+  ml::softmax_rows(logits);
+  return std::vector<float>(logits.row(0), logits.row(0) + logits.cols());
+}
+
+void NeuralClassifier::build_net(std::size_t classes, std::size_t input_dim,
+                                 const std::vector<int>& vocab) {
+  Rng rng(options_.seed);
+  if (uses_embedding()) {
+    net_ = std::make_unique<ml::FeedForwardNet>(vocab, options_.embed_dim, options_.hidden,
+                                                classes, rng, options_.dropout);
+  } else {
+    net_ = std::make_unique<ml::FeedForwardNet>(input_dim, options_.hidden, classes, rng,
+                                                options_.dropout);
+  }
+}
+
+void NeuralClassifier::save(std::ostream& os) const {
+  if (!net_) throw std::logic_error("save before fit");
+  os << "neural-classifier v1\n";
+  os << name_ << '\n';
+  os.precision(17);
+  os << options_.embed_dim << ' ' << options_.hidden.size();
+  for (auto h : options_.hidden) os << ' ' << h;
+  os << ' ' << options_.learning_rate << ' ' << options_.dropout << ' ' << options_.seed << '\n';
+  os << net_->num_classes() << ' ' << fitted_input_dim_ << ' ' << fitted_vocab_.size();
+  for (auto v : fitted_vocab_) os << ' ' << v;
+  os << '\n';
+  // Weights, one tensor per line. float -> text round-trips exactly at
+  // max_digits10 = 9 significant digits.
+  os.precision(9);
+  auto params = const_cast<NeuralClassifier*>(this)->net_->params();
+  os << params.size() << '\n';
+  for (const auto& p : params) {
+    os << p.size;
+    for (std::size_t i = 0; i < p.size; ++i) os << ' ' << p.value[i];
+    os << '\n';
+  }
+}
+
+std::unique_ptr<NeuralClassifier> NeuralClassifier::load(std::istream& is) {
+  std::string magic, version;
+  if (!(is >> magic >> version) || magic != "neural-classifier" || version != "v1") {
+    throw std::runtime_error("bad neural-classifier header");
+  }
+  std::string name;
+  if (!(is >> name)) throw std::runtime_error("bad classifier name");
+  Options o;
+  std::size_t hidden_count = 0;
+  if (!(is >> o.embed_dim >> hidden_count)) throw std::runtime_error("bad architecture");
+  o.hidden.resize(hidden_count);
+  for (auto& h : o.hidden) {
+    if (!(is >> h)) throw std::runtime_error("bad hidden dims");
+  }
+  if (!(is >> o.learning_rate >> o.dropout >> o.seed)) {
+    throw std::runtime_error("bad hyperparameters");
+  }
+
+  std::size_t classes = 0, input_dim = 0, vocab_count = 0;
+  if (!(is >> classes >> input_dim >> vocab_count)) throw std::runtime_error("bad shape line");
+  std::vector<int> vocab(vocab_count);
+  for (auto& v : vocab) {
+    if (!(is >> v)) throw std::runtime_error("bad vocab sizes");
+  }
+
+  auto clf = std::make_unique<NeuralClassifier>(name, o);
+  clf->fitted_input_dim_ = input_dim;
+  clf->fitted_vocab_ = vocab;
+  clf->build_net(classes, input_dim, vocab);
+
+  std::size_t param_count = 0;
+  if (!(is >> param_count)) throw std::runtime_error("bad parameter count");
+  auto params = clf->net_->params();
+  if (params.size() != param_count) throw std::runtime_error("parameter tensor count mismatch");
+  for (const auto& p : params) {
+    std::size_t size = 0;
+    if (!(is >> size) || size != p.size) throw std::runtime_error("parameter size mismatch");
+    for (std::size_t i = 0; i < p.size; ++i) {
+      if (!(is >> p.value[i])) throw std::runtime_error("truncated weights");
+    }
+  }
+  return clf;
+}
+
+std::unique_ptr<NeuralClassifier> make_mlp_a(std::uint64_t seed, int epochs) {
+  NeuralClassifier::Options o;
+  o.epochs = epochs;
+  o.hidden = {128};
+  o.seed = seed;
+  return std::make_unique<NeuralClassifier>("MLP-A", o);
+}
+
+std::unique_ptr<NeuralClassifier> make_mlp_b(std::uint64_t seed, int epochs) {
+  NeuralClassifier::Options o;
+  o.epochs = epochs;
+  o.hidden = {256};
+  o.seed = seed;
+  return std::make_unique<NeuralClassifier>("MLP-B", o);
+}
+
+std::unique_ptr<NeuralClassifier> make_mlp_c(std::uint64_t seed, int epochs) {
+  NeuralClassifier::Options o;
+  o.epochs = epochs;
+  o.hidden = {128, 128};
+  o.seed = seed;
+  return std::make_unique<NeuralClassifier>("MLP-C", o);
+}
+
+std::unique_ptr<NeuralClassifier> make_mlp_d(std::uint64_t seed, int epochs) {
+  NeuralClassifier::Options o;
+  o.epochs = epochs;
+  o.hidden = {256, 256};
+  o.seed = seed;
+  return std::make_unique<NeuralClassifier>("MLP-D", o);
+}
+
+std::unique_ptr<NeuralClassifier> make_airchitect(std::uint64_t seed, int epochs) {
+  NeuralClassifier::Options o;
+  o.hidden = {256};
+  o.embed_dim = 16;
+  o.epochs = epochs;
+  o.seed = seed;
+  return std::make_unique<NeuralClassifier>("AIrchitect", o);
+}
+
+}  // namespace airch

@@ -1,0 +1,71 @@
+#pragma once
+// Neural classifiers: the MLP-A..D baselines (standardized float input)
+// and AIRCHITECT (per-feature embedding input, paper Fig. 2). Both share
+// one mini-batch training loop; the input modality is selected by
+// Options::embed_dim (0 = float MLP, >0 = embedding front-end).
+
+#include <iosfwd>
+#include <memory>
+
+#include "ml/network.hpp"
+#include "models/classifier.hpp"
+
+namespace airch {
+
+class NeuralClassifier final : public Classifier {
+ public:
+  struct Options {
+    std::vector<std::size_t> hidden = {256};  ///< hidden layer widths
+    std::size_t embed_dim = 0;                ///< 0 = float input, >0 = embeddings
+    int epochs = 15;                          ///< paper trains ~15-22 epochs
+    std::size_t batch_size = 256;
+    double learning_rate = 1e-3;              ///< Adam
+    double lr_decay = 1.0;                    ///< per-epoch multiplicative decay
+    double dropout = 0.0;                     ///< hidden-layer dropout rate
+    int early_stop_patience = 0;              ///< stop after N epochs without
+                                              ///< val-accuracy improvement (0 = off)
+    std::uint64_t seed = 1;
+    int log_every_epochs = 1;                 ///< history granularity
+  };
+
+  NeuralClassifier(std::string name, Options options)
+      : name_(std::move(name)), options_(options) {}
+
+  std::string name() const override { return name_; }
+  std::vector<EpochStats> fit(const Dataset& train, const Dataset& val,
+                              const FeatureEncoder& enc) override;
+  std::vector<std::int32_t> predict(const Dataset& ds, const FeatureEncoder& enc) override;
+
+  /// Class-probability scores for one feature vector (inference path).
+  std::vector<float> predict_proba(const std::vector<std::int64_t>& features,
+                                   const FeatureEncoder& enc);
+
+  const Options& options() const { return options_; }
+
+  /// Text serialization of the fitted network (architecture + weights).
+  /// Throws std::logic_error before fit().
+  void save(std::ostream& os) const;
+  /// Rebuilds a fitted classifier saved with save().
+  static std::unique_ptr<NeuralClassifier> load(std::istream& is);
+
+ private:
+  bool uses_embedding() const { return options_.embed_dim > 0; }
+  void build_net(std::size_t classes, std::size_t input_dim, const std::vector<int>& vocab);
+
+  std::string name_;
+  Options options_;
+  std::unique_ptr<ml::FeedForwardNet> net_;
+  // Fit-time shape metadata, required to rebuild the net at load().
+  std::size_t fitted_input_dim_ = 0;
+  std::vector<int> fitted_vocab_;
+};
+
+/// Factory helpers matching the paper's model table (Fig. 9).
+std::unique_ptr<NeuralClassifier> make_mlp_a(std::uint64_t seed = 1, int epochs = 15);  ///< 1 x 128
+std::unique_ptr<NeuralClassifier> make_mlp_b(std::uint64_t seed = 1, int epochs = 15);  ///< 1 x 256
+std::unique_ptr<NeuralClassifier> make_mlp_c(std::uint64_t seed = 1, int epochs = 15);  ///< 2 x 128
+std::unique_ptr<NeuralClassifier> make_mlp_d(std::uint64_t seed = 1, int epochs = 15);  ///< 2 x 256
+/// AIRCHITECT: 16-wide embeddings + one 256-node hidden layer.
+std::unique_ptr<NeuralClassifier> make_airchitect(std::uint64_t seed = 1, int epochs = 15);
+
+}  // namespace airch

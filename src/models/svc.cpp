@@ -1,0 +1,148 @@
+#include "models/svc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "ml/loss.hpp"
+
+namespace airch {
+
+namespace {
+constexpr std::size_t kPredictChunk = 2048;
+}
+
+ml::Matrix SvcClassifier::transform(const ml::Matrix& x) const {
+  if (options_.rff_features == 0) return x;
+  // z(x) = sqrt(2/D) * cos(x W + b)
+  ml::Matrix proj(x.rows(), options_.rff_features);
+  ml::matmul(x, false, rff_w_, false, proj);
+  const float scale = std::sqrt(2.0f / static_cast<float>(options_.rff_features));
+  for (std::size_t i = 0; i < proj.rows(); ++i) {
+    float* row = proj.row(i);
+    for (std::size_t j = 0; j < proj.cols(); ++j) {
+      row[j] = scale * std::cos(row[j] + rff_b_[j]);
+    }
+  }
+  return proj;
+}
+
+std::vector<EpochStats> SvcClassifier::fit(const Dataset& train, const Dataset& val,
+                                           const FeatureEncoder& enc) {
+  Rng rng(options_.seed);
+  const auto classes = static_cast<std::size_t>(train.num_classes());
+  const auto input_dim = static_cast<std::size_t>(train.num_features());
+
+  if (options_.rff_features > 0) {
+    rff_w_.resize(input_dim, options_.rff_features);
+    const float w_scale = std::sqrt(2.0f * static_cast<float>(options_.rff_gamma));
+    for (std::size_t i = 0; i < rff_w_.size(); ++i) {
+      rff_w_.data()[i] = w_scale * static_cast<float>(rng.normal());
+    }
+    rff_b_.resize(options_.rff_features);
+    for (auto& b : rff_b_) b = static_cast<float>(rng.uniform(0.0, 2.0 * M_PI));
+  }
+  const std::size_t feat_dim = options_.rff_features > 0 ? options_.rff_features : input_dim;
+  w_.resize(feat_dim, classes);
+  b_.assign(classes, 0.0f);
+
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<EpochStats> history;
+  for (int epoch = 1; epoch <= options_.epochs; ++epoch) {
+    rng.shuffle(order);
+    const float lr =
+        static_cast<float>(options_.learning_rate / (1.0 + 0.5 * (epoch - 1)));
+    double loss_sum = 0.0;
+    std::size_t correct = 0;
+
+    for (std::size_t begin = 0; begin < train.size(); begin += options_.batch_size) {
+      const std::size_t end = std::min(train.size(), begin + options_.batch_size);
+      const ml::Matrix x = transform(enc.encode_float_gather(train, order, begin, end));
+      const std::size_t bs = end - begin;
+
+      ml::Matrix scores(bs, classes);
+      ml::matmul(x, false, w_, false, scores);
+      ml::add_row_broadcast(scores, b_);
+
+      // Crammer-Singer subgradient: push down the worst margin violator,
+      // push up the true class.
+      ml::Matrix grad_scores(bs, classes);  // zero-initialized
+      for (std::size_t i = 0; i < bs; ++i) {
+        const auto y = static_cast<std::size_t>(train[order[begin + i]].label);
+        const float* s = scores.row(i);
+        std::size_t worst = y == 0 ? 1 : 0;
+        for (std::size_t j = 0; j < classes; ++j) {
+          if (j != y && s[j] > s[worst]) worst = j;
+        }
+        const float violation = 1.0f + s[worst] - s[y];
+        if (violation > 0.0f) {
+          loss_sum += violation;
+          grad_scores(i, worst) = 1.0f / static_cast<float>(bs);
+          grad_scores(i, y) = -1.0f / static_cast<float>(bs);
+        }
+        std::size_t argmax = 0;
+        for (std::size_t j = 1; j < classes; ++j) {
+          if (s[j] > s[argmax]) argmax = j;
+        }
+        if (argmax == y) ++correct;
+      }
+
+      // W -= lr * (x^T grad_scores + l2 * W); b -= lr * colsum(grad_scores)
+      ml::Matrix w_grad(feat_dim, classes);
+      ml::matmul(x, true, grad_scores, false, w_grad);
+      const float decay = 1.0f - lr * static_cast<float>(options_.l2);
+      for (std::size_t i = 0; i < w_.size(); ++i) {
+        w_.data()[i] = w_.data()[i] * decay - lr * w_grad.data()[i];
+      }
+      std::vector<float> b_grad;
+      ml::column_sums(grad_scores, b_grad);
+      for (std::size_t j = 0; j < classes; ++j) b_[j] -= lr * b_grad[j];
+    }
+
+    EpochStats es;
+    es.epoch = epoch;
+    es.train_loss = train.size() ? loss_sum / static_cast<double>(train.size()) : 0.0;
+    es.train_accuracy =
+        train.size() ? static_cast<double>(correct) / static_cast<double>(train.size()) : 0.0;
+    es.val_accuracy = val.empty() ? 0.0 : accuracy(val, enc);
+    history.push_back(es);
+  }
+  return history;
+}
+
+std::vector<std::int32_t> SvcClassifier::predict_batch(const ml::Matrix& x) const {
+  ml::Matrix scores(x.rows(), w_.cols());
+  ml::matmul(x, false, w_, false, scores);
+  ml::add_row_broadcast(scores, b_);
+  return ml::argmax_rows(scores);
+}
+
+std::vector<std::int32_t> SvcClassifier::predict(const Dataset& ds, const FeatureEncoder& enc) {
+  if (w_.empty()) throw std::logic_error("predict before fit");
+  std::vector<std::int32_t> out;
+  out.reserve(ds.size());
+  for (std::size_t begin = 0; begin < ds.size(); begin += kPredictChunk) {
+    const std::size_t end = std::min(ds.size(), begin + kPredictChunk);
+    const auto chunk = predict_batch(transform(enc.encode_float(ds, begin, end)));
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  }
+  return out;
+}
+
+std::unique_ptr<SvcClassifier> make_svc_linear(std::uint64_t seed) {
+  SvcClassifier::Options o;
+  o.seed = seed;
+  return std::make_unique<SvcClassifier>("SVC-Linear", o);
+}
+
+std::unique_ptr<SvcClassifier> make_svc_rbf(std::uint64_t seed) {
+  SvcClassifier::Options o;
+  o.seed = seed;
+  o.rff_features = 512;
+  return std::make_unique<SvcClassifier>("SVC-RBF", o);
+}
+
+}  // namespace airch

@@ -1,0 +1,55 @@
+#pragma once
+// Support-vector classifiers from the paper's baseline table (Fig. 9):
+//
+//  * SVC-Linear — multiclass (Crammer-Singer) hinge loss trained with
+//    mini-batch subgradient descent and L2 regularization; the standard
+//    large-scale primal formulation of scikit-learn's LinearSVC.
+//  * SVC-RBF — the same linear machine on top of a random-Fourier-feature
+//    map (Rahimi & Recht), the standard scalable approximation of a
+//    radial-basis-kernel SVC. Exact kernel SVC is quadratic in dataset
+//    size and infeasible at the paper's 2x10^6 training points; this
+//    substitution is documented in DESIGN.md.
+
+#include "ml/matrix.hpp"
+#include "models/classifier.hpp"
+
+namespace airch {
+
+class SvcClassifier final : public Classifier {
+ public:
+  struct Options {
+    int epochs = 10;
+    std::size_t batch_size = 256;
+    double learning_rate = 0.05;
+    double l2 = 1e-5;
+    std::uint64_t seed = 1;
+    /// RBF approximation: number of random Fourier features (0 = linear).
+    std::size_t rff_features = 0;
+    double rff_gamma = 0.5;  ///< kernel width; features are standardized
+  };
+
+  SvcClassifier(std::string name, Options options)
+      : name_(std::move(name)), options_(options) {}
+
+  std::string name() const override { return name_; }
+  std::vector<EpochStats> fit(const Dataset& train, const Dataset& val,
+                              const FeatureEncoder& enc) override;
+  std::vector<std::int32_t> predict(const Dataset& ds, const FeatureEncoder& enc) override;
+
+ private:
+  /// Applies the (optional) RFF map to standardized features.
+  ml::Matrix transform(const ml::Matrix& x) const;
+  std::vector<std::int32_t> predict_batch(const ml::Matrix& x) const;
+
+  std::string name_;
+  Options options_;
+  ml::Matrix rff_w_;            // input_dim x rff_features
+  std::vector<float> rff_b_;    // rff_features
+  ml::Matrix w_;                // feature_dim x classes
+  std::vector<float> b_;        // classes
+};
+
+std::unique_ptr<SvcClassifier> make_svc_linear(std::uint64_t seed = 1);
+std::unique_ptr<SvcClassifier> make_svc_rbf(std::uint64_t seed = 1);
+
+}  // namespace airch

@@ -1,0 +1,41 @@
+#pragma once
+// Simulated-annealing search baseline — completes the classic search-family
+// trio (exhaustive, GA, RL) the benches compare against learned inference.
+// Standard geometric cooling over the case-1 design space with the same
+// neighbourhood moves as the GA's mutation operator.
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "search/space.hpp"
+#include "sim/simulator.hpp"
+#include "workload/gemm.hpp"
+
+namespace airch {
+
+struct AnnealingOptions {
+  int steps = 200;
+  double initial_temperature = 0.5;  ///< in units of relative cost
+  double cooling = 0.97;             ///< geometric decay per step
+  std::uint64_t seed = 1;
+};
+
+class AnnealingArrayDataflowSearch {
+ public:
+  AnnealingArrayDataflowSearch(const ArrayDataflowSpace& space, const Simulator& sim)
+      : space_(&space), sim_(&sim) {}
+
+  struct Result {
+    int label = -1;
+    std::int64_t cycles = 0;
+    std::size_t evaluations = 0;
+  };
+
+  Result best(const GemmWorkload& w, int budget_exp, const AnnealingOptions& options = {}) const;
+
+ private:
+  const ArrayDataflowSpace* space_;
+  const Simulator* sim_;
+};
+
+}  // namespace airch

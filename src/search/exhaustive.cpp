@@ -1,0 +1,168 @@
+#include "search/exhaustive.hpp"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+#include "common/math_utils.hpp"
+
+namespace airch {
+
+// ---------------------------------------------------------------- case 1
+
+ArrayDataflowSearch::Result ArrayDataflowSearch::best(const GemmWorkload& w,
+                                                      int budget_exp) const {
+  assert(w.valid());
+  Result best{-1, std::numeric_limits<std::int64_t>::max()};
+  const std::int64_t budget = pow2(std::min(budget_exp, 62));
+  for (int label = 0; label < space_->size(); ++label) {
+    const ArrayConfig& c = space_->config(label);
+    if (c.macs() > budget) continue;
+    const std::int64_t cycles = sim_->compute_cycles(w, c);
+    // Ties prefer the smaller array (fewer MACs), then the lower label.
+    if (cycles < best.cycles ||
+        (cycles == best.cycles && best.label >= 0 &&
+         c.macs() < space_->config(best.label).macs())) {
+      best = {label, cycles};
+    }
+  }
+  if (best.label < 0) throw std::invalid_argument("MAC budget below smallest array in space");
+  return best;
+}
+
+ArrayDataflowSearch::ObjectiveResult ArrayDataflowSearch::best_with_objective(
+    const GemmWorkload& w, int budget_exp, const ObjectiveEvaluator& evaluator,
+    Objective objective) const {
+  assert(w.valid());
+  ObjectiveResult best{-1, std::numeric_limits<double>::max()};
+  const std::int64_t budget = pow2(std::min(budget_exp, 62));
+  for (int label = 0; label < space_->size(); ++label) {
+    const ArrayConfig& c = space_->config(label);
+    if (c.macs() > budget) continue;
+    const double cost = evaluator.cost(w, c, objective);
+    if (cost < best.cost) best = {label, cost};
+  }
+  if (best.label < 0) throw std::invalid_argument("MAC budget below smallest array in space");
+  return best;
+}
+
+std::int64_t ArrayDataflowSearch::cycles_of(const GemmWorkload& w, int label) const {
+  return sim_->compute_cycles(w, space_->config(label));
+}
+
+// ---------------------------------------------------------------- case 2
+
+BufferSearch::Result BufferSearch::best(const GemmWorkload& w, const ArrayConfig& array,
+                                        std::int64_t bandwidth, std::int64_t limit_kb) const {
+  assert(w.valid() && array.valid());
+  Result best{-1, std::numeric_limits<std::int64_t>::max(),
+              std::numeric_limits<std::int64_t>::max()};
+  const ComputeResult compute = compute_latency(w, array);
+  for (int label = 0; label < space_->size(); ++label) {
+    MemoryConfig mem = space_->config(label);
+    if (mem.total_kb() > limit_kb) continue;  // shared capacity budget
+    mem.bandwidth = bandwidth;
+    const MemoryResult mr = memory_behavior(w, array, mem, compute);
+    const std::int64_t total_kb = mem.total_kb();
+    if (mr.stall_cycles < best.stall_cycles ||
+        (mr.stall_cycles == best.stall_cycles && total_kb < best.total_kb)) {
+      best = {label, mr.stall_cycles, total_kb};
+    }
+  }
+  if (best.label < 0) throw std::invalid_argument("buffer limit below smallest size in space");
+  return best;
+}
+
+std::int64_t BufferSearch::stalls_of(const GemmWorkload& w, const ArrayConfig& array,
+                                     std::int64_t bandwidth, int label) const {
+  MemoryConfig mem = space_->config(label);
+  mem.bandwidth = bandwidth;
+  const ComputeResult compute = compute_latency(w, array);
+  return memory_behavior(w, array, mem, compute).stall_cycles;
+}
+
+// ---------------------------------------------------------------- case 3
+
+ScheduleSearch::ScheduleSearch(const ScheduleSpace& space, std::vector<ScheduledArray> arrays,
+                               const Simulator& sim)
+    : space_(&space), arrays_(std::move(arrays)), sim_(&sim) {
+  if (static_cast<int>(arrays_.size()) != space_->num_arrays()) {
+    throw std::invalid_argument("array count must match schedule space arity");
+  }
+}
+
+ScheduleSearch::Result ScheduleSearch::best(const std::vector<GemmWorkload>& workloads) const {
+  if (static_cast<int>(workloads.size()) != space_->num_arrays()) {
+    throw std::invalid_argument("workload count must match schedule space arity");
+  }
+  const int n = space_->num_arrays();
+  // Precompute per (array, workload, dataflow) costs; a label is then an
+  // O(n) combination instead of n fresh simulations.
+  std::vector<std::int64_t> cycles(static_cast<std::size_t>(n * n * 3));
+  std::vector<double> energy(static_cast<std::size_t>(n * n * 3));
+  for (int a = 0; a < n; ++a) {
+    for (int wl = 0; wl < n; ++wl) {
+      for (int d = 0; d < 3; ++d) {
+        ArrayConfig cfg = arrays_[static_cast<std::size_t>(a)].array;
+        cfg.dataflow = dataflow_from_index(d);
+        const SimResult sr = sim_->simulate(workloads[static_cast<std::size_t>(wl)], cfg,
+                                            arrays_[static_cast<std::size_t>(a)].memory);
+        const auto idx = static_cast<std::size_t>((a * n + wl) * 3 + d);
+        cycles[idx] = sr.total_cycles();
+        energy[idx] = sr.energy.total_pj();
+      }
+    }
+  }
+
+  Result best{-1, std::numeric_limits<std::int64_t>::max(),
+              std::numeric_limits<double>::max()};
+  for (int label = 0; label < space_->size(); ++label) {
+    const ScheduleSpace::Schedule s = space_->config(label);
+    std::int64_t makespan = 0;
+    double total_energy = 0.0;
+    for (int a = 0; a < n; ++a) {
+      const int wl = s.workload_of[static_cast<std::size_t>(a)];
+      const int d = dataflow_index(s.dataflow_of[static_cast<std::size_t>(a)]);
+      const auto idx = static_cast<std::size_t>((a * n + wl) * 3 + d);
+      makespan = std::max(makespan, cycles[idx]);
+      total_energy += energy[idx];
+    }
+    if (makespan < best.makespan_cycles ||
+        (makespan == best.makespan_cycles && total_energy < best.energy_pj)) {
+      best = {label, makespan, total_energy};
+    }
+  }
+  return best;
+}
+
+ScheduleSearch::Result ScheduleSearch::evaluate(const std::vector<GemmWorkload>& workloads,
+                                                int label) const {
+  if (static_cast<int>(workloads.size()) != space_->num_arrays()) {
+    throw std::invalid_argument("workload count must match schedule space arity");
+  }
+  const ScheduleSpace::Schedule s = space_->config(label);
+  Result r{label, 0, 0.0};
+  for (int a = 0; a < space_->num_arrays(); ++a) {
+    ArrayConfig cfg = arrays_[static_cast<std::size_t>(a)].array;
+    cfg.dataflow = s.dataflow_of[static_cast<std::size_t>(a)];
+    const int wl = s.workload_of[static_cast<std::size_t>(a)];
+    const SimResult sr = sim_->simulate(workloads[static_cast<std::size_t>(wl)], cfg,
+                                        arrays_[static_cast<std::size_t>(a)].memory);
+    r.makespan_cycles = std::max(r.makespan_cycles, sr.total_cycles());
+    r.energy_pj += sr.energy.total_pj();
+  }
+  return r;
+}
+
+std::vector<ScheduledArray> default_scheduled_arrays() {
+  // One big monolithic array, a wide one, a tall one, and a small one —
+  // heterogeneous in both shape and memory, mirroring the paper's Fig. 4.
+  return {
+      {{32, 32, Dataflow::kOutputStationary}, {400, 400, 400, 50}},
+      {{64, 8, Dataflow::kOutputStationary}, {300, 300, 300, 30}},
+      {{8, 64, Dataflow::kOutputStationary}, {300, 300, 300, 30}},
+      {{16, 16, Dataflow::kOutputStationary}, {200, 200, 200, 20}},
+  };
+}
+
+}  // namespace airch

@@ -1,0 +1,118 @@
+#pragma once
+// The conventional simulate-and-search optimizers (paper Fig. 1(a)) that
+// AIrchitect replaces, and that generate its training labels. Each search
+// exhaustively evaluates the quantized output space with the simulator and
+// returns the argmin label. Ties break deterministically so that labels
+// are stable across runs: best cost, then the case-study-specific
+// secondary objective, then the lowest label id.
+
+#include <cstdint>
+#include <vector>
+
+#include "search/objective.hpp"
+#include "search/space.hpp"
+#include "sim/simulator.hpp"
+#include "workload/gemm.hpp"
+
+namespace airch {
+
+/// Case study 1: optimal array shape + dataflow within a MAC budget,
+/// minimizing stall-free runtime (SCALE-Sim runtime metric).
+class ArrayDataflowSearch {
+ public:
+  explicit ArrayDataflowSearch(const ArrayDataflowSpace& space, const Simulator& sim)
+      : space_(&space), sim_(&sim) {}
+
+  struct Result {
+    int label = -1;
+    std::int64_t cycles = 0;
+  };
+
+  /// budget_exp: MAC budget is 2^budget_exp; only shapes within it compete.
+  Result best(const GemmWorkload& w, int budget_exp) const;
+
+  /// Objective-generalized variant: argmin of an arbitrary objective
+  /// (runtime / energy / EDP) over the in-budget space.
+  struct ObjectiveResult {
+    int label = -1;
+    double cost = 0.0;
+  };
+  ObjectiveResult best_with_objective(const GemmWorkload& w, int budget_exp,
+                                      const ObjectiveEvaluator& evaluator,
+                                      Objective objective) const;
+
+  /// Runtime of an arbitrary label on `w` (used to score predictions).
+  std::int64_t cycles_of(const GemmWorkload& w, int label) const;
+
+ private:
+  const ArrayDataflowSpace* space_;
+  const Simulator* sim_;
+};
+
+/// Case study 2: optimal sizes for the three buffers under a shared total
+/// capacity limit (the paper's "maximum memory capacity" input),
+/// minimizing stall cycles; ties prefer minimum total capacity. The
+/// shared budget is what produces the paper's Fig. 6(f) crowding-out
+/// effect: large workloads spend the budget on input buffers, shrinking
+/// the optimal OFMAP buffer.
+class BufferSearch {
+ public:
+  explicit BufferSearch(const BufferSizeSpace& space, const Simulator& sim)
+      : space_(&space), sim_(&sim) {}
+
+  struct Result {
+    int label = -1;
+    std::int64_t stall_cycles = 0;
+    std::int64_t total_kb = 0;
+  };
+
+  Result best(const GemmWorkload& w, const ArrayConfig& array, std::int64_t bandwidth,
+              std::int64_t limit_kb) const;
+
+  std::int64_t stalls_of(const GemmWorkload& w, const ArrayConfig& array,
+                         std::int64_t bandwidth, int label) const;
+
+ private:
+  const BufferSizeSpace* space_;
+  const Simulator* sim_;
+};
+
+/// One array of the heterogeneous multi-array system in case study 3.
+struct ScheduledArray {
+  ArrayConfig array;
+  MemoryConfig memory;
+};
+
+/// Case study 3: assign W workloads to W heterogeneous arrays and pick a
+/// per-array dataflow, minimizing makespan; ties prefer lower total energy.
+class ScheduleSearch {
+ public:
+  ScheduleSearch(const ScheduleSpace& space, std::vector<ScheduledArray> arrays,
+                 const Simulator& sim);
+
+  struct Result {
+    int label = -1;
+    std::int64_t makespan_cycles = 0;
+    double energy_pj = 0.0;
+  };
+
+  /// workloads.size() must equal the space's array count.
+  Result best(const std::vector<GemmWorkload>& workloads) const;
+
+  /// Cost of one schedule label (used to score predictions).
+  Result evaluate(const std::vector<GemmWorkload>& workloads, int label) const;
+
+  const std::vector<ScheduledArray>& arrays() const { return arrays_; }
+
+ private:
+  const ScheduleSpace* space_;
+  std::vector<ScheduledArray> arrays_;
+  const Simulator* sim_;
+};
+
+/// The default heterogeneous 4-array system used throughout the case-3
+/// experiments (sizes follow the spirit of the paper's Fig. 4: one large
+/// monolithic array plus progressively smaller / skinnier ones).
+std::vector<ScheduledArray> default_scheduled_arrays();
+
+}  // namespace airch

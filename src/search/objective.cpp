@@ -1,0 +1,35 @@
+#include "search/objective.hpp"
+
+#include <stdexcept>
+
+namespace airch {
+
+const char* to_string(Objective o) {
+  switch (o) {
+    case Objective::kRuntime: return "runtime";
+    case Objective::kEnergy: return "energy";
+    case Objective::kEdp: return "edp";
+  }
+  return "?";
+}
+
+Objective objective_from_string(const std::string& s) {
+  if (s == "runtime") return Objective::kRuntime;
+  if (s == "energy") return Objective::kEnergy;
+  if (s == "edp") return Objective::kEdp;
+  throw std::invalid_argument("unknown objective: " + s);
+}
+
+double ObjectiveEvaluator::cost(const GemmWorkload& w, const ArrayConfig& array,
+                                Objective objective) const {
+  if (objective == Objective::kRuntime) {
+    // Stall-free runtime, identical to the paper's case-1 cost metric.
+    return static_cast<double>(sim_->compute_cycles(w, array));
+  }
+  const SimResult r = sim_->simulate(w, array, memory_);
+  const double energy = r.energy.total_pj();
+  if (objective == Objective::kEnergy) return energy;
+  return energy * static_cast<double>(r.total_cycles());  // EDP
+}
+
+}  // namespace airch

@@ -1,0 +1,41 @@
+#pragma once
+// Optimization objectives beyond runtime. The paper uses runtime for case
+// study 1 and runtime+energy for case study 3, and names "other design
+// spaces" as future work; this module generalizes the case-1 search and
+// dataset generation to energy and energy-delay-product objectives
+// (`bench_ablation` studies how the optimal design shifts).
+
+#include <cstdint>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "workload/gemm.hpp"
+
+namespace airch {
+
+enum class Objective : std::uint8_t { kRuntime = 0, kEnergy = 1, kEdp = 2 };
+
+const char* to_string(Objective o);
+Objective objective_from_string(const std::string& s);
+
+/// Scores a (workload, array) pair under an objective. Energy and EDP need
+/// a memory system; a fixed nominal configuration (balanced buffers,
+/// mid-range bandwidth) is used so the objective compares arrays, not
+/// memories.
+class ObjectiveEvaluator {
+ public:
+  explicit ObjectiveEvaluator(const Simulator& sim,
+                              MemoryConfig nominal_memory = {400, 400, 400, 16})
+      : sim_(&sim), memory_(nominal_memory) {}
+
+  /// Lower is better for every objective.
+  double cost(const GemmWorkload& w, const ArrayConfig& array, Objective objective) const;
+
+  const MemoryConfig& nominal_memory() const { return memory_; }
+
+ private:
+  const Simulator* sim_;
+  MemoryConfig memory_;
+};
+
+}  // namespace airch

@@ -1,0 +1,115 @@
+#include "search/reinforce.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/math_utils.hpp"
+
+namespace airch {
+
+namespace {
+
+/// Softmax sampling from a logits vector.
+std::size_t sample_categorical(const std::vector<double>& logits, Rng& rng) {
+  const double mx = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> probs(logits.size());
+  double denom = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    probs[i] = std::exp(logits[i] - mx);
+    denom += probs[i];
+  }
+  double r = rng.uniform() * denom;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    r -= probs[i];
+    if (r <= 0.0) return i;
+  }
+  return probs.size() - 1;
+}
+
+/// d log softmax / d logits for a sampled index: e_i - softmax.
+void add_logprob_grad(std::vector<double>& grad, const std::vector<double>& logits,
+                      std::size_t sampled, double scale) {
+  const double mx = *std::max_element(logits.begin(), logits.end());
+  double denom = 0.0;
+  std::vector<double> probs(logits.size());
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    probs[i] = std::exp(logits[i] - mx);
+    denom += probs[i];
+  }
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    grad[i] += scale * ((i == sampled ? 1.0 : 0.0) - probs[i] / denom);
+  }
+}
+
+}  // namespace
+
+ReinforceArrayDataflowSearch::Result ReinforceArrayDataflowSearch::best(
+    const GemmWorkload& w, int budget_exp, const ReinforceOptions& options) const {
+  const int min_exp = 1;
+  const int max_total = std::min(budget_exp, space_->max_macs_exp());
+  const auto row_choices = static_cast<std::size_t>(max_total - 2 * min_exp + 1);
+
+  Rng rng(options.seed);
+  std::vector<double> row_logits(row_choices, 0.0);
+  // Column logits span the widest possible range; invalid picks given the
+  // sampled row are clamped into budget (a "repair" operator).
+  std::vector<double> col_logits(row_choices, 0.0);
+  std::vector<double> df_logits(3, 0.0);
+
+  Result best{-1, std::numeric_limits<std::int64_t>::max(), 0};
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    struct Sample {
+      std::size_t row_idx, col_idx, df_idx;
+      double reward;
+    };
+    std::vector<Sample> samples;
+    samples.reserve(static_cast<std::size_t>(options.batch));
+
+    for (int b = 0; b < options.batch; ++b) {
+      Sample s;
+      s.row_idx = sample_categorical(row_logits, rng);
+      s.col_idx = sample_categorical(col_logits, rng);
+      s.df_idx = sample_categorical(df_logits, rng);
+
+      const int row_exp = min_exp + static_cast<int>(s.row_idx);
+      int col_exp = min_exp + static_cast<int>(s.col_idx);
+      col_exp = static_cast<int>(clamp_i64(col_exp, min_exp, max_total - row_exp));
+
+      const ArrayConfig cfg{pow2(row_exp), pow2(col_exp),
+                            dataflow_from_index(static_cast<int>(s.df_idx))};
+      const std::int64_t cycles = sim_->compute_cycles(w, cfg);
+      ++best.evaluations;
+      if (cycles < best.cycles) {
+        best.cycles = cycles;
+        best.label = space_->label_of(cfg);
+      }
+      // Reward: negative log-cycles (scale-free across workload sizes).
+      s.reward = -std::log(static_cast<double>(cycles));
+      samples.push_back(s);
+    }
+
+    // Advantage = reward - batch mean; one policy-gradient step.
+    double mean_reward = 0.0;
+    for (const auto& s : samples) mean_reward += s.reward;
+    mean_reward /= static_cast<double>(samples.size());
+
+    std::vector<double> row_grad(row_logits.size(), 0.0);
+    std::vector<double> col_grad(col_logits.size(), 0.0);
+    std::vector<double> df_grad(df_logits.size(), 0.0);
+    for (const auto& s : samples) {
+      const double adv = s.reward - mean_reward;
+      add_logprob_grad(row_grad, row_logits, s.row_idx, adv);
+      add_logprob_grad(col_grad, col_logits, s.col_idx, adv);
+      add_logprob_grad(df_grad, df_logits, s.df_idx, adv);
+    }
+    const double step = options.learning_rate / static_cast<double>(samples.size());
+    for (std::size_t i = 0; i < row_logits.size(); ++i) row_logits[i] += step * row_grad[i];
+    for (std::size_t i = 0; i < col_logits.size(); ++i) col_logits[i] += step * col_grad[i];
+    for (std::size_t i = 0; i < df_logits.size(); ++i) df_logits[i] += step * df_grad[i];
+  }
+  return best;
+}
+
+}  // namespace airch

@@ -1,0 +1,45 @@
+#pragma once
+// Policy-gradient (REINFORCE) search baseline — the RL-guided DSE family
+// the paper cites (ConfuciuX, Apollo). For one query, a factored
+// categorical policy over (row exponent, column exponent, dataflow) is
+// optimized by sampling configurations, scoring them with the cost model,
+// and ascending the advantage-weighted log-likelihood. Like the GA, its
+// per-query cost is the number of cost-model evaluations; the benches
+// compare it against exhaustive search, GA, and learned inference.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "search/space.hpp"
+#include "sim/simulator.hpp"
+#include "workload/gemm.hpp"
+
+namespace airch {
+
+struct ReinforceOptions {
+  int iterations = 12;
+  int batch = 16;            ///< samples per policy update
+  double learning_rate = 0.5;
+  std::uint64_t seed = 1;
+};
+
+class ReinforceArrayDataflowSearch {
+ public:
+  ReinforceArrayDataflowSearch(const ArrayDataflowSpace& space, const Simulator& sim)
+      : space_(&space), sim_(&sim) {}
+
+  struct Result {
+    int label = -1;
+    std::int64_t cycles = 0;
+    std::size_t evaluations = 0;
+  };
+
+  Result best(const GemmWorkload& w, int budget_exp, const ReinforceOptions& options = {}) const;
+
+ private:
+  const ArrayDataflowSpace* space_;
+  const Simulator* sim_;
+};
+
+}  // namespace airch

@@ -1,0 +1,158 @@
+#include "search/space.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/math_utils.hpp"
+
+namespace airch {
+
+// ---------------------------------------------------------------- case 1
+
+ArrayDataflowSpace::ArrayDataflowSpace(int max_macs_exp, int min_exp)
+    : max_macs_exp_(max_macs_exp), min_exp_(min_exp) {
+  assert(min_exp >= 0 && max_macs_exp >= 2 * min_exp);
+  for (int a = min_exp; a <= max_macs_exp - min_exp; ++a) {
+    for (int b = min_exp; a + b <= max_macs_exp; ++b) {
+      for (Dataflow d : kAllDataflows) {
+        configs_.push_back(ArrayConfig{pow2(a), pow2(b), d});
+      }
+    }
+  }
+}
+
+const ArrayConfig& ArrayDataflowSpace::config(int label) const {
+  if (label < 0 || label >= size()) throw std::out_of_range("array/dataflow label out of range");
+  return configs_[static_cast<std::size_t>(label)];
+}
+
+int ArrayDataflowSpace::label_of(const ArrayConfig& c) const {
+  if (!is_pow2(c.rows) || !is_pow2(c.cols)) throw std::out_of_range("non power-of-two shape");
+  const int a = log2_floor(c.rows);
+  const int b = log2_floor(c.cols);
+  if (a < min_exp_ || b < min_exp_ || a + b > max_macs_exp_) {
+    throw std::out_of_range("shape outside space");
+  }
+  // Labels for row-exponent a start after all rows with smaller exponent.
+  // Rows with exponent a' have (max_macs_exp - min_exp - a' + 1) column
+  // choices each.
+  int shape_index = 0;
+  for (int ap = min_exp_; ap < a; ++ap) shape_index += max_macs_exp_ - min_exp_ - ap + 1;
+  shape_index += b - min_exp_;
+  return shape_index * kNumDataflows + dataflow_index(c.dataflow);
+}
+
+std::vector<int> ArrayDataflowSpace::labels_within_budget(int budget_exp) const {
+  std::vector<int> out;
+  for (int l = 0; l < size(); ++l) {
+    const auto& c = configs_[static_cast<std::size_t>(l)];
+    if (c.macs() <= pow2(std::min(budget_exp, 62))) out.push_back(l);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- case 2
+
+BufferSizeSpace::BufferSizeSpace(std::int64_t step_kb, std::int64_t max_kb)
+    : step_kb_(step_kb), max_kb_(max_kb), levels_(static_cast<int>(max_kb / step_kb)) {
+  assert(step_kb >= 1 && max_kb % step_kb == 0 && levels_ >= 1);
+}
+
+MemoryConfig BufferSizeSpace::config(int label) const {
+  if (label < 0 || label >= size()) throw std::out_of_range("buffer label out of range");
+  MemoryConfig mem;
+  mem.ofmap_kb = (label % levels_ + 1) * step_kb_;
+  mem.filter_kb = (label / levels_ % levels_ + 1) * step_kb_;
+  mem.ifmap_kb = (label / (levels_ * levels_) + 1) * step_kb_;
+  return mem;
+}
+
+int BufferSizeSpace::label_of(const MemoryConfig& mem) const {
+  auto level = [&](std::int64_t kb) {
+    if (kb < step_kb_ || kb > max_kb_ || kb % step_kb_ != 0) {
+      throw std::out_of_range("buffer size outside space");
+    }
+    return static_cast<int>(kb / step_kb_) - 1;
+  };
+  return (level(mem.ifmap_kb) * levels_ + level(mem.filter_kb)) * levels_ + level(mem.ofmap_kb);
+}
+
+std::vector<int> BufferSizeSpace::labels_within_limit(std::int64_t limit_kb) const {
+  std::vector<int> out;
+  for (int l = 0; l < size(); ++l) {
+    const MemoryConfig mem = config(l);
+    if (mem.ifmap_kb <= limit_kb && mem.filter_kb <= limit_kb && mem.ofmap_kb <= limit_kb) {
+      out.push_back(l);
+    }
+  }
+  return out;
+}
+
+std::vector<int> BufferSizeSpace::labels_within_total(std::int64_t total_kb) const {
+  std::vector<int> out;
+  for (int l = 0; l < size(); ++l) {
+    if (config(l).total_kb() <= total_kb) out.push_back(l);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- case 3
+
+std::int64_t ScheduleSpace::space_size(int x) {
+  assert(x >= 1);
+  std::int64_t n = 1;
+  for (int i = 1; i <= x; ++i) n *= 3 * i;  // 3^x * x!
+  return n;
+}
+
+ScheduleSpace::ScheduleSpace(int num_arrays) : num_arrays_(num_arrays) {
+  assert(num_arrays >= 1 && num_arrays <= 8);
+  std::vector<int> perm(static_cast<std::size_t>(num_arrays));
+  for (int i = 0; i < num_arrays; ++i) perm[static_cast<std::size_t>(i)] = i;
+  do {
+    permutations_.push_back(perm);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  std::int64_t df_combos = 1;
+  for (int i = 0; i < num_arrays; ++i) df_combos *= kNumDataflows;
+  size_ = static_cast<int>(static_cast<std::int64_t>(permutations_.size()) * df_combos);
+}
+
+ScheduleSpace::Schedule ScheduleSpace::config(int label) const {
+  if (label < 0 || label >= size_) throw std::out_of_range("schedule label out of range");
+  std::int64_t df_combos = 1;
+  for (int i = 0; i < num_arrays_; ++i) df_combos *= kNumDataflows;
+  const int perm_idx = static_cast<int>(label / df_combos);
+  std::int64_t df_code = label % df_combos;
+
+  Schedule s;
+  s.workload_of = permutations_[static_cast<std::size_t>(perm_idx)];
+  s.dataflow_of.resize(static_cast<std::size_t>(num_arrays_));
+  // Base-3 decode, last array least significant.
+  for (int a = num_arrays_ - 1; a >= 0; --a) {
+    s.dataflow_of[static_cast<std::size_t>(a)] = dataflow_from_index(static_cast<int>(df_code % 3));
+    df_code /= 3;
+  }
+  return s;
+}
+
+int ScheduleSpace::label_of(const Schedule& s) const {
+  if (static_cast<int>(s.workload_of.size()) != num_arrays_ ||
+      static_cast<int>(s.dataflow_of.size()) != num_arrays_) {
+    throw std::out_of_range("schedule arity mismatch");
+  }
+  const auto it = std::lower_bound(permutations_.begin(), permutations_.end(), s.workload_of);
+  if (it == permutations_.end() || *it != s.workload_of) {
+    throw std::out_of_range("not a permutation of workloads");
+  }
+  const auto perm_idx = static_cast<std::int64_t>(it - permutations_.begin());
+  std::int64_t df_code = 0;
+  for (int a = 0; a < num_arrays_; ++a) {
+    df_code = df_code * 3 + dataflow_index(s.dataflow_of[static_cast<std::size_t>(a)]);
+  }
+  std::int64_t df_combos = 1;
+  for (int i = 0; i < num_arrays_; ++i) df_combos *= kNumDataflows;
+  return static_cast<int>(perm_idx * df_combos + df_code);
+}
+
+}  // namespace airch

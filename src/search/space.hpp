@@ -1,0 +1,102 @@
+#pragma once
+// Quantized output spaces of the three case studies (paper Fig. 8). The
+// paper converts DSE into classification by enumerating the legal design
+// points into dense label ids; these classes own that bijection.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/array_config.hpp"
+#include "sim/dataflow.hpp"
+
+namespace airch {
+
+/// Case study 1 output space: power-of-two array shapes within a MAC
+/// budget, crossed with the three dataflows (Fig. 8(b)).
+///
+/// Shapes are (2^a rows x 2^b cols) with a, b >= min_exp and
+/// a + b <= max_macs_exp. With min_exp = 1 and max_macs_exp = 18 this
+/// enumerates the paper's 153 shapes x 3 dataflows = 459 labels.
+/// Label order: shapes sorted by (rows, cols), dataflow fastest-varying
+/// (OS, WS, IS) — matching the paper's table.
+class ArrayDataflowSpace {
+ public:
+  explicit ArrayDataflowSpace(int max_macs_exp = 18, int min_exp = 1);
+
+  int size() const { return static_cast<int>(configs_.size()); }
+  const ArrayConfig& config(int label) const;
+  /// Inverse of config(); throws std::out_of_range if not in the space.
+  int label_of(const ArrayConfig& c) const;
+  int max_macs_exp() const { return max_macs_exp_; }
+
+  /// Labels whose array fits a MAC budget of 2^budget_exp.
+  std::vector<int> labels_within_budget(int budget_exp) const;
+
+ private:
+  int max_macs_exp_;
+  int min_exp_;
+  std::vector<ArrayConfig> configs_;
+};
+
+/// Case study 2 output space: each of the three buffers sized in
+/// `step_kb` increments from step_kb to max_kb (Fig. 8(c)).
+/// With step 100 KB and max 1 MB: 10^3 = 1000 labels. Label order:
+/// OFMAP fastest, then Filter, then IFMAP — matching the paper's table.
+class BufferSizeSpace {
+ public:
+  explicit BufferSizeSpace(std::int64_t step_kb = 100, std::int64_t max_kb = 1000);
+
+  int size() const { return levels_ * levels_ * levels_; }
+  int levels() const { return levels_; }
+  std::int64_t step_kb() const { return step_kb_; }
+  std::int64_t max_kb() const { return max_kb_; }
+
+  /// Buffer sizes for a label; bandwidth is not part of the label and is
+  /// left at its MemoryConfig default (callers overwrite it).
+  MemoryConfig config(int label) const;
+  int label_of(const MemoryConfig& mem) const;
+
+  /// Labels where every buffer is at most limit_kb.
+  std::vector<int> labels_within_limit(std::int64_t limit_kb) const;
+
+  /// Labels whose summed capacity is at most total_kb (the shared-budget
+  /// constraint used by case study 2).
+  std::vector<int> labels_within_total(std::int64_t total_kb) const;
+
+ private:
+  std::int64_t step_kb_;
+  std::int64_t max_kb_;
+  int levels_;
+};
+
+/// Case study 3 output space: assignment of W workloads to W arrays (a
+/// permutation) crossed with a per-array dataflow (Fig. 8(d)).
+/// Size = W! * 3^W; for W = 4 this is the paper's 1944 labels.
+/// Label order: permutations lexicographic (outer), dataflow tuple as a
+/// base-3 counter with the last array fastest-varying (inner).
+class ScheduleSpace {
+ public:
+  explicit ScheduleSpace(int num_arrays = 4);
+
+  struct Schedule {
+    /// workload_of[a] = workload index run on array a.
+    std::vector<int> workload_of;
+    /// dataflow_of[a] = dataflow used by array a.
+    std::vector<Dataflow> dataflow_of;
+  };
+
+  int num_arrays() const { return num_arrays_; }
+  int size() const { return size_; }
+  Schedule config(int label) const;
+  int label_of(const Schedule& s) const;
+
+  /// Closed-form size of an x-array scheduling space: 3^x * x! (Fig. 7(b)).
+  static std::int64_t space_size(int x);
+
+ private:
+  int num_arrays_;
+  int size_;
+  std::vector<std::vector<int>> permutations_;  // lexicographic order
+};
+
+}  // namespace airch

@@ -1,0 +1,52 @@
+#pragma once
+// Hardware configuration of the monolithic systolic-array template in the
+// paper's Fig. 3: an R x C MAC array, a dataflow, three SRAM buffers
+// (IFMAP / Filter / OFMAP) and a DRAM interface bandwidth.
+
+#include <cstdint>
+#include <string>
+
+#include "sim/dataflow.hpp"
+
+namespace airch {
+
+/// One data element is one byte throughout (int8 accelerator convention);
+/// buffer capacities below are therefore element counts as well.
+inline constexpr std::int64_t kBytesPerElement = 1;
+inline constexpr std::int64_t kBytesPerKb = 1024;
+
+struct ArrayConfig {
+  std::int64_t rows = 8;
+  std::int64_t cols = 8;
+  Dataflow dataflow = Dataflow::kOutputStationary;
+
+  std::int64_t macs() const { return rows * cols; }
+  bool valid() const { return rows >= 1 && cols >= 1; }
+
+  std::string to_string() const {
+    return std::to_string(rows) + "x" + std::to_string(cols) + "/" +
+           airch::to_string(dataflow);
+  }
+
+  friend bool operator==(const ArrayConfig&, const ArrayConfig&) = default;
+};
+
+struct MemoryConfig {
+  std::int64_t ifmap_kb = 100;   ///< IFMAP operand buffer capacity (KB)
+  std::int64_t filter_kb = 100;  ///< Filter operand buffer capacity (KB)
+  std::int64_t ofmap_kb = 100;   ///< OFMAP / partial-sum buffer capacity (KB)
+  std::int64_t bandwidth = 10;   ///< DRAM interface bandwidth (bytes/cycle)
+
+  std::int64_t ifmap_bytes() const { return ifmap_kb * kBytesPerKb; }
+  std::int64_t filter_bytes() const { return filter_kb * kBytesPerKb; }
+  std::int64_t ofmap_bytes() const { return ofmap_kb * kBytesPerKb; }
+  std::int64_t total_kb() const { return ifmap_kb + filter_kb + ofmap_kb; }
+
+  bool valid() const {
+    return ifmap_kb >= 1 && filter_kb >= 1 && ofmap_kb >= 1 && bandwidth >= 1;
+  }
+
+  friend bool operator==(const MemoryConfig&, const MemoryConfig&) = default;
+};
+
+}  // namespace airch

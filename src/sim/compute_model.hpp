@@ -1,0 +1,55 @@
+#pragma once
+// Analytical compute-latency model of a systolic array, equivalent in
+// structure to SCALE-Sim's analytical mode (Samajdar et al., ISPASS 2020).
+//
+// Each dataflow maps two GEMM dimensions spatially onto the (rows x cols)
+// array and streams the third temporally:
+//
+//   dataflow | spatial rows | spatial cols | temporal
+//   ---------+--------------+--------------+---------
+//   OS       | M            | N            | K
+//   WS       | K            | N            | M
+//   IS       | K            | M            | N
+//
+// When the spatial extent exceeds the array, the computation is "folded":
+// folds = ceil(SR/rows) * ceil(SC/cols). Every fold pays a pipeline
+// fill/drain overhead in addition to its temporal streaming cycles:
+//
+//   OS fold:  (rows-1) skew fill + K accumulate + (rows + cols - 1) drain
+//   WS fold:  rows weight-preload + M stream + (rows + cols - 2) skew/drain
+//   IS fold:  rows input-preload  + N stream + (rows + cols - 2) skew/drain
+//
+// The model captures exactly the trade-offs the paper's case study 1
+// learns: matching array shape to the spatially-mapped operand dims
+// maximises utilization, while the fill/drain tax penalises many small
+// folds (large K favours OS, large M favours WS, large N favours IS).
+
+#include <cstdint>
+
+#include "sim/array_config.hpp"
+#include "workload/gemm.hpp"
+
+namespace airch {
+
+/// Spatio-temporal extents of a GEMM under a dataflow (before folding).
+struct Mapping {
+  std::int64_t spatial_rows = 1;
+  std::int64_t spatial_cols = 1;
+  std::int64_t temporal = 1;
+};
+
+/// Dataflow-dependent dimension assignment (table above).
+Mapping map_workload(const GemmWorkload& w, Dataflow d);
+
+struct ComputeResult {
+  std::int64_t cycles = 0;        ///< total compute cycles (no memory stalls)
+  std::int64_t folds = 0;         ///< number of spatial folds executed
+  std::int64_t fold_cycles = 0;   ///< cycles per fold (uniform across folds)
+  double utilization = 0.0;       ///< useful MACs / (macs * cycles), in (0, 1]
+};
+
+/// Computes stall-free latency of `w` on `array`.
+/// Preconditions: w.valid() && array.valid().
+ComputeResult compute_latency(const GemmWorkload& w, const ArrayConfig& array);
+
+}  // namespace airch

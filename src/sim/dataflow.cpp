@@ -1,0 +1,14 @@
+#include "sim/dataflow.hpp"
+
+#include <stdexcept>
+
+namespace airch {
+
+Dataflow dataflow_from_string(const std::string& s) {
+  if (s == "OS" || s == "os") return Dataflow::kOutputStationary;
+  if (s == "WS" || s == "ws") return Dataflow::kWeightStationary;
+  if (s == "IS" || s == "is") return Dataflow::kInputStationary;
+  throw std::invalid_argument("unknown dataflow: " + s);
+}
+
+}  // namespace airch

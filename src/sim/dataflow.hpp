@@ -1,0 +1,34 @@
+#pragma once
+// The three true systolic dataflows considered by the paper (Sec. II):
+// Output Stationary, Weight Stationary, Input Stationary.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace airch {
+
+enum class Dataflow : std::uint8_t { kOutputStationary = 0, kWeightStationary = 1, kInputStationary = 2 };
+
+inline constexpr std::array<Dataflow, 3> kAllDataflows = {
+    Dataflow::kOutputStationary, Dataflow::kWeightStationary, Dataflow::kInputStationary};
+
+inline constexpr int kNumDataflows = 3;
+
+constexpr const char* to_string(Dataflow d) {
+  switch (d) {
+    case Dataflow::kOutputStationary: return "OS";
+    case Dataflow::kWeightStationary: return "WS";
+    case Dataflow::kInputStationary: return "IS";
+  }
+  return "??";
+}
+
+/// Parses "OS" / "WS" / "IS"; throws std::invalid_argument otherwise.
+Dataflow dataflow_from_string(const std::string& s);
+
+constexpr int dataflow_index(Dataflow d) { return static_cast<int>(d); }
+
+constexpr Dataflow dataflow_from_index(int i) { return static_cast<Dataflow>(i); }
+
+}  // namespace airch

@@ -1,0 +1,14 @@
+#include "sim/energy_model.hpp"
+
+namespace airch {
+
+EnergyResult energy_cost(const GemmWorkload& w, const MemoryResult& memres,
+                         const EnergyParams& params) {
+  EnergyResult e;
+  e.compute_pj = static_cast<double>(w.macs()) * params.mac_pj;
+  e.sram_pj = static_cast<double>(memres.sram_bytes) * params.sram_pj;
+  e.dram_pj = static_cast<double>(memres.dram_total_bytes()) * params.dram_pj;
+  return e;
+}
+
+}  // namespace airch

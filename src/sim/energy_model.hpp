@@ -1,0 +1,31 @@
+#pragma once
+// Event-count energy model (the paper's "in-house simulator" tie-break for
+// case study 3). Constants follow the usual 45 nm numbers (Horowitz,
+// ISSCC'14 ratios): an 8-bit MAC is cheap, SRAM access ~5x a MAC per byte,
+// DRAM access two orders of magnitude above SRAM.
+
+#include <cstdint>
+
+#include "sim/memory_model.hpp"
+#include "workload/gemm.hpp"
+
+namespace airch {
+
+struct EnergyParams {
+  double mac_pj = 0.2;     ///< energy per multiply-accumulate (pJ)
+  double sram_pj = 1.0;    ///< energy per SRAM byte moved (pJ)
+  double dram_pj = 160.0;  ///< energy per DRAM byte moved (pJ)
+};
+
+struct EnergyResult {
+  double compute_pj = 0.0;
+  double sram_pj = 0.0;
+  double dram_pj = 0.0;
+  double total_pj() const { return compute_pj + sram_pj + dram_pj; }
+};
+
+/// Energy of executing `w` given the memory traffic `memres`.
+EnergyResult energy_cost(const GemmWorkload& w, const MemoryResult& memres,
+                         const EnergyParams& params = {});
+
+}  // namespace airch

@@ -1,0 +1,53 @@
+#pragma once
+// Buffer/DRAM model: given the three SRAM buffer capacities and the DRAM
+// interface bandwidth, computes per-operand DRAM traffic, SRAM traffic, and
+// the stall cycles the compute array suffers.
+//
+// Traffic model. Folds iterate row-stripe-major over the folded mapping
+// (see compute_model.hpp). How much of an operand stripe is re-fetched
+// from DRAM depends on how much of it the buffer retains across the folds
+// that reuse it (partial retention: the buffered prefix of a stripe is
+// reused, the remainder re-streamed every pass) — this is exactly the reuse
+// structure the paper's case study 2 learns:
+//
+//   OS: IFMAP stripe (rows x K) reused across column folds if it fits;
+//       Filter (K x N) reused across row stripes only if it fits whole;
+//       OFMAP written once (partial sums live in the PEs).
+//   WS: Filter is stationary (fetched exactly once);
+//       IFMAP slice (M x rows) reused across column folds if it fits;
+//       OFMAP partial sums spill (read+write per reduction fold) unless a
+//       column stripe of partials (M x cols) fits in the OFMAP buffer.
+//   IS: mirror image of WS with IFMAP and Filter exchanged.
+//
+// Stall model. Prefetch is double-buffered: DRAM transfers overlap compute,
+// so stalls = max(0, total_traffic / bandwidth - compute_cycles), plus the
+// un-hideable first-tile fill. Larger buffers reduce traffic and therefore
+// stalls monotonically — the property the buffer-sizing search relies on.
+
+#include <cstdint>
+
+#include "sim/array_config.hpp"
+#include "sim/compute_model.hpp"
+#include "workload/gemm.hpp"
+
+namespace airch {
+
+struct MemoryResult {
+  std::int64_t dram_ifmap_bytes = 0;
+  std::int64_t dram_filter_bytes = 0;
+  std::int64_t dram_ofmap_bytes = 0;  ///< includes partial-sum spill traffic
+  std::int64_t sram_bytes = 0;        ///< operand bytes streamed through SRAM
+  std::int64_t stall_cycles = 0;
+
+  std::int64_t dram_total_bytes() const {
+    return dram_ifmap_bytes + dram_filter_bytes + dram_ofmap_bytes;
+  }
+};
+
+/// Evaluates the memory system for `w` on `array` with `mem`.
+/// `compute` must be the result of compute_latency(w, array).
+/// Preconditions: w.valid() && array.valid() && mem.valid().
+MemoryResult memory_behavior(const GemmWorkload& w, const ArrayConfig& array,
+                             const MemoryConfig& mem, const ComputeResult& compute);
+
+}  // namespace airch

@@ -1,0 +1,14 @@
+#include "sim/simulator.hpp"
+
+namespace airch {
+
+SimResult Simulator::simulate(const GemmWorkload& w, const ArrayConfig& array,
+                              const MemoryConfig& mem) const {
+  SimResult r;
+  r.compute = compute_latency(w, array);
+  r.memory = memory_behavior(w, array, mem, r.compute);
+  r.energy = energy_cost(w, r.memory, energy_params_);
+  return r;
+}
+
+}  // namespace airch

@@ -1,0 +1,43 @@
+#pragma once
+// Facade over the compute, memory, and energy models — the functional
+// equivalent of a SCALE-Sim run for one (workload, hardware) pair.
+
+#include <cstdint>
+
+#include "sim/array_config.hpp"
+#include "sim/compute_model.hpp"
+#include "sim/energy_model.hpp"
+#include "sim/memory_model.hpp"
+#include "workload/gemm.hpp"
+
+namespace airch {
+
+struct SimResult {
+  ComputeResult compute;
+  MemoryResult memory;
+  EnergyResult energy;
+
+  /// End-to-end latency: compute plus memory stalls.
+  std::int64_t total_cycles() const { return compute.cycles + memory.stall_cycles; }
+};
+
+class Simulator {
+ public:
+  explicit Simulator(EnergyParams energy_params = {}) : energy_params_(energy_params) {}
+
+  /// Full simulation: latency, stalls, traffic, energy.
+  SimResult simulate(const GemmWorkload& w, const ArrayConfig& array,
+                     const MemoryConfig& mem) const;
+
+  /// Compute-only latency (case study 1 uses runtime under an ideal memory).
+  std::int64_t compute_cycles(const GemmWorkload& w, const ArrayConfig& array) const {
+    return compute_latency(w, array).cycles;
+  }
+
+  const EnergyParams& energy_params() const { return energy_params_; }
+
+ private:
+  EnergyParams energy_params_;
+};
+
+}  // namespace airch

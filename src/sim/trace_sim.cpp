@@ -1,0 +1,246 @@
+#include "sim/trace_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace airch {
+
+GemmMatrix reference_gemm(const GemmMatrix& a, const GemmMatrix& b) {
+  assert(a.cols == b.rows);
+  GemmMatrix c(a.rows, b.cols);
+  for (std::int64_t i = 0; i < a.rows; ++i) {
+    for (std::int64_t k = 0; k < a.cols; ++k) {
+      const std::int32_t av = a.at(i, k);
+      if (av == 0) continue;
+      for (std::int64_t j = 0; j < b.cols; ++j) {
+        c.at(i, j) += av * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+TraceResult TraceSimulator::run(const GemmMatrix& a, const GemmMatrix& b,
+                                const ArrayConfig& array) const {
+  if (a.cols != b.rows) throw std::invalid_argument("GEMM shape mismatch");
+  if (!array.valid()) throw std::invalid_argument("invalid array");
+  switch (array.dataflow) {
+    case Dataflow::kOutputStationary: return run_os(a, b, array);
+    case Dataflow::kWeightStationary: return run_ws(a, b, array);
+    case Dataflow::kInputStationary: return run_is(a, b, array);
+  }
+  throw std::logic_error("unreachable");
+}
+
+// ----------------------------------------------------------------- OS
+
+TraceResult TraceSimulator::run_os(const GemmMatrix& a, const GemmMatrix& b,
+                                   const ArrayConfig& array) const {
+  const std::int64_t m = a.rows, k = a.cols, n = b.cols;
+  const std::int64_t rows = array.rows, cols = array.cols;
+
+  TraceResult result;
+  result.output = GemmMatrix(m, n);
+
+  // Per-PE operand registers (value + validity) and accumulators; operands
+  // hop one PE per cycle (A rightwards, B downwards).
+  const auto grid = static_cast<std::size_t>(rows * cols);
+  std::vector<std::int32_t> a_reg(grid), b_reg(grid);
+  std::vector<char> a_val(grid), b_val(grid);
+  std::vector<std::int64_t> acc(grid);
+  auto idx = [cols](std::int64_t i, std::int64_t j) {
+    return static_cast<std::size_t>(i * cols + j);
+  };
+
+  for (std::int64_t i0 = 0; i0 < m; i0 += rows) {
+    for (std::int64_t j0 = 0; j0 < n; j0 += cols) {
+      ++result.folds;
+      const std::int64_t rm = std::min(rows, m - i0);
+      const std::int64_t cn = std::min(cols, n - j0);
+      std::fill(acc.begin(), acc.end(), 0);
+      std::fill(a_val.begin(), a_val.end(), 0);
+      std::fill(b_val.begin(), b_val.end(), 0);
+
+      const std::int64_t stream_cycles = k + rm + cn - 2;
+      for (std::int64_t t = 0; t < stream_cycles; ++t) {
+        // Shift right/down; iterate high-to-low so registers move once.
+        for (std::int64_t i = rm - 1; i >= 0; --i) {
+          for (std::int64_t j = cn - 1; j >= 0; --j) {
+            if (j > 0) {
+              a_reg[idx(i, j)] = a_reg[idx(i, j - 1)];
+              a_val[idx(i, j)] = a_val[idx(i, j - 1)];
+            }
+            if (i > 0) {
+              b_reg[idx(i, j)] = b_reg[idx(i - 1, j)];
+              b_val[idx(i, j)] = b_val[idx(i - 1, j)];
+            }
+          }
+        }
+        // Inject skewed edge operands: row i sees A[i0+i][t-i], column j
+        // sees B[t-j][j0+j].
+        for (std::int64_t i = 0; i < rm; ++i) {
+          const std::int64_t kk = t - i;
+          const bool valid = kk >= 0 && kk < k;
+          a_reg[idx(i, 0)] = valid ? a.at(i0 + i, kk) : 0;
+          a_val[idx(i, 0)] = valid;
+          if (valid) ++result.sram_reads;
+        }
+        for (std::int64_t j = 0; j < cn; ++j) {
+          const std::int64_t kk = t - j;
+          const bool valid = kk >= 0 && kk < k;
+          b_reg[idx(0, j)] = valid ? b.at(kk, j0 + j) : 0;
+          b_val[idx(0, j)] = valid;
+          if (valid) ++result.sram_reads;
+        }
+        // MAC where both operands carry aligned valid data.
+        for (std::int64_t i = 0; i < rm; ++i) {
+          for (std::int64_t j = 0; j < cn; ++j) {
+            if (a_val[idx(i, j)] && b_val[idx(i, j)]) {
+              acc[idx(i, j)] += static_cast<std::int64_t>(a_reg[idx(i, j)]) * b_reg[idx(i, j)];
+              ++result.macs;
+            }
+          }
+        }
+      }
+      result.cycles += stream_cycles;
+
+      // Drain: accumulated results shift out through the rows (one cycle
+      // per occupied row), matching the analytical model's drain term.
+      result.cycles += rm;
+      result.drain_cycles += rm;
+      for (std::int64_t i = 0; i < rm; ++i) {
+        for (std::int64_t j = 0; j < cn; ++j) {
+          result.output.at(i0 + i, j0 + j) = static_cast<std::int32_t>(acc[idx(i, j)]);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+// ----------------------------------------------------------------- WS
+
+TraceResult TraceSimulator::run_ws(const GemmMatrix& a, const GemmMatrix& b,
+                                   const ArrayConfig& array) const {
+  const std::int64_t m = a.rows, k = a.cols, n = b.cols;
+  const std::int64_t rows = array.rows, cols = array.cols;
+
+  TraceResult result;
+  result.output = GemmMatrix(m, n);
+  std::vector<std::int64_t> out_acc(static_cast<std::size_t>(m * n), 0);
+
+  for (std::int64_t k0 = 0; k0 < k; k0 += rows) {
+    for (std::int64_t j0 = 0; j0 < n; j0 += cols) {
+      ++result.folds;
+      const std::int64_t rk = std::min(rows, k - k0);
+      const std::int64_t cn = std::min(cols, n - j0);
+
+      // Preload the stationary K x N weight tile, one row per cycle.
+      result.cycles += rk;
+      result.sram_reads += rk * cn;
+
+      // Stream A with row skew; partial sums flow down the columns.
+      // psum[i][j] after cycle t holds the partial sum that PE(i,j)
+      // forwarded this cycle (for output element m = t - i - j).
+      std::vector<std::int64_t> psum(static_cast<std::size_t>(rk * cn), 0);
+      std::vector<std::int64_t> psum_next(psum.size());
+      auto idx = [cn](std::int64_t i, std::int64_t j) {
+        return static_cast<std::size_t>(i * cn + j);
+      };
+      const std::int64_t stream_cycles = m + rk + cn - 2;
+      for (std::int64_t t = 0; t < stream_cycles; ++t) {
+        for (std::int64_t i = 0; i < rk; ++i) {
+          for (std::int64_t j = 0; j < cn; ++j) {
+            const std::int64_t mm = t - i - j;  // A row index at this PE now
+            if (mm < 0 || mm >= m) {
+              psum_next[idx(i, j)] = 0;
+              continue;
+            }
+            const std::int64_t upstream = i > 0 ? psum[idx(i - 1, j)] : 0;
+            psum_next[idx(i, j)] =
+                upstream + static_cast<std::int64_t>(a.at(mm, k0 + i)) * b.at(k0 + i, j0 + j);
+            ++result.macs;
+            if (j == 0) ++result.sram_reads;  // A element enters the array once per row-slice
+            if (i == rk - 1) {
+              out_acc[static_cast<std::size_t>(mm * n + (j0 + j))] += psum_next[idx(i, j)];
+            }
+          }
+        }
+        std::swap(psum, psum_next);
+      }
+      result.cycles += stream_cycles;
+      // Skewed wavefront drain is included in stream_cycles; the final
+      // column's exit latency is the (cn - 1) term above.
+    }
+  }
+
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      result.output.at(i, j) = static_cast<std::int32_t>(out_acc[static_cast<std::size_t>(i * n + j)]);
+    }
+  }
+  return result;
+}
+
+// ----------------------------------------------------------------- IS
+
+TraceResult TraceSimulator::run_is(const GemmMatrix& a, const GemmMatrix& b,
+                                   const ArrayConfig& array) const {
+  const std::int64_t m = a.rows, k = a.cols, n = b.cols;
+  const std::int64_t rows = array.rows, cols = array.cols;
+
+  TraceResult result;
+  result.output = GemmMatrix(m, n);
+  std::vector<std::int64_t> out_acc(static_cast<std::size_t>(m * n), 0);
+
+  for (std::int64_t k0 = 0; k0 < k; k0 += rows) {
+    for (std::int64_t m0 = 0; m0 < m; m0 += cols) {
+      ++result.folds;
+      const std::int64_t rk = std::min(rows, k - k0);
+      const std::int64_t cm = std::min(cols, m - m0);
+
+      // Preload the stationary K x M input tile (A transposed onto the
+      // array: PE(i,j) holds A[m0+j][k0+i]).
+      result.cycles += rk;
+      result.sram_reads += rk * cm;
+
+      std::vector<std::int64_t> psum(static_cast<std::size_t>(rk * cm), 0);
+      std::vector<std::int64_t> psum_next(psum.size());
+      auto idx = [cm](std::int64_t i, std::int64_t j) {
+        return static_cast<std::size_t>(i * cm + j);
+      };
+      const std::int64_t stream_cycles = n + rk + cm - 2;
+      for (std::int64_t t = 0; t < stream_cycles; ++t) {
+        for (std::int64_t i = 0; i < rk; ++i) {
+          for (std::int64_t j = 0; j < cm; ++j) {
+            const std::int64_t nn = t - i - j;  // B column index at this PE now
+            if (nn < 0 || nn >= n) {
+              psum_next[idx(i, j)] = 0;
+              continue;
+            }
+            const std::int64_t upstream = i > 0 ? psum[idx(i - 1, j)] : 0;
+            psum_next[idx(i, j)] =
+                upstream + static_cast<std::int64_t>(a.at(m0 + j, k0 + i)) * b.at(k0 + i, nn);
+            ++result.macs;
+            if (j == 0) ++result.sram_reads;  // B element enters once per row-slice
+            if (i == rk - 1) {
+              out_acc[static_cast<std::size_t>((m0 + j) * n + nn)] += psum_next[idx(i, j)];
+            }
+          }
+        }
+        std::swap(psum, psum_next);
+      }
+      result.cycles += stream_cycles;
+    }
+  }
+
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      result.output.at(i, j) = static_cast<std::int32_t>(out_acc[static_cast<std::size_t>(i * n + j)]);
+    }
+  }
+  return result;
+}
+
+}  // namespace airch

@@ -1,0 +1,72 @@
+#pragma once
+// Cycle-level systolic-array trace simulator — the counterpart of the
+// analytical model in compute_model.hpp, mirroring SCALE-Sim's two modes.
+//
+// The trace simulator steps the PE grid cycle by cycle and *functionally
+// executes* the GEMM through the chosen dataflow's data movement:
+//
+//   OS: operands stream in from the left (A, row-skewed) and top
+//       (B, column-skewed); each PE multiplies the passing pair and
+//       accumulates locally; results drain through the array afterwards.
+//   WS: a K x N weight tile is preloaded row-by-row; A streams from the
+//       left, partial sums flow down the columns and exit at the bottom.
+//   IS: mirror image of WS with A held stationary and B streaming.
+//
+// Because the simulation produces the actual output matrix, tests can
+// verify the dataflow semantics against a reference GEMM — a far stronger
+// check than cycle counting alone — and the cycle counts cross-validate
+// the analytical model's fold/fill/drain accounting.
+//
+// Complexity is O(rows * cols) per cycle: intended for validation and
+// small-workload studies, not the dataset-generation hot path.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/array_config.hpp"
+#include "workload/gemm.hpp"
+
+namespace airch {
+
+/// Dense row-major integer matrix used for functional simulation.
+struct GemmMatrix {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::vector<std::int32_t> data;
+
+  GemmMatrix() = default;
+  GemmMatrix(std::int64_t r, std::int64_t c) : rows(r), cols(c), data(static_cast<std::size_t>(r * c), 0) {}
+
+  std::int32_t& at(std::int64_t r, std::int64_t c) {
+    return data[static_cast<std::size_t>(r * cols + c)];
+  }
+  std::int32_t at(std::int64_t r, std::int64_t c) const {
+    return data[static_cast<std::size_t>(r * cols + c)];
+  }
+};
+
+/// Reference GEMM (C = A * B) for verifying the trace simulator.
+GemmMatrix reference_gemm(const GemmMatrix& a, const GemmMatrix& b);
+
+struct TraceResult {
+  GemmMatrix output;             ///< the computed C matrix
+  std::int64_t cycles = 0;       ///< total cycles stepped
+  std::int64_t macs = 0;         ///< non-zero-operand MACs actually performed
+  std::int64_t folds = 0;        ///< spatial folds executed
+  std::int64_t sram_reads = 0;   ///< operand elements injected into the array
+  std::int64_t drain_cycles = 0; ///< cycles spent draining results/psums
+};
+
+class TraceSimulator {
+ public:
+  /// Executes A[M x K] * B[K x N] on `array` cycle by cycle.
+  /// Preconditions: a.cols == b.rows, array.valid().
+  TraceResult run(const GemmMatrix& a, const GemmMatrix& b, const ArrayConfig& array) const;
+
+ private:
+  TraceResult run_os(const GemmMatrix& a, const GemmMatrix& b, const ArrayConfig& array) const;
+  TraceResult run_ws(const GemmMatrix& a, const GemmMatrix& b, const ArrayConfig& array) const;
+  TraceResult run_is(const GemmMatrix& a, const GemmMatrix& b, const ArrayConfig& array) const;
+};
+
+}  // namespace airch

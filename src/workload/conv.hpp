@@ -1,0 +1,62 @@
+#pragma once
+// Convolution layer description and its im2col lowering to GEMM.
+// This is how the paper turns "DNN layer" workloads into the GEMM inputs
+// consumed by the systolic-array cost model (SCALE-Sim does the same).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/gemm.hpp"
+
+namespace airch {
+
+struct ConvLayer {
+  std::string name;           ///< human-readable layer name, e.g. "conv1"
+  std::int64_t in_h = 1;      ///< input feature-map height
+  std::int64_t in_w = 1;      ///< input feature-map width
+  std::int64_t in_c = 1;      ///< input channels
+  std::int64_t out_c = 1;     ///< output channels (number of filters)
+  std::int64_t kernel = 1;    ///< square kernel size
+  std::int64_t stride = 1;    ///< stride (same in both dims)
+  std::int64_t padding = 0;   ///< symmetric zero padding
+  std::int64_t dilation = 1;  ///< kernel dilation (1 = dense)
+  std::int64_t groups = 1;    ///< grouped convolution (in_c == out_c == groups => depthwise)
+
+  /// Effective receptive-field extent of the dilated kernel.
+  std::int64_t effective_kernel() const { return dilation * (kernel - 1) + 1; }
+
+  std::int64_t out_h() const { return (in_h + 2 * padding - effective_kernel()) / stride + 1; }
+  std::int64_t out_w() const { return (in_w + 2 * padding - effective_kernel()) / stride + 1; }
+
+  /// im2col lowering of ONE group: M = output pixels, K = kernel volume
+  /// over the group's channels, N = the group's filters. A grouped conv
+  /// executes `groups` such GEMMs (see to_gemms()).
+  GemmWorkload to_gemm() const {
+    return GemmWorkload{out_h() * out_w(), out_c / groups,
+                        kernel * kernel * (in_c / groups)};
+  }
+
+  /// All per-group GEMMs (size == groups; each identical in shape).
+  std::vector<GemmWorkload> to_gemms() const {
+    return std::vector<GemmWorkload>(static_cast<std::size_t>(groups), to_gemm());
+  }
+
+  bool valid() const {
+    return in_h >= 1 && in_w >= 1 && in_c >= 1 && out_c >= 1 && kernel >= 1 && stride >= 1 &&
+           padding >= 0 && dilation >= 1 && groups >= 1 && in_c % groups == 0 &&
+           out_c % groups == 0 && out_h() >= 1 && out_w() >= 1;
+  }
+};
+
+/// Fully-connected layer as a degenerate GEMM (M = batch, K = in, N = out).
+struct FcLayer {
+  std::string name;
+  std::int64_t batch = 1;
+  std::int64_t in_features = 1;
+  std::int64_t out_features = 1;
+
+  GemmWorkload to_gemm() const { return GemmWorkload{batch, out_features, in_features}; }
+};
+
+}  // namespace airch

@@ -1,0 +1,33 @@
+#pragma once
+// GEMM workload description: C[M x N] = A[M x K] * B[K x N].
+// In the paper's CNN terminology (im2col lowering), A is the IFMAP operand,
+// B is the Filter operand, and C is the OFMAP.
+
+#include <cstdint>
+#include <string>
+
+namespace airch {
+
+struct GemmWorkload {
+  std::int64_t m = 1;  ///< rows of A / rows of C
+  std::int64_t n = 1;  ///< cols of B / cols of C
+  std::int64_t k = 1;  ///< cols of A / rows of B (reduction dim)
+
+  /// Total multiply-accumulate operations.
+  std::int64_t macs() const { return m * n * k; }
+
+  /// Operand element counts.
+  std::int64_t ifmap_elems() const { return m * k; }
+  std::int64_t filter_elems() const { return k * n; }
+  std::int64_t ofmap_elems() const { return m * n; }
+
+  bool valid() const { return m >= 1 && n >= 1 && k >= 1; }
+
+  std::string to_string() const {
+    return "GEMM(M=" + std::to_string(m) + ",N=" + std::to_string(n) + ",K=" + std::to_string(k) + ")";
+  }
+
+  friend bool operator==(const GemmWorkload&, const GemmWorkload&) = default;
+};
+
+}  // namespace airch

@@ -1,0 +1,209 @@
+#include "workload/model_zoo.hpp"
+
+namespace airch {
+
+std::vector<GemmWorkload> NetworkModel::gemms() const {
+  std::vector<GemmWorkload> out;
+  out.reserve(conv_layers.size() + fc_layers.size());
+  for (const auto& c : conv_layers) out.push_back(c.to_gemm());
+  for (const auto& f : fc_layers) out.push_back(f.to_gemm());
+  return out;
+}
+
+std::vector<std::string> NetworkModel::layer_names() const {
+  std::vector<std::string> out;
+  out.reserve(conv_layers.size() + fc_layers.size());
+  for (const auto& c : conv_layers) out.push_back(c.name);
+  for (const auto& f : fc_layers) out.push_back(f.name);
+  return out;
+}
+
+NetworkModel make_alexnet() {
+  NetworkModel net;
+  net.name = "AlexNet";
+  net.conv_layers = {
+      // name, in_h, in_w, in_c, out_c, kernel, stride, padding
+      {"conv1", 227, 227, 3, 96, 11, 4, 0},
+      {"conv2", 27, 27, 96, 256, 5, 1, 2},
+      {"conv3", 13, 13, 256, 384, 3, 1, 1},
+      {"conv4", 13, 13, 384, 384, 3, 1, 1},
+      {"conv5", 13, 13, 384, 256, 3, 1, 1},
+  };
+  net.fc_layers = {
+      {"fc6", 16, 9216, 4096},
+      {"fc7", 16, 4096, 4096},
+      {"fc8", 16, 4096, 1000},
+  };
+  return net;
+}
+
+NetworkModel make_googlenet() {
+  NetworkModel net;
+  net.name = "GoogLeNet";
+  // Stem plus a representative conv from each inception block (the 3x3
+  // branch dominates compute; 1x1 reduce layers are included for the
+  // small-K population visible in Fig. 7(a)).
+  net.conv_layers = {
+      {"conv1/7x7_s2", 224, 224, 3, 64, 7, 2, 3},
+      {"conv2/3x3_reduce", 56, 56, 64, 64, 1, 1, 0},
+      {"conv2/3x3", 56, 56, 64, 192, 3, 1, 1},
+      {"inception_3a/1x1", 28, 28, 192, 64, 1, 1, 0},
+      {"inception_3a/3x3", 28, 28, 96, 128, 3, 1, 1},
+      {"inception_3a/5x5", 28, 28, 16, 32, 5, 1, 2},
+      {"inception_3b/3x3", 28, 28, 128, 192, 3, 1, 1},
+      {"inception_4a/3x3", 14, 14, 96, 208, 3, 1, 1},
+      {"inception_4b/3x3", 14, 14, 112, 224, 3, 1, 1},
+      {"inception_4c/3x3", 14, 14, 128, 256, 3, 1, 1},
+      {"inception_4d/3x3", 14, 14, 144, 288, 3, 1, 1},
+      {"inception_4e/3x3", 14, 14, 160, 320, 3, 1, 1},
+      {"inception_5a/3x3", 7, 7, 160, 320, 3, 1, 1},
+      {"inception_5b/3x3", 7, 7, 192, 384, 3, 1, 1},
+  };
+  net.fc_layers = {{"loss3/classifier", 16, 1024, 1000}};
+  return net;
+}
+
+NetworkModel make_resnet18() {
+  NetworkModel net;
+  net.name = "ResNet-18";
+  net.conv_layers = {
+      {"conv1", 224, 224, 3, 64, 7, 2, 3},
+      {"layer1.0.conv1", 56, 56, 64, 64, 3, 1, 1},
+      {"layer1.0.conv2", 56, 56, 64, 64, 3, 1, 1},
+      {"layer1.1.conv1", 56, 56, 64, 64, 3, 1, 1},
+      {"layer1.1.conv2", 56, 56, 64, 64, 3, 1, 1},
+      {"layer2.0.conv1", 56, 56, 64, 128, 3, 2, 1},
+      {"layer2.0.conv2", 28, 28, 128, 128, 3, 1, 1},
+      {"layer2.0.downsample", 56, 56, 64, 128, 1, 2, 0},
+      {"layer2.1.conv1", 28, 28, 128, 128, 3, 1, 1},
+      {"layer2.1.conv2", 28, 28, 128, 128, 3, 1, 1},
+      {"layer3.0.conv1", 28, 28, 128, 256, 3, 2, 1},
+      {"layer3.0.conv2", 14, 14, 256, 256, 3, 1, 1},
+      {"layer3.0.downsample", 28, 28, 128, 256, 1, 2, 0},
+      {"layer3.1.conv1", 14, 14, 256, 256, 3, 1, 1},
+      {"layer3.1.conv2", 14, 14, 256, 256, 3, 1, 1},
+      {"layer4.0.conv1", 14, 14, 256, 512, 3, 2, 1},
+      {"layer4.0.conv2", 7, 7, 512, 512, 3, 1, 1},
+      {"layer4.0.downsample", 14, 14, 256, 512, 1, 2, 0},
+      {"layer4.1.conv1", 7, 7, 512, 512, 3, 1, 1},
+      {"layer4.1.conv2", 7, 7, 512, 512, 3, 1, 1},
+  };
+  net.fc_layers = {{"fc", 16, 512, 1000}};
+  return net;
+}
+
+NetworkModel make_mobilenet() {
+  NetworkModel net;
+  net.name = "MobileNet";
+  // MobileNetV1 pointwise (1x1) convolutions — the GEMM-shaped compute.
+  // Depthwise stages are channel-parallel vector ops, not GEMMs, so (as in
+  // SCALE-Sim's MobileNet config) the pointwise layers represent the model.
+  net.conv_layers = {
+      {"conv1", 224, 224, 3, 32, 3, 2, 1},
+      {"pw2", 112, 112, 32, 64, 1, 1, 0},
+      {"pw3", 56, 56, 64, 128, 1, 1, 0},
+      {"pw4", 56, 56, 128, 128, 1, 1, 0},
+      {"pw5", 28, 28, 128, 256, 1, 1, 0},
+      {"pw6", 28, 28, 256, 256, 1, 1, 0},
+      {"pw7", 14, 14, 256, 512, 1, 1, 0},
+      {"pw8", 14, 14, 512, 512, 1, 1, 0},
+      {"pw9", 14, 14, 512, 512, 1, 1, 0},
+      {"pw10", 14, 14, 512, 512, 1, 1, 0},
+      {"pw11", 14, 14, 512, 512, 1, 1, 0},
+      {"pw12", 14, 14, 512, 512, 1, 1, 0},
+      {"pw13", 7, 7, 512, 1024, 1, 1, 0},
+      {"pw14", 7, 7, 1024, 1024, 1, 1, 0},
+  };
+  net.fc_layers = {{"fc", 16, 1024, 1000}};
+  return net;
+}
+
+NetworkModel make_faster_rcnn() {
+  NetworkModel net;
+  net.name = "FasterRCNN";
+  // VGG-16 backbone + RPN head, operating on 600x800 detection inputs.
+  net.conv_layers = {
+      {"conv1_1", 600, 800, 3, 64, 3, 1, 1},
+      {"conv1_2", 600, 800, 64, 64, 3, 1, 1},
+      {"conv2_1", 300, 400, 64, 128, 3, 1, 1},
+      {"conv2_2", 300, 400, 128, 128, 3, 1, 1},
+      {"conv3_1", 150, 200, 128, 256, 3, 1, 1},
+      {"conv3_2", 150, 200, 256, 256, 3, 1, 1},
+      {"conv3_3", 150, 200, 256, 256, 3, 1, 1},
+      {"conv4_1", 75, 100, 256, 512, 3, 1, 1},
+      {"conv4_2", 75, 100, 512, 512, 3, 1, 1},
+      {"conv4_3", 75, 100, 512, 512, 3, 1, 1},
+      {"conv5_1", 37, 50, 512, 512, 3, 1, 1},
+      {"conv5_2", 37, 50, 512, 512, 3, 1, 1},
+      {"conv5_3", 37, 50, 512, 512, 3, 1, 1},
+      {"rpn_conv/3x3", 37, 50, 512, 512, 3, 1, 1},
+      {"rpn_cls_score", 37, 50, 512, 18, 1, 1, 0},
+      {"rpn_bbox_pred", 37, 50, 512, 36, 1, 1, 0},
+  };
+  net.fc_layers = {
+      {"fc6", 128, 25088, 4096},
+      {"fc7", 128, 4096, 4096},
+      {"cls_score", 128, 4096, 21},
+      {"bbox_pred", 128, 4096, 84},
+  };
+  return net;
+}
+
+namespace {
+
+/// Shared transformer-block GEMM construction. A block contributes:
+///   QKV projection    (seq x d_model) * (d_model x 3 d_model)
+///   attention scores  per head: (seq x d_head) * (d_head x seq)
+///   attention context per head: (seq x seq) * (seq x d_head)
+///   output projection (seq x d_model) * (d_model x d_model)
+///   FFN up / down     (seq x d_model) * (d_model x d_ff) and back
+NetworkModel make_transformer(const std::string& name, std::int64_t seq, std::int64_t d_model,
+                              std::int64_t heads, std::int64_t d_ff, int layers) {
+  NetworkModel net;
+  net.name = name;
+  const std::int64_t d_head = d_model / heads;
+  for (int l = 0; l < layers; ++l) {
+    const std::string p = "block" + std::to_string(l) + ".";
+    net.fc_layers.push_back({p + "qkv_proj", seq, d_model, 3 * d_model});
+    net.fc_layers.push_back({p + "attn_scores", seq, d_head, seq});
+    net.fc_layers.push_back({p + "attn_context", seq, seq, d_head});
+    net.fc_layers.push_back({p + "out_proj", seq, d_model, d_model});
+    net.fc_layers.push_back({p + "ffn_up", seq, d_model, d_ff});
+    net.fc_layers.push_back({p + "ffn_down", seq, d_ff, d_model});
+  }
+  return net;
+}
+
+}  // namespace
+
+NetworkModel make_bert_base(std::int64_t seq_len) {
+  // BERT-base: 12 layers, d_model 768, 12 heads, FFN 3072. Four
+  // representative blocks keep the layer table compact (blocks repeat).
+  return make_transformer("BERT-base", seq_len, 768, 12, 3072, 4);
+}
+
+NetworkModel make_gpt2_small(std::int64_t seq_len) {
+  // GPT-2 small: 12 layers, d_model 768, 12 heads, FFN 3072; decoder
+  // sequence lengths are typically longer at inference.
+  return make_transformer("GPT-2-small", seq_len, 768, 12, 3072, 4);
+}
+
+std::vector<NetworkModel> transformer_zoo() {
+  return {make_bert_base(), make_gpt2_small()};
+}
+
+std::vector<NetworkModel> model_zoo() {
+  return {make_alexnet(), make_googlenet(), make_resnet18(), make_mobilenet(),
+          make_faster_rcnn()};
+}
+
+std::vector<GemmWorkload> zoo_gemms() {
+  std::vector<GemmWorkload> out;
+  for (const auto& net : model_zoo()) {
+    auto g = net.gemms();
+    out.insert(out.end(), g.begin(), g.end());
+  }
+  return out;
+}
+
+}  // namespace airch

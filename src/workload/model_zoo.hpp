@@ -1,0 +1,48 @@
+#pragma once
+// Layer tables for the CNNs the paper uses (Fig. 7(a) dimension
+// distribution; Fig. 11(a) generalization test): AlexNet, GoogLeNet,
+// ResNet-18, MobileNet(v1), and the FasterRCNN (VGG-16 backbone) detector.
+// Each network is expressed as its conv/FC layers; `gemms()` lowers them to
+// the GEMM workloads the simulator consumes.
+
+#include <string>
+#include <vector>
+
+#include "workload/conv.hpp"
+#include "workload/gemm.hpp"
+
+namespace airch {
+
+struct NetworkModel {
+  std::string name;
+  std::vector<ConvLayer> conv_layers;
+  std::vector<FcLayer> fc_layers;
+
+  /// All layers lowered to GEMM, conv layers first.
+  std::vector<GemmWorkload> gemms() const;
+  /// Parallel array of layer names matching gemms().
+  std::vector<std::string> layer_names() const;
+};
+
+/// Individual network builders.
+NetworkModel make_alexnet();
+NetworkModel make_googlenet();
+NetworkModel make_resnet18();
+NetworkModel make_mobilenet();
+NetworkModel make_faster_rcnn();
+
+/// All five networks used in the paper's figures.
+std::vector<NetworkModel> model_zoo();
+
+/// Every GEMM from every zoo network, concatenated (Fig. 7(a) population).
+std::vector<GemmWorkload> zoo_gemms();
+
+/// Transformer encoder/decoder GEMMs (beyond the paper's CNN-only zoo):
+/// per-layer projections, attention score/context products, and FFN
+/// matmuls for a BERT-base-like encoder and a GPT-2-small-like decoder.
+/// Used by the extended generalization experiments.
+NetworkModel make_bert_base(std::int64_t seq_len = 128);
+NetworkModel make_gpt2_small(std::int64_t seq_len = 256);
+std::vector<NetworkModel> transformer_zoo();
+
+}  // namespace airch

@@ -1,0 +1,55 @@
+#include "workload/sampler.hpp"
+
+#include <cassert>
+
+#include "common/math_utils.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace airch {
+
+std::vector<GemmWorkload> GemmSampler::sample_many(Rng& rng, std::size_t count) const {
+  std::vector<GemmWorkload> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(sample(rng));
+  return out;
+}
+
+GemmWorkload LogUniformGemmSampler::sample(Rng& rng) const {
+  GemmWorkload w;
+  w.m = rng.log_uniform_int(bounds_.m_min, bounds_.m_max);
+  w.n = rng.log_uniform_int(bounds_.n_min, bounds_.n_max);
+  w.k = rng.log_uniform_int(bounds_.k_min, bounds_.k_max);
+  return w;
+}
+
+ZooEmpiricalGemmSampler::ZooEmpiricalGemmSampler(double jitter)
+    : population_(zoo_gemms()), jitter_(jitter) {
+  assert(!population_.empty());
+  assert(jitter_ >= 0.0);
+}
+
+GemmWorkload ZooEmpiricalGemmSampler::sample(Rng& rng) const {
+  const auto idx = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(population_.size()) - 1));
+  GemmWorkload w = population_[idx];
+  auto jitter_dim = [&](std::int64_t v) {
+    const double f = rng.uniform(1.0 / (1.0 + jitter_), 1.0 + jitter_);
+    return std::max<std::int64_t>(1, static_cast<std::int64_t>(static_cast<double>(v) * f));
+  };
+  w.m = jitter_dim(w.m);
+  w.n = jitter_dim(w.n);
+  w.k = jitter_dim(w.k);
+  return w;
+}
+
+std::vector<std::int64_t> log2_histogram(const std::vector<std::int64_t>& values, int num_bins) {
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_bins), 0);
+  for (auto v : values) {
+    if (v < 1) continue;
+    const int b = std::min(num_bins - 1, log2_floor(v));
+    ++counts[static_cast<std::size_t>(b)];
+  }
+  return counts;
+}
+
+}  // namespace airch

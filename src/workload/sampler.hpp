@@ -1,0 +1,64 @@
+#pragma once
+// Samplers producing GEMM workloads with the dimension statistics of
+// Fig. 7(a): dimensions of conv-net GEMMs span several orders of magnitude
+// and are roughly uniform per octave. Two samplers are provided:
+//
+//  * LogUniformGemmSampler — dims drawn log-uniformly within bounds; this
+//    is the sampler used for dataset generation (matches the heavy-tailed
+//    population without memorizing zoo layers, so Fig. 11(a)'s zoo layers
+//    remain unseen at training time).
+//  * ZooEmpiricalGemmSampler — resamples the model-zoo layer dimensions
+//    with multiplicative jitter; used to cross-check that the log-uniform
+//    sampler covers the empirical population (bench_fig7_space_growth).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/gemm.hpp"
+
+namespace airch {
+
+/// Bounds used throughout the paper's case studies. Derived from the zoo:
+/// M (output pixels) reaches ~5*10^5 (FasterRCNN conv1), N (filters) and
+/// K (kernel volume) reach ~2.5*10^4 (VGG fc6).
+struct GemmDimBounds {
+  std::int64_t m_min = 4, m_max = 1 << 19;
+  std::int64_t n_min = 4, n_max = 1 << 15;
+  std::int64_t k_min = 4, k_max = 1 << 15;
+};
+
+class GemmSampler {
+ public:
+  virtual ~GemmSampler() = default;
+  virtual GemmWorkload sample(Rng& rng) const = 0;
+
+  std::vector<GemmWorkload> sample_many(Rng& rng, std::size_t count) const;
+};
+
+class LogUniformGemmSampler final : public GemmSampler {
+ public:
+  explicit LogUniformGemmSampler(GemmDimBounds bounds = {}) : bounds_(bounds) {}
+  GemmWorkload sample(Rng& rng) const override;
+  const GemmDimBounds& bounds() const { return bounds_; }
+
+ private:
+  GemmDimBounds bounds_;
+};
+
+class ZooEmpiricalGemmSampler final : public GemmSampler {
+ public:
+  /// jitter: each dim multiplied by uniform [1/(1+jitter), 1+jitter].
+  explicit ZooEmpiricalGemmSampler(double jitter = 0.25);
+  GemmWorkload sample(Rng& rng) const override;
+
+ private:
+  std::vector<GemmWorkload> population_;
+  double jitter_;
+};
+
+/// Histogram of log2(dim) occupancy used to render Fig. 7(a):
+/// counts[b] = number of values v with floor(log2(v)) == b.
+std::vector<std::int64_t> log2_histogram(const std::vector<std::int64_t>& values, int num_bins);
+
+}  // namespace airch

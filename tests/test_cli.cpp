@@ -1,0 +1,101 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace airch {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p("prog", "test parser");
+  p.flag_i64("count", 10, "a count")
+      .flag_f64("rate", 0.5, "a rate")
+      .flag_str("name", "default", "a name")
+      .flag_bool("verbose", false, "a switch");
+  return p;
+}
+
+TEST(Cli, DefaultsWithoutArgs) {
+  auto p = make_parser();
+  const char* argv[] = {"prog"};
+  p.parse(1, argv);
+  EXPECT_EQ(p.i64("count"), 10);
+  EXPECT_DOUBLE_EQ(p.f64("rate"), 0.5);
+  EXPECT_EQ(p.str("name"), "default");
+  EXPECT_FALSE(p.boolean("verbose"));
+}
+
+TEST(Cli, EqualsSyntax) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--count=42", "--rate=1.25", "--name=abc", "--verbose=true"};
+  p.parse(5, argv);
+  EXPECT_EQ(p.i64("count"), 42);
+  EXPECT_DOUBLE_EQ(p.f64("rate"), 1.25);
+  EXPECT_EQ(p.str("name"), "abc");
+  EXPECT_TRUE(p.boolean("verbose"));
+}
+
+TEST(Cli, SpaceSyntax) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--count", "7", "--name", "xyz"};
+  p.parse(5, argv);
+  EXPECT_EQ(p.i64("count"), 7);
+  EXPECT_EQ(p.str("name"), "xyz");
+}
+
+TEST(Cli, BareBooleanFlag) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--verbose"};
+  p.parse(2, argv);
+  EXPECT_TRUE(p.boolean("verbose"));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_THROW(p.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, BadIntegerThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--count=abc"};
+  EXPECT_THROW(p.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, BadBooleanThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--verbose=maybe"};
+  EXPECT_THROW(p.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_THROW(p.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, PositionalArgThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_THROW(p.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, UnregisteredLookupThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"prog"};
+  p.parse(1, argv);
+  EXPECT_THROW(p.i64("nope"), std::invalid_argument);
+  EXPECT_THROW(p.i64("rate"), std::invalid_argument);  // kind mismatch
+}
+
+TEST(Cli, UsageListsFlags) {
+  auto p = make_parser();
+  const auto usage = p.usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+  EXPECT_NE(usage.find("a rate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace airch

@@ -1,0 +1,149 @@
+#include "sim/compute_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/math_utils.hpp"
+
+namespace airch {
+namespace {
+
+TEST(Mapping, OutputStationary) {
+  const Mapping m = map_workload({10, 20, 30}, Dataflow::kOutputStationary);
+  EXPECT_EQ(m.spatial_rows, 10);  // M
+  EXPECT_EQ(m.spatial_cols, 20);  // N
+  EXPECT_EQ(m.temporal, 30);      // K
+}
+
+TEST(Mapping, WeightStationary) {
+  const Mapping m = map_workload({10, 20, 30}, Dataflow::kWeightStationary);
+  EXPECT_EQ(m.spatial_rows, 30);  // K
+  EXPECT_EQ(m.spatial_cols, 20);  // N
+  EXPECT_EQ(m.temporal, 10);      // M
+}
+
+TEST(Mapping, InputStationary) {
+  const Mapping m = map_workload({10, 20, 30}, Dataflow::kInputStationary);
+  EXPECT_EQ(m.spatial_rows, 30);  // K
+  EXPECT_EQ(m.spatial_cols, 10);  // M
+  EXPECT_EQ(m.temporal, 20);      // N
+}
+
+TEST(ComputeLatency, SingleFoldOsFormula) {
+  // 8x8 array, workload fits exactly: M=8, N=8, K=16.
+  const ComputeResult r = compute_latency({8, 8, 16}, {8, 8, Dataflow::kOutputStationary});
+  EXPECT_EQ(r.folds, 1);
+  // (rows-1) + K + (rows+cols-1) = 7 + 16 + 15 = 38
+  EXPECT_EQ(r.cycles, 38);
+}
+
+TEST(ComputeLatency, SingleFoldWsFormula) {
+  const ComputeResult r = compute_latency({16, 8, 8}, {8, 8, Dataflow::kWeightStationary});
+  EXPECT_EQ(r.folds, 1);
+  // rows + M + (rows+cols-2) = 8 + 16 + 14 = 38
+  EXPECT_EQ(r.cycles, 38);
+}
+
+TEST(ComputeLatency, FoldCount) {
+  // OS: M=20 on 8 rows -> 3 row folds; N=9 on 8 cols -> 2 col folds.
+  const ComputeResult r = compute_latency({20, 9, 4}, {8, 8, Dataflow::kOutputStationary});
+  EXPECT_EQ(r.folds, 6);
+  EXPECT_EQ(r.cycles, r.folds * r.fold_cycles);
+}
+
+TEST(ComputeLatency, UtilizationNeverExceedsOne) {
+  const std::vector<GemmWorkload> workloads = {
+      {1, 1, 1}, {8, 8, 8}, {100, 3, 7}, {1024, 1024, 1024}, {5, 999, 2}};
+  const std::vector<ArrayConfig> arrays = {
+      {4, 4, Dataflow::kOutputStationary},
+      {32, 8, Dataflow::kWeightStationary},
+      {2, 256, Dataflow::kInputStationary},
+  };
+  for (const auto& w : workloads) {
+    for (const auto& a : arrays) {
+      const ComputeResult r = compute_latency(w, a);
+      EXPECT_GT(r.utilization, 0.0) << w.to_string() << " " << a.to_string();
+      EXPECT_LE(r.utilization, 1.0) << w.to_string() << " " << a.to_string();
+    }
+  }
+}
+
+TEST(ComputeLatency, PerfectlyMatchedShapeHasHighUtilization) {
+  // Large K amortizes fill/drain for OS.
+  const ComputeResult r = compute_latency({32, 32, 100000}, {32, 32, Dataflow::kOutputStationary});
+  EXPECT_GT(r.utilization, 0.99);
+}
+
+// Property sweep: latency is monotonically non-decreasing in each GEMM dim.
+struct MonotoneCase {
+  Dataflow dataflow;
+  std::int64_t rows, cols;
+};
+
+class LatencyMonotonicity : public ::testing::TestWithParam<MonotoneCase> {};
+
+TEST_P(LatencyMonotonicity, NonDecreasingInEachDim) {
+  const auto p = GetParam();
+  const ArrayConfig a{p.rows, p.cols, p.dataflow};
+  const GemmWorkload base{37, 53, 71};
+  const std::int64_t base_cycles = compute_latency(base, a).cycles;
+  for (std::int64_t scale : {2, 5, 16}) {
+    GemmWorkload wm = base, wn = base, wk = base;
+    wm.m *= scale;
+    wn.n *= scale;
+    wk.k *= scale;
+    EXPECT_GE(compute_latency(wm, a).cycles, base_cycles);
+    EXPECT_GE(compute_latency(wn, a).cycles, base_cycles);
+    EXPECT_GE(compute_latency(wk, a).cycles, base_cycles);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArraysAndDataflows, LatencyMonotonicity,
+    ::testing::Values(MonotoneCase{Dataflow::kOutputStationary, 8, 8},
+                      MonotoneCase{Dataflow::kOutputStationary, 4, 64},
+                      MonotoneCase{Dataflow::kWeightStationary, 8, 8},
+                      MonotoneCase{Dataflow::kWeightStationary, 64, 4},
+                      MonotoneCase{Dataflow::kInputStationary, 8, 8},
+                      MonotoneCase{Dataflow::kInputStationary, 16, 32}));
+
+TEST(ComputeLatency, DataflowMatchesReuseStructure) {
+  // Huge K, small M: WS/IS pay K-folds; OS streams K temporally in one
+  // fold — OS must win.
+  const GemmWorkload deep{16, 16, 1 << 14};
+  const std::int64_t os =
+      compute_latency(deep, {16, 16, Dataflow::kOutputStationary}).cycles;
+  const std::int64_t ws =
+      compute_latency(deep, {16, 16, Dataflow::kWeightStationary}).cycles;
+  const std::int64_t is =
+      compute_latency(deep, {16, 16, Dataflow::kInputStationary}).cycles;
+  EXPECT_LT(os, ws);
+  EXPECT_LT(os, is);
+
+  // Huge M, modest K/N: WS holds weights and streams M temporally.
+  const GemmWorkload tall{1 << 14, 16, 16};
+  const std::int64_t os2 =
+      compute_latency(tall, {16, 16, Dataflow::kOutputStationary}).cycles;
+  const std::int64_t ws2 =
+      compute_latency(tall, {16, 16, Dataflow::kWeightStationary}).cycles;
+  EXPECT_LT(ws2, os2);
+}
+
+TEST(ComputeLatency, BiggerArrayNeverMoreFolds) {
+  const GemmWorkload w{1000, 777, 333};
+  for (Dataflow d : kAllDataflows) {
+    const ComputeResult small = compute_latency(w, {8, 8, d});
+    const ComputeResult big = compute_latency(w, {32, 32, d});
+    EXPECT_LE(big.folds, small.folds);
+  }
+}
+
+TEST(ComputeLatency, UnitWorkloadUnitArray) {
+  for (Dataflow d : kAllDataflows) {
+    const ComputeResult r = compute_latency({1, 1, 1}, {1, 1, d});
+    EXPECT_EQ(r.folds, 1);
+    EXPECT_GE(r.cycles, 1);
+  }
+}
+
+}  // namespace
+}  // namespace airch

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace airch {
+namespace {
+
+class CsvRoundTrip : public ::testing::Test {
+ protected:
+  void SetUp() override { path_ = ::testing::TempDir() + "csv_test.csv"; }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CsvRoundTrip, HeaderAndRows) {
+  {
+    CsvWriter w(path_);
+    w.write_header({"a", "b", "c"});
+    w.write_row({"1", "2", "3"});
+    w.write_row_i64({-4, 5, 6});
+  }
+  CsvReader r(path_);
+  EXPECT_EQ(r.header(), (std::vector<std::string>{"a", "b", "c"}));
+  std::vector<std::string> cells;
+  ASSERT_TRUE(r.next_row(cells));
+  EXPECT_EQ(cells, (std::vector<std::string>{"1", "2", "3"}));
+  ASSERT_TRUE(r.next_row(cells));
+  EXPECT_EQ(cells, (std::vector<std::string>{"-4", "5", "6"}));
+  EXPECT_FALSE(r.next_row(cells));
+}
+
+TEST_F(CsvRoundTrip, WidthMismatchThrows) {
+  CsvWriter w(path_);
+  w.write_header({"a", "b"});
+  EXPECT_THROW(w.write_row({"only-one"}), std::runtime_error);
+}
+
+TEST(Csv, OpenMissingFileThrows) {
+  EXPECT_THROW(CsvReader("/nonexistent/path/file.csv"), std::runtime_error);
+  EXPECT_THROW(CsvWriter("/nonexistent/path/file.csv"), std::runtime_error);
+}
+
+TEST(Csv, SplitLine) {
+  EXPECT_EQ(split_csv_line("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_csv_line(""), (std::vector<std::string>{""}));
+  EXPECT_EQ(split_csv_line("x,,y"), (std::vector<std::string>{"x", "", "y"}));
+  EXPECT_EQ(split_csv_line("a,b\r"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Csv, QuotedFieldRejected) {
+  EXPECT_THROW(split_csv_line("\"quoted\",b"), std::runtime_error);
+}
+
+TEST(Table, AlignsColumns) {
+  AsciiTable t({"col", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("col"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only"}), std::invalid_argument);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(AsciiTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::fmt(1.0, 0), "1");
+}
+
+TEST(Bar, Fractions) {
+  EXPECT_EQ(bar(0.0, 10), "");
+  EXPECT_EQ(bar(1.0, 10).size(), 10u);
+  EXPECT_EQ(bar(0.5, 10).size(), 5u);
+  EXPECT_EQ(bar(2.0, 10).size(), 10u);   // clamped
+  EXPECT_EQ(bar(-1.0, 10).size(), 0u);   // clamped
+}
+
+}  // namespace
+}  // namespace airch

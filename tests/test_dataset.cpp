@@ -1,0 +1,115 @@
+#include "dataset/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/csv.hpp"
+
+namespace airch {
+namespace {
+
+Dataset tiny_dataset(int n = 10) {
+  Dataset ds({"a", "b"}, 4);
+  for (int i = 0; i < n; ++i) {
+    ds.add({{i, i * 2}, static_cast<std::int32_t>(i % 4)});
+  }
+  return ds;
+}
+
+TEST(Dataset, AddAndAccess) {
+  const Dataset ds = tiny_dataset();
+  EXPECT_EQ(ds.size(), 10u);
+  EXPECT_EQ(ds.num_features(), 2);
+  EXPECT_EQ(ds.num_classes(), 4);
+  EXPECT_EQ(ds[3].features[1], 6);
+  EXPECT_EQ(ds[3].label, 3);
+}
+
+TEST(Dataset, RejectsBadPoints) {
+  Dataset ds({"a", "b"}, 4);
+  EXPECT_THROW(ds.add({{1}, 0}), std::invalid_argument);          // arity
+  EXPECT_THROW(ds.add({{1, 2}, 4}), std::invalid_argument);       // label high
+  EXPECT_THROW(ds.add({{1, 2}, -1}), std::invalid_argument);      // label low
+}
+
+TEST(Dataset, SplitSizes) {
+  const Dataset ds = tiny_dataset(100);
+  auto [head, tail] = ds.split(0.8);
+  EXPECT_EQ(head.size(), 80u);
+  EXPECT_EQ(tail.size(), 20u);
+  EXPECT_EQ(head.num_classes(), 4);
+  EXPECT_EQ(tail.feature_names(), ds.feature_names());
+}
+
+TEST(Dataset, Split3Paper801010) {
+  const Dataset ds = tiny_dataset(1000);
+  const auto splits = ds.split3(0.8, 0.1);
+  EXPECT_EQ(splits.train.size(), 800u);
+  EXPECT_EQ(splits.val.size(), 100u);
+  EXPECT_EQ(splits.test.size(), 100u);
+}
+
+TEST(Dataset, Split3Exhaustive) {
+  const Dataset ds = tiny_dataset(10);
+  const auto splits = ds.split3(0.5, 0.2);
+  EXPECT_EQ(splits.train.size() + splits.val.size() + splits.test.size(), ds.size());
+}
+
+TEST(Dataset, SplitEdgeCases) {
+  const Dataset ds = tiny_dataset(10);
+  auto [all, none] = ds.split(1.0);
+  EXPECT_EQ(all.size(), 10u);
+  EXPECT_EQ(none.size(), 0u);
+  EXPECT_THROW(ds.split(1.5), std::invalid_argument);
+  EXPECT_THROW(ds.split3(0.9, 0.2), std::invalid_argument);
+}
+
+TEST(Dataset, ShufflePreservesPoints) {
+  Dataset ds = tiny_dataset(50);
+  Rng rng(3);
+  auto before = ds.label_histogram();
+  ds.shuffle(rng);
+  EXPECT_EQ(ds.label_histogram(), before);
+  EXPECT_EQ(ds.size(), 50u);
+}
+
+TEST(Dataset, LabelHistogram) {
+  const Dataset ds = tiny_dataset(10);
+  const auto h = ds.label_histogram();
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_EQ(h[0], 3);  // labels 0,4,8
+  EXPECT_EQ(h[1], 3);
+  EXPECT_EQ(h[2], 2);
+  EXPECT_EQ(h[3], 2);
+}
+
+class DatasetCsv : public ::testing::Test {
+ protected:
+  void SetUp() override { path_ = ::testing::TempDir() + "ds_test.csv"; }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(DatasetCsv, RoundTrip) {
+  const Dataset ds = tiny_dataset(25);
+  ds.save_csv(path_);
+  const Dataset loaded = Dataset::load_csv(path_, 4);
+  ASSERT_EQ(loaded.size(), ds.size());
+  EXPECT_EQ(loaded.feature_names(), ds.feature_names());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(loaded[i].features, ds[i].features);
+    EXPECT_EQ(loaded[i].label, ds[i].label);
+  }
+}
+
+TEST_F(DatasetCsv, MissingLabelColumnRejected) {
+  {
+    CsvWriter w(path_);
+    w.write_header({"a", "b"});
+  }
+  EXPECT_THROW(Dataset::load_csv(path_, 4), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace airch

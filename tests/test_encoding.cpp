@@ -1,0 +1,132 @@
+#include "dataset/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace airch {
+namespace {
+
+Dataset small_vocab_dataset() {
+  // Column 0 has 3 distinct values (exact mode); column 1 is a wide range
+  // (quantile mode when max_vocab is small).
+  Dataset ds({"mode3", "wide"}, 2);
+  for (int i = 0; i < 300; ++i) {
+    ds.add({{i % 3, i * 17 + 1}, static_cast<std::int32_t>(i % 2)});
+  }
+  return ds;
+}
+
+TEST(Encoder, ExactModeForSmallVocab) {
+  const Dataset ds = small_vocab_dataset();
+  const FeatureEncoder enc(ds, 16);
+  const auto vocab = enc.vocab_sizes();
+  ASSERT_EQ(vocab.size(), 2u);
+  EXPECT_EQ(vocab[0], 3);      // exact: three distinct values
+  EXPECT_LE(vocab[1], 16);     // quantile-bucketed
+  EXPECT_GE(vocab[1], 2);
+}
+
+TEST(Encoder, ExactModeRoundTrip) {
+  const Dataset ds = small_vocab_dataset();
+  const FeatureEncoder enc(ds, 16);
+  EXPECT_EQ(enc.bucket(0, 0), 0);
+  EXPECT_EQ(enc.bucket(0, 1), 1);
+  EXPECT_EQ(enc.bucket(0, 2), 2);
+}
+
+TEST(Encoder, ExactModeUnseenMapsToNearest) {
+  const Dataset ds = small_vocab_dataset();
+  const FeatureEncoder enc(ds, 16);
+  EXPECT_EQ(enc.bucket(0, -100), 0);  // below everything -> first
+  EXPECT_EQ(enc.bucket(0, 100), 2);   // above everything -> last
+}
+
+TEST(Encoder, QuantileModeMonotone) {
+  const Dataset ds = small_vocab_dataset();
+  const FeatureEncoder enc(ds, 8);
+  std::int32_t prev = -1;
+  for (std::int64_t v = 1; v < 5200; v += 100) {
+    const auto b = enc.bucket(1, v);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+TEST(Encoder, QuantileBucketsWithinVocab) {
+  const Dataset ds = small_vocab_dataset();
+  const FeatureEncoder enc(ds, 8);
+  const int vocab = enc.vocab_sizes()[1];
+  for (std::int64_t v : {-10L, 0L, 1L, 500L, 5000L, 1000000L}) {
+    const auto b = enc.bucket(1, v);
+    EXPECT_GE(b, 0);
+    EXPECT_LT(b, vocab);
+  }
+}
+
+TEST(Encoder, IntBatchShape) {
+  const Dataset ds = small_vocab_dataset();
+  const FeatureEncoder enc(ds, 8);
+  const ml::IntBatch batch = enc.encode_int(ds, 10, 20);
+  EXPECT_EQ(batch.rows, 10u);
+  EXPECT_EQ(batch.cols, 2u);
+}
+
+TEST(Encoder, FloatBatchStandardized) {
+  const Dataset ds = small_vocab_dataset();
+  const FeatureEncoder enc(ds, 8);
+  const ml::Matrix m = enc.encode_float(ds, 0, ds.size());
+  // z-scores: mean ~0, most values within a few sigma.
+  double sum = 0.0;
+  for (std::size_t i = 0; i < m.rows(); ++i) sum += m(i, 1);
+  EXPECT_NEAR(sum / static_cast<double>(m.rows()), 0.0, 0.1);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    EXPECT_LT(std::abs(m(i, 1)), 10.0f);
+  }
+}
+
+TEST(Encoder, ConstantColumnSafe) {
+  Dataset ds({"const"}, 2);
+  for (int i = 0; i < 50; ++i) ds.add({{7}, static_cast<std::int32_t>(i % 2)});
+  const FeatureEncoder enc(ds);
+  EXPECT_EQ(enc.vocab_sizes()[0], 1);
+  const ml::Matrix m = enc.encode_float(ds, 0, 5);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    EXPECT_TRUE(std::isfinite(m(i, 0)));
+  }
+}
+
+TEST(Encoder, GatherMatchesDirect) {
+  const Dataset ds = small_vocab_dataset();
+  const FeatureEncoder enc(ds, 8);
+  std::vector<std::size_t> idx = {5, 1, 42, 7};
+  const auto gathered = enc.encode_int_gather(ds, idx, 0, idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const auto direct = enc.encode_int(ds[idx[i]].features);
+    for (std::size_t f = 0; f < 2; ++f) {
+      EXPECT_EQ(gathered(i, f), direct(0, f));
+    }
+  }
+  const auto gathered_f = enc.encode_float_gather(ds, idx, 0, idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const auto direct = enc.encode_float(ds[idx[i]].features);
+    for (std::size_t f = 0; f < 2; ++f) {
+      EXPECT_FLOAT_EQ(gathered_f(i, f), direct(0, f));
+    }
+  }
+}
+
+TEST(Encoder, SinglePointArityChecked) {
+  const Dataset ds = small_vocab_dataset();
+  const FeatureEncoder enc(ds, 8);
+  EXPECT_THROW(enc.encode_int(std::vector<std::int64_t>{1}), std::invalid_argument);
+  EXPECT_THROW(enc.encode_float(std::vector<std::int64_t>{1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Encoder, EmptyDatasetThrows) {
+  const Dataset empty({"a"}, 2);
+  EXPECT_THROW(FeatureEncoder{empty}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace airch

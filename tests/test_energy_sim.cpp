@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "sim/energy_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace airch {
+namespace {
+
+TEST(EnergyModel, ArithmeticMatchesCounts) {
+  const GemmWorkload w{10, 10, 10};
+  MemoryResult mem;
+  mem.dram_ifmap_bytes = 100;
+  mem.dram_filter_bytes = 50;
+  mem.dram_ofmap_bytes = 25;
+  mem.sram_bytes = 1000;
+  EnergyParams p;
+  p.mac_pj = 1.0;
+  p.sram_pj = 2.0;
+  p.dram_pj = 10.0;
+  const EnergyResult e = energy_cost(w, mem, p);
+  EXPECT_DOUBLE_EQ(e.compute_pj, 1000.0);
+  EXPECT_DOUBLE_EQ(e.sram_pj, 2000.0);
+  EXPECT_DOUBLE_EQ(e.dram_pj, 1750.0);
+  EXPECT_DOUBLE_EQ(e.total_pj(), 4750.0);
+}
+
+TEST(EnergyModel, DramDominatesByDefault) {
+  // Default constants keep the DRAM:SRAM per-byte ratio >> 1 (the design
+  // pressure that makes buffer sizing matter).
+  const EnergyParams p;
+  EXPECT_GT(p.dram_pj / p.sram_pj, 50.0);
+}
+
+TEST(Simulator, TotalIsComputePlusStalls) {
+  const Simulator sim;
+  const GemmWorkload w{100, 200, 300};
+  const ArrayConfig a{16, 16, Dataflow::kWeightStationary};
+  const MemoryConfig m{200, 200, 200, 5};
+  const SimResult r = sim.simulate(w, a, m);
+  EXPECT_EQ(r.total_cycles(), r.compute.cycles + r.memory.stall_cycles);
+  EXPECT_GT(r.energy.total_pj(), 0.0);
+}
+
+TEST(Simulator, ComputeCyclesMatchesComputeModel) {
+  const Simulator sim;
+  const GemmWorkload w{64, 64, 64};
+  const ArrayConfig a{8, 8, Dataflow::kOutputStationary};
+  EXPECT_EQ(sim.compute_cycles(w, a), compute_latency(w, a).cycles);
+}
+
+TEST(Simulator, MoreBandwidthNeverSlower) {
+  const Simulator sim;
+  const GemmWorkload w{512, 256, 1024};
+  const ArrayConfig a{32, 32, Dataflow::kInputStationary};
+  std::int64_t prev = std::numeric_limits<std::int64_t>::max();
+  for (std::int64_t bw : {1, 4, 16, 64}) {
+    const MemoryConfig m{300, 300, 300, bw};
+    const auto total = sim.simulate(w, a, m).total_cycles();
+    EXPECT_LE(total, prev);
+    prev = total;
+  }
+}
+
+TEST(Simulator, EnergyScalesWithWorkload) {
+  const Simulator sim;
+  const ArrayConfig a{16, 16, Dataflow::kOutputStationary};
+  const MemoryConfig m{500, 500, 500, 10};
+  const double small = sim.simulate({64, 64, 64}, a, m).energy.total_pj();
+  const double big = sim.simulate({256, 256, 256}, a, m).energy.total_pj();
+  EXPECT_GT(big, small);
+}
+
+TEST(Dataflow, StringRoundTrip) {
+  for (Dataflow d : kAllDataflows) {
+    EXPECT_EQ(dataflow_from_string(to_string(d)), d);
+  }
+  EXPECT_EQ(dataflow_from_string("os"), Dataflow::kOutputStationary);
+  EXPECT_THROW(dataflow_from_string("XX"), std::invalid_argument);
+}
+
+TEST(Dataflow, IndexRoundTrip) {
+  for (int i = 0; i < kNumDataflows; ++i) {
+    EXPECT_EQ(dataflow_index(dataflow_from_index(i)), i);
+  }
+}
+
+TEST(ArrayConfig, MacsAndValidity) {
+  const ArrayConfig a{8, 16, Dataflow::kOutputStationary};
+  EXPECT_EQ(a.macs(), 128);
+  EXPECT_TRUE(a.valid());
+  EXPECT_FALSE((ArrayConfig{0, 4, Dataflow::kOutputStationary}).valid());
+  EXPECT_EQ(a.to_string(), "8x16/OS");
+}
+
+TEST(MemoryConfig, CapacityConversions) {
+  const MemoryConfig m{100, 200, 300, 10};
+  EXPECT_EQ(m.ifmap_bytes(), 100 * 1024);
+  EXPECT_EQ(m.total_kb(), 600);
+  EXPECT_TRUE(m.valid());
+  EXPECT_FALSE((MemoryConfig{0, 1, 1, 1}).valid());
+  EXPECT_FALSE((MemoryConfig{1, 1, 1, 0}).valid());
+}
+
+}  // namespace
+}  // namespace airch

@@ -1,0 +1,193 @@
+#include "search/exhaustive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/math_utils.hpp"
+#include "common/rng.hpp"
+#include "workload/sampler.hpp"
+
+namespace airch {
+namespace {
+
+class ExhaustiveTest : public ::testing::Test {
+ protected:
+  Simulator sim_;
+};
+
+// ------------------------------------------------------------- case 1
+
+class Case1SearchTest : public ExhaustiveTest {
+ protected:
+  Case1SearchTest() : space_(12), search_(space_, sim_) {}
+  ArrayDataflowSpace space_;  // small space keeps exhaustive checks fast
+  ArrayDataflowSearch search_;
+};
+
+TEST_F(Case1SearchTest, BestIsGlobalMinimum) {
+  Rng rng(3);
+  LogUniformGemmSampler sampler;
+  for (int trial = 0; trial < 20; ++trial) {
+    const GemmWorkload w = sampler.sample(rng);
+    const auto best = search_.best(w, 12);
+    for (int label = 0; label < space_.size(); ++label) {
+      EXPECT_LE(best.cycles, search_.cycles_of(w, label)) << w.to_string();
+    }
+    EXPECT_EQ(best.cycles, search_.cycles_of(w, best.label));
+  }
+}
+
+TEST_F(Case1SearchTest, RespectsBudget) {
+  Rng rng(5);
+  LogUniformGemmSampler sampler;
+  for (int budget_exp = 2; budget_exp <= 12; ++budget_exp) {
+    const GemmWorkload w = sampler.sample(rng);
+    const auto best = search_.best(w, budget_exp);
+    EXPECT_LE(space_.config(best.label).macs(), pow2(budget_exp));
+  }
+}
+
+TEST_F(Case1SearchTest, SmallerBudgetNeverFaster) {
+  const GemmWorkload w{500, 300, 800};
+  std::int64_t prev = std::numeric_limits<std::int64_t>::max();
+  for (int budget_exp = 2; budget_exp <= 12; ++budget_exp) {
+    const auto best = search_.best(w, budget_exp);
+    EXPECT_LE(best.cycles, prev);
+    prev = best.cycles;
+  }
+}
+
+TEST_F(Case1SearchTest, Deterministic) {
+  const GemmWorkload w{123, 456, 789};
+  const auto a = search_.best(w, 10);
+  const auto b = search_.best(w, 10);
+  EXPECT_EQ(a.label, b.label);
+}
+
+TEST_F(Case1SearchTest, BudgetBelowSmallestArrayThrows) {
+  EXPECT_THROW(search_.best({8, 8, 8}, 1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- case 2
+
+class Case2SearchTest : public ExhaustiveTest {
+ protected:
+  Case2SearchTest() : space_(100, 1000), search_(space_, sim_) {}
+  BufferSizeSpace space_;
+  BufferSearch search_;
+};
+
+TEST_F(Case2SearchTest, BestIsGlobalMinimumOnStalls) {
+  Rng rng(7);
+  LogUniformGemmSampler sampler;
+  for (int trial = 0; trial < 10; ++trial) {
+    const GemmWorkload w = sampler.sample(rng);
+    const ArrayConfig a{16, 16, dataflow_from_index(trial % 3)};
+    const std::int64_t bw = 1 + trial * 7;
+    // limit = 3000 KB makes every label feasible.
+    const auto best = search_.best(w, a, bw, 3000);
+    for (int label = 0; label < space_.size(); ++label) {
+      EXPECT_LE(best.stall_cycles, search_.stalls_of(w, a, bw, label));
+    }
+  }
+}
+
+TEST_F(Case2SearchTest, TieBreakPrefersSmallestCapacity) {
+  // A tiny workload fits everywhere: all configs give identical stalls, so
+  // the minimum-capacity config (label 0) must win.
+  const GemmWorkload w{4, 4, 4};
+  const ArrayConfig a{4, 4, Dataflow::kOutputStationary};
+  const auto best = search_.best(w, a, 100, 1000);
+  EXPECT_EQ(space_.config(best.label).total_kb(), 300);
+}
+
+TEST_F(Case2SearchTest, RespectsTotalCapacityLimit) {
+  const GemmWorkload w{2048, 2048, 2048};
+  const ArrayConfig a{32, 32, Dataflow::kWeightStationary};
+  for (std::int64_t limit : {300, 600, 1000, 3000}) {
+    const auto best = search_.best(w, a, 10, limit);
+    EXPECT_LE(space_.config(best.label).total_kb(), limit);
+  }
+}
+
+TEST_F(Case2SearchTest, LooserLimitNeverWorse) {
+  const GemmWorkload w{4096, 1024, 4096};
+  const ArrayConfig a{32, 32, Dataflow::kInputStationary};
+  std::int64_t prev = std::numeric_limits<std::int64_t>::max();
+  for (std::int64_t limit : {300, 600, 1200, 2100, 3000}) {
+    const auto best = search_.best(w, a, 4, limit);
+    EXPECT_LE(best.stall_cycles, prev);
+    prev = best.stall_cycles;
+  }
+}
+
+TEST_F(Case2SearchTest, LimitBelowSmallestTotalThrows) {
+  EXPECT_THROW(search_.best({8, 8, 8}, {4, 4, Dataflow::kOutputStationary}, 10, 200),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------- case 3
+
+class Case3SearchTest : public ExhaustiveTest {
+ protected:
+  Case3SearchTest() : space_(4), search_(space_, default_scheduled_arrays(), sim_) {}
+  ScheduleSpace space_;
+  ScheduleSearch search_;
+};
+
+TEST_F(Case3SearchTest, BestBeatsSampledLabels) {
+  Rng rng(11);
+  LogUniformGemmSampler sampler;
+  const auto workloads = sampler.sample_many(rng, 4);
+  const auto best = search_.best(workloads);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int label = static_cast<int>(rng.uniform_int(0, space_.size() - 1));
+    const auto other = search_.evaluate(workloads, label);
+    EXPECT_LE(best.makespan_cycles, other.makespan_cycles);
+  }
+}
+
+TEST_F(Case3SearchTest, EvaluateConsistentWithBest) {
+  Rng rng(13);
+  LogUniformGemmSampler sampler;
+  const auto workloads = sampler.sample_many(rng, 4);
+  const auto best = search_.best(workloads);
+  const auto re = search_.evaluate(workloads, best.label);
+  EXPECT_EQ(re.makespan_cycles, best.makespan_cycles);
+  EXPECT_NEAR(re.energy_pj, best.energy_pj, best.energy_pj * 1e-9);
+}
+
+TEST_F(Case3SearchTest, ArityMismatchThrows) {
+  EXPECT_THROW(search_.best({GemmWorkload{1, 1, 1}}), std::invalid_argument);
+  EXPECT_THROW(search_.evaluate({GemmWorkload{1, 1, 1}}, 0), std::invalid_argument);
+}
+
+TEST_F(Case3SearchTest, WrongArrayCountThrows) {
+  auto arrays = default_scheduled_arrays();
+  arrays.pop_back();
+  EXPECT_THROW(ScheduleSearch(space_, arrays, sim_), std::invalid_argument);
+}
+
+TEST_F(Case3SearchTest, HeterogeneousArraysMatter) {
+  // A very skewed workload mix: the big array should take the big GEMM.
+  // We check that the optimum beats the identity assignment with all-OS.
+  const std::vector<GemmWorkload> workloads = {
+      {16, 16, 16}, {4096, 4096, 512}, {64, 64, 64}, {128, 32, 900}};
+  const auto best = search_.best(workloads);
+  const auto identity = search_.evaluate(workloads, 0);
+  EXPECT_LE(best.makespan_cycles, identity.makespan_cycles);
+}
+
+TEST(DefaultArrays, FourHeterogeneous) {
+  const auto arrays = default_scheduled_arrays();
+  ASSERT_EQ(arrays.size(), 4u);
+  // Shapes must differ (heterogeneity is the point of the case study).
+  EXPECT_NE(arrays[0].array.to_string(), arrays[1].array.to_string());
+  EXPECT_NE(arrays[1].array.to_string(), arrays[2].array.to_string());
+  for (const auto& a : arrays) {
+    EXPECT_TRUE(a.array.valid());
+    EXPECT_TRUE(a.memory.valid());
+  }
+}
+
+}  // namespace
+}  // namespace airch

@@ -1,0 +1,135 @@
+// Focused behavioural tests for the from-scratch boosted trees and SVCs
+// beyond the shared model-zoo suite.
+
+#include <gtest/gtest.h>
+
+#include "models/gbt.hpp"
+#include "models/svc.hpp"
+
+namespace airch {
+namespace {
+
+/// One feature, two classes, clean threshold at 500.
+Dataset threshold_dataset(std::size_t n, std::uint64_t seed) {
+  Dataset ds({"x"}, 2);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t x = rng.uniform_int(0, 1000);
+    ds.add({{x}, x > 500 ? 1 : 0});
+  }
+  return ds;
+}
+
+TEST(GbtDetails, NailsSingleThreshold) {
+  const Dataset train = threshold_dataset(2000, 1);
+  const Dataset test = threshold_dataset(500, 2);
+  const FeatureEncoder enc(train);
+  GbtClassifier::Options o;
+  o.rounds = 5;
+  GbtClassifier clf("gbt", o);
+  clf.fit(train, {}, enc);
+  // Trees split on buckets; the only error source is the bucket straddling
+  // the threshold.
+  EXPECT_GT(clf.accuracy(test, enc), 0.97);
+}
+
+TEST(GbtDetails, DeterministicAcrossRuns) {
+  const Dataset train = threshold_dataset(1000, 3);
+  const Dataset test = threshold_dataset(200, 4);
+  const FeatureEncoder enc(train);
+  GbtClassifier::Options o;
+  o.rounds = 3;
+  GbtClassifier a("a", o), b("b", o);
+  a.fit(train, {}, enc);
+  b.fit(train, {}, enc);
+  EXPECT_EQ(a.predict(test, enc), b.predict(test, enc));
+}
+
+TEST(GbtDetails, MoreRoundsImproveTrainFit) {
+  // Training loss must be non-increasing across boosting rounds.
+  const Dataset train = threshold_dataset(1000, 5);
+  const FeatureEncoder enc(train);
+  GbtClassifier::Options o;
+  o.rounds = 8;
+  GbtClassifier clf("gbt", o);
+  const auto history = clf.fit(train, {}, enc);
+  ASSERT_EQ(history.size(), 8u);
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    EXPECT_LE(history[i].train_loss, history[i - 1].train_loss + 1e-9) << i;
+  }
+}
+
+TEST(GbtDetails, HandlesClassAbsentFromSubsample) {
+  // Rare class with max_train_points subsampling must not crash.
+  Dataset ds({"x"}, 3);
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t x = rng.uniform_int(0, 1000);
+    ds.add({{x}, x > 990 ? 2 : (x > 500 ? 1 : 0)});  // class 2 is rare
+  }
+  const FeatureEncoder enc(ds);
+  GbtClassifier::Options o;
+  o.rounds = 2;
+  o.max_train_points = 100;
+  GbtClassifier clf("gbt", o);
+  EXPECT_NO_THROW(clf.fit(ds, {}, enc));
+}
+
+TEST(SvcDetails, PerfectlySeparableIsLearnedExactly) {
+  // Wide-margin two-class problem in standardized-log space.
+  Dataset ds({"x"}, 2);
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const bool big = rng.uniform() < 0.5;
+    const std::int64_t x = big ? rng.uniform_int(10000, 100000) : rng.uniform_int(1, 10);
+    ds.add({{x}, big ? 1 : 0});
+  }
+  auto [train, test] = ds.split(0.8);
+  const FeatureEncoder enc(train);
+  auto clf = make_svc_linear(1);
+  clf->fit(train, {}, enc);
+  EXPECT_GT(clf->accuracy(test, enc), 0.99);
+}
+
+TEST(SvcDetails, RffDeterministicForSeed) {
+  const Dataset train = threshold_dataset(800, 11);
+  const Dataset test = threshold_dataset(200, 12);
+  const FeatureEncoder enc(train);
+  auto a = make_svc_rbf(42);
+  auto b = make_svc_rbf(42);
+  a->fit(train, {}, enc);
+  b->fit(train, {}, enc);
+  EXPECT_EQ(a->predict(test, enc), b->predict(test, enc));
+}
+
+TEST(SvcDetails, RbfBeatsLinearOnXorProblem) {
+  // XOR of two thresholds: no linear separator exists (linear machine is
+  // stuck near 50%); the RBF feature map handles it.
+  Dataset ds({"a", "b"}, 2);
+  Rng rng(13);
+  for (int i = 0; i < 4000; ++i) {
+    const std::int64_t a = rng.uniform_int(0, 1000);
+    const std::int64_t b = rng.uniform_int(0, 1000);
+    ds.add({{a, b}, ((a > 500) != (b > 500)) ? 1 : 0});
+  }
+  auto [train, test] = ds.split(0.8);
+  const FeatureEncoder enc(train);
+  auto linear = make_svc_linear(1);
+  auto rbf = make_svc_rbf(1);
+  linear->fit(train, {}, enc);
+  rbf->fit(train, {}, enc);
+  EXPECT_LT(linear->accuracy(test, enc), 0.65);  // no linear separator
+  EXPECT_GT(rbf->accuracy(test, enc), linear->accuracy(test, enc) + 0.1);
+}
+
+TEST(SvcDetails, HistoryLengthMatchesEpochs) {
+  const Dataset train = threshold_dataset(500, 15);
+  const FeatureEncoder enc(train);
+  SvcClassifier::Options o;
+  o.epochs = 7;
+  SvcClassifier clf("svc", o);
+  EXPECT_EQ(clf.fit(train, {}, enc).size(), 7u);
+}
+
+}  // namespace
+}  // namespace airch

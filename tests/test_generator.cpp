@@ -1,0 +1,144 @@
+#include "dataset/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/math_utils.hpp"
+
+namespace airch {
+namespace {
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  Simulator sim_;
+};
+
+TEST_F(GeneratorTest, Case1SchemaAndLabels) {
+  const ArrayDataflowSpace space(12);
+  Case1Config cfg;
+  cfg.budget_max_exp = 12;
+  const Dataset ds = generate_case1(200, space, sim_, cfg, 1);
+  EXPECT_EQ(ds.size(), 200u);
+  EXPECT_EQ(ds.num_features(), 4);
+  EXPECT_EQ(ds.num_classes(), space.size());
+  EXPECT_EQ(ds.feature_names()[0], "budget_exp");
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_GE(ds[i].label, 0);
+    EXPECT_LT(ds[i].label, space.size());
+    EXPECT_GE(ds[i].features[0], cfg.budget_min_exp);
+    EXPECT_LE(ds[i].features[0], cfg.budget_max_exp);
+  }
+}
+
+TEST_F(GeneratorTest, Case1LabelsAreSearchOptima) {
+  const ArrayDataflowSpace space(10);
+  Case1Config cfg;
+  cfg.budget_max_exp = 10;
+  const Dataset ds = generate_case1(50, space, sim_, cfg, 2);
+  ArrayDataflowSearch search(space, sim_);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const Case1Features f = decode_case1(ds[i].features);
+    EXPECT_EQ(ds[i].label, search.best(f.workload, f.budget_exp).label);
+  }
+}
+
+TEST_F(GeneratorTest, Case1DeterministicForSeed) {
+  const ArrayDataflowSpace space(10);
+  Case1Config cfg;
+  cfg.budget_max_exp = 10;
+  const Dataset a = generate_case1(100, space, sim_, cfg, 42);
+  const Dataset b = generate_case1(100, space, sim_, cfg, 42);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].features, b[i].features);
+    EXPECT_EQ(a[i].label, b[i].label);
+  }
+}
+
+TEST_F(GeneratorTest, Case1DifferentSeedsDiffer) {
+  const ArrayDataflowSpace space(10);
+  Case1Config cfg;
+  cfg.budget_max_exp = 10;
+  const Dataset a = generate_case1(50, space, sim_, cfg, 1);
+  const Dataset b = generate_case1(50, space, sim_, cfg, 2);
+  int diffs = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].features != b[i].features) ++diffs;
+  }
+  EXPECT_GT(diffs, 40);
+}
+
+TEST_F(GeneratorTest, Case1BadBudgetRangeThrows) {
+  const ArrayDataflowSpace space(10);
+  Case1Config cfg;
+  cfg.budget_max_exp = 14;  // exceeds space
+  EXPECT_THROW(generate_case1(10, space, sim_, cfg, 1), std::invalid_argument);
+}
+
+TEST_F(GeneratorTest, Case1DecodeRoundTrip) {
+  const Case1Features f = decode_case1({10, 100, 200, 300});
+  EXPECT_EQ(f.budget_exp, 10);
+  EXPECT_EQ(f.workload.m, 100);
+  EXPECT_EQ(f.workload.n, 200);
+  EXPECT_EQ(f.workload.k, 300);
+  EXPECT_THROW(decode_case1({1, 2, 3}), std::invalid_argument);
+}
+
+TEST_F(GeneratorTest, Case2SchemaAndConstraints) {
+  const BufferSizeSpace space;
+  Case2Config cfg;
+  const Dataset ds = generate_case2(100, space, sim_, cfg, 3);
+  EXPECT_EQ(ds.num_features(), 8);
+  EXPECT_EQ(ds.num_classes(), 1000);
+  BufferSearch search(space, sim_);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const Case2Features f = decode_case2(ds[i].features);
+    EXPECT_GE(f.bandwidth, cfg.bw_min);
+    EXPECT_LE(f.bandwidth, cfg.bw_max);
+    EXPECT_EQ(f.limit_kb % space.step_kb(), 0);
+    EXPECT_GE(f.limit_kb, cfg.limit_min_kb);
+    EXPECT_LE(f.limit_kb, cfg.limit_max_kb);
+    // Label honours the shared capacity budget.
+    EXPECT_LE(space.config(ds[i].label).total_kb(), f.limit_kb);
+    // Array dims are powers of two within the configured MAC range.
+    EXPECT_TRUE(is_pow2(f.array.rows));
+    EXPECT_TRUE(is_pow2(f.array.cols));
+    const auto macs = f.array.macs();
+    EXPECT_GE(macs, pow2(cfg.array_macs_min_exp));
+    EXPECT_LE(macs, pow2(cfg.array_macs_max_exp));
+  }
+}
+
+TEST_F(GeneratorTest, Case2LabelsAreSearchOptima) {
+  const BufferSizeSpace space;
+  Case2Config cfg;
+  const Dataset ds = generate_case2(30, space, sim_, cfg, 4);
+  BufferSearch search(space, sim_);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const Case2Features f = decode_case2(ds[i].features);
+    EXPECT_EQ(ds[i].label, search.best(f.workload, f.array, f.bandwidth, f.limit_kb).label);
+  }
+}
+
+TEST_F(GeneratorTest, Case3SchemaAndLabels) {
+  const ScheduleSpace space(4);
+  const auto arrays = default_scheduled_arrays();
+  const Dataset ds = generate_case3(50, space, arrays, sim_, {}, 5);
+  EXPECT_EQ(ds.num_features(), 12);
+  EXPECT_EQ(ds.num_classes(), 1944);
+  ScheduleSearch search(space, arrays, sim_);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const auto workloads = decode_case3(ds[i].features);
+    ASSERT_EQ(workloads.size(), 4u);
+    EXPECT_EQ(ds[i].label, search.best(workloads).label);
+  }
+}
+
+TEST_F(GeneratorTest, Case3DecodeValidation) {
+  EXPECT_THROW(decode_case3({1, 2}), std::invalid_argument);
+  EXPECT_THROW(decode_case3({}), std::invalid_argument);
+  const auto ws = decode_case3({1, 2, 3, 4, 5, 6});
+  ASSERT_EQ(ws.size(), 2u);
+  EXPECT_EQ(ws[1].k, 6);
+}
+
+}  // namespace
+}  // namespace airch

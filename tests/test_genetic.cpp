@@ -1,0 +1,132 @@
+#include "search/genetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/math_utils.hpp"
+#include "workload/sampler.hpp"
+
+namespace airch {
+namespace {
+
+class GaCase1Test : public ::testing::Test {
+ protected:
+  GaCase1Test() : space_(12), exhaustive_(space_, sim_), ga_(space_, sim_) {}
+  Simulator sim_;
+  ArrayDataflowSpace space_;
+  ArrayDataflowSearch exhaustive_;
+  GaArrayDataflowSearch ga_;
+};
+
+TEST_F(GaCase1Test, FindsNearOptimalSolutions) {
+  Rng rng(3);
+  LogUniformGemmSampler sampler;
+  for (int trial = 0; trial < 10; ++trial) {
+    const GemmWorkload w = sampler.sample(rng);
+    const auto opt = exhaustive_.best(w, 12);
+    GaOptions options;
+    options.seed = static_cast<std::uint64_t>(trial) + 1;
+    const auto ga = ga_.best(w, 12, options);
+    // GA should be within 25% of the exhaustive optimum on this small space.
+    EXPECT_LE(static_cast<double>(ga.cycles),
+              1.25 * static_cast<double>(opt.cycles))
+        << w.to_string();
+    // And never better than it (the optimum is a true minimum).
+    EXPECT_GE(ga.cycles, opt.cycles);
+  }
+}
+
+TEST_F(GaCase1Test, RespectsBudget) {
+  Rng rng(5);
+  LogUniformGemmSampler sampler;
+  for (int budget = 4; budget <= 12; budget += 2) {
+    const GemmWorkload w = sampler.sample(rng);
+    const auto r = ga_.best(w, budget);
+    EXPECT_LE(space_.config(r.label).macs(), pow2(budget));
+  }
+}
+
+TEST(GaEvaluationBudget, FarFewerEvaluationsThanExhaustiveOnFullSpace) {
+  // On the paper-sized space (459 labels) the GA's evaluation budget
+  // (pop + generations * (pop - elite)) is well below exhaustive search.
+  const Simulator sim;
+  const ArrayDataflowSpace space(18);
+  const GaArrayDataflowSearch ga(space, sim);
+  const GemmWorkload w{512, 512, 512};
+  const auto r = ga.best(w, 18);
+  EXPECT_LT(r.evaluations, space.labels_within_budget(18).size());
+}
+
+TEST_F(GaCase1Test, DeterministicForSeed) {
+  const GemmWorkload w{300, 400, 500};
+  GaOptions options;
+  options.seed = 77;
+  const auto a = ga_.best(w, 10, options);
+  const auto b = ga_.best(w, 10, options);
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST_F(GaCase1Test, ReportedCyclesMatchLabel) {
+  const GemmWorkload w{777, 222, 333};
+  const auto r = ga_.best(w, 11);
+  EXPECT_EQ(r.cycles, exhaustive_.cycles_of(w, r.label));
+}
+
+class GaCase3Test : public ::testing::Test {
+ protected:
+  GaCase3Test()
+      : space_(4),
+        exhaustive_(space_, default_scheduled_arrays(), sim_),
+        ga_(space_, default_scheduled_arrays(), sim_) {}
+  Simulator sim_;
+  ScheduleSpace space_;
+  ScheduleSearch exhaustive_;
+  GaScheduleSearch ga_;
+};
+
+TEST_F(GaCase3Test, FindsNearOptimalSchedules) {
+  Rng rng(7);
+  LogUniformGemmSampler sampler;
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto workloads = sampler.sample_many(rng, 4);
+    const auto opt = exhaustive_.best(workloads);
+    GaOptions options;
+    options.seed = static_cast<std::uint64_t>(trial) + 1;
+    const auto ga = ga_.best(workloads, options);
+    EXPECT_LE(static_cast<double>(ga.makespan_cycles),
+              1.2 * static_cast<double>(opt.makespan_cycles));
+    EXPECT_GE(ga.makespan_cycles, opt.makespan_cycles);
+  }
+}
+
+TEST_F(GaCase3Test, ProducesValidScheduleLabels) {
+  Rng rng(9);
+  LogUniformGemmSampler sampler;
+  const auto workloads = sampler.sample_many(rng, 4);
+  const auto r = ga_.best(workloads);
+  EXPECT_GE(r.label, 0);
+  EXPECT_LT(r.label, space_.size());
+  // Label decodes to a real permutation.
+  const auto s = space_.config(r.label);
+  std::vector<int> sorted = s.workload_of;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(GeneticOptimizer, ConvergesOnToyProblem) {
+  // Maximize -(x-42)^2 over integers via GA.
+  GeneticOptimizer<int>::Hooks hooks;
+  hooks.random = [](Rng& rng) { return static_cast<int>(rng.uniform_int(0, 1000)); };
+  hooks.crossover = [](const int& a, const int& b, Rng&) { return (a + b) / 2; };
+  hooks.mutate = [](int& g, Rng& rng) { g += static_cast<int>(rng.uniform_int(-10, 10)); };
+  hooks.fitness = [](const int& g) { return -static_cast<double>((g - 42) * (g - 42)); };
+  GaOptions options;
+  options.generations = 30;
+  GeneticOptimizer<int> ga(options, std::move(hooks));
+  const auto r = ga.run();
+  EXPECT_NEAR(r.best, 42, 5);
+  EXPECT_GT(r.evaluations, 0u);
+}
+
+}  // namespace
+}  // namespace airch

@@ -1,0 +1,84 @@
+#include "common/math_utils.hpp"
+
+#include <gtest/gtest.h>
+
+namespace airch {
+namespace {
+
+TEST(CeilDiv, ExactDivision) {
+  EXPECT_EQ(ceil_div(12, 4), 3);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+}
+
+TEST(CeilDiv, RoundsUp) {
+  EXPECT_EQ(ceil_div(13, 4), 4);
+  EXPECT_EQ(ceil_div(1, 100), 1);
+  EXPECT_EQ(ceil_div(99, 100), 1);
+  EXPECT_EQ(ceil_div(101, 100), 2);
+}
+
+TEST(IsPow2, Powers) {
+  for (int e = 0; e < 62; ++e) EXPECT_TRUE(is_pow2(std::int64_t{1} << e)) << e;
+}
+
+TEST(IsPow2, NonPowers) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(-4));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(6));
+  EXPECT_FALSE(is_pow2(1023));
+}
+
+TEST(Log2Floor, Values) {
+  EXPECT_EQ(log2_floor(1), 0);
+  EXPECT_EQ(log2_floor(2), 1);
+  EXPECT_EQ(log2_floor(3), 1);
+  EXPECT_EQ(log2_floor(4), 2);
+  EXPECT_EQ(log2_floor(1023), 9);
+  EXPECT_EQ(log2_floor(1024), 10);
+}
+
+TEST(Log2Ceil, Values) {
+  EXPECT_EQ(log2_ceil(1), 0);
+  EXPECT_EQ(log2_ceil(2), 1);
+  EXPECT_EQ(log2_ceil(3), 2);
+  EXPECT_EQ(log2_ceil(1023), 10);
+  EXPECT_EQ(log2_ceil(1024), 10);
+  EXPECT_EQ(log2_ceil(1025), 11);
+}
+
+TEST(Pow2, MatchesShift) {
+  for (int e = 0; e < 62; ++e) EXPECT_EQ(pow2(e), std::int64_t{1} << e);
+}
+
+TEST(Pow2RoundTrip, Log2OfPow2) {
+  for (int e = 0; e < 62; ++e) {
+    EXPECT_EQ(log2_floor(pow2(e)), e);
+    EXPECT_EQ(log2_ceil(pow2(e)), e);
+  }
+}
+
+TEST(Geomean, SingleValue) { EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0); }
+
+TEST(Geomean, TwoValues) { EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12); }
+
+TEST(Geomean, Empty) { EXPECT_DOUBLE_EQ(geomean({}), 0.0); }
+
+TEST(Geomean, AtMostArithmeticMean) {
+  const std::vector<double> xs = {0.5, 0.9, 1.0, 0.99, 0.2};
+  EXPECT_LE(geomean(xs), mean(xs));
+}
+
+TEST(Mean, Values) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(ClampI64, Bounds) {
+  EXPECT_EQ(clamp_i64(5, 0, 10), 5);
+  EXPECT_EQ(clamp_i64(-5, 0, 10), 0);
+  EXPECT_EQ(clamp_i64(15, 0, 10), 10);
+}
+
+}  // namespace
+}  // namespace airch

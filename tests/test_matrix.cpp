@@ -1,0 +1,118 @@
+#include "ml/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace airch::ml {
+namespace {
+
+Matrix naive_matmul(const Matrix& a, bool ta, const Matrix& b, bool tb) {
+  const std::size_t m = ta ? a.cols() : a.rows();
+  const std::size_t k = ta ? a.rows() : a.cols();
+  const std::size_t n = tb ? b.rows() : b.cols();
+  Matrix c(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = ta ? a(p, i) : a(i, p);
+        const float bv = tb ? b(j, p) : b(p, j);
+        acc += av * bv;
+      }
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return m;
+}
+
+struct TransCase {
+  bool ta, tb;
+};
+
+class MatmulTranspose : public ::testing::TestWithParam<TransCase> {};
+
+TEST_P(MatmulTranspose, MatchesNaive) {
+  const auto [ta, tb] = GetParam();
+  Rng rng(7);
+  const std::size_t m = 5, k = 7, n = 3;
+  const Matrix a = ta ? random_matrix(k, m, rng) : random_matrix(m, k, rng);
+  const Matrix b = tb ? random_matrix(n, k, rng) : random_matrix(k, n, rng);
+  Matrix c(m, n);
+  matmul(a, ta, b, tb, c);
+  const Matrix expected = naive_matmul(a, ta, b, tb);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(c(i, j), expected(i, j), 1e-5f) << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, MatmulTranspose,
+                         ::testing::Values(TransCase{false, false}, TransCase{true, false},
+                                           TransCase{false, true}, TransCase{true, true}));
+
+TEST(Matmul, AlphaBeta) {
+  Rng rng(9);
+  const Matrix a = random_matrix(4, 4, rng);
+  const Matrix b = random_matrix(4, 4, rng);
+  Matrix c(4, 4, 1.0f);
+  matmul(a, false, b, false, c, 2.0f, 3.0f);
+  const Matrix ab = naive_matmul(a, false, b, false);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(c(i, j), 2.0f * ab(i, j) + 3.0f, 1e-5f);
+    }
+  }
+}
+
+TEST(Matrix, ResizeZeroes) {
+  Matrix m(2, 2, 5.0f);
+  m.resize(3, 3);
+  EXPECT_EQ(m.rows(), 3u);
+  for (std::size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.0f);
+}
+
+TEST(Matrix, GlorotWithinLimit) {
+  Rng rng(11);
+  Matrix m(64, 32);
+  m.init_glorot(rng);
+  const float limit = std::sqrt(6.0f / (64 + 32));
+  bool nonzero = false;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_LE(std::abs(m.data()[i]), limit);
+    nonzero |= m.data()[i] != 0.0f;
+  }
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(Matrix, AddRowBroadcast) {
+  Matrix y(2, 3, 1.0f);
+  add_row_broadcast(y, {1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(y(0, 0), 2.0f);
+  EXPECT_EQ(y(1, 2), 4.0f);
+}
+
+TEST(Matrix, ColumnSums) {
+  Matrix m(3, 2);
+  m(0, 0) = 1;
+  m(1, 0) = 2;
+  m(2, 0) = 3;
+  m(0, 1) = -1;
+  std::vector<float> sums;
+  column_sums(m, sums);
+  ASSERT_EQ(sums.size(), 2u);
+  EXPECT_EQ(sums[0], 6.0f);
+  EXPECT_EQ(sums[1], -1.0f);
+}
+
+}  // namespace
+}  // namespace airch::ml

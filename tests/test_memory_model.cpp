@@ -1,0 +1,182 @@
+#include "sim/memory_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace airch {
+namespace {
+
+MemoryResult run(const GemmWorkload& w, const ArrayConfig& a, const MemoryConfig& m) {
+  return memory_behavior(w, a, m, compute_latency(w, a));
+}
+
+// Generous buffers: every operand fetched exactly once.
+TEST(MemoryModel, FullReuseTrafficOs) {
+  const GemmWorkload w{64, 64, 64};
+  const ArrayConfig a{16, 16, Dataflow::kOutputStationary};
+  const MemoryConfig m{1000, 1000, 1000, 10};
+  const MemoryResult r = run(w, a, m);
+  EXPECT_EQ(r.dram_ifmap_bytes, w.ifmap_elems());
+  EXPECT_EQ(r.dram_filter_bytes, w.filter_elems());
+  EXPECT_EQ(r.dram_ofmap_bytes, w.ofmap_elems());
+}
+
+TEST(MemoryModel, FullReuseTrafficWs) {
+  const GemmWorkload w{64, 64, 64};
+  const ArrayConfig a{16, 16, Dataflow::kWeightStationary};
+  const MemoryConfig m{1000, 1000, 1000, 10};
+  const MemoryResult r = run(w, a, m);
+  EXPECT_EQ(r.dram_filter_bytes, w.filter_elems());  // stationary: exactly once
+  EXPECT_EQ(r.dram_ifmap_bytes, w.ifmap_elems());
+  EXPECT_EQ(r.dram_ofmap_bytes, w.ofmap_elems());
+}
+
+TEST(MemoryModel, FullReuseTrafficIs) {
+  const GemmWorkload w{64, 64, 64};
+  const ArrayConfig a{16, 16, Dataflow::kInputStationary};
+  const MemoryConfig m{1000, 1000, 1000, 10};
+  const MemoryResult r = run(w, a, m);
+  EXPECT_EQ(r.dram_ifmap_bytes, w.ifmap_elems());  // stationary operand
+}
+
+TEST(MemoryModel, TinyIfmapBufferCausesRefetchOs) {
+  // IFMAP stripe = rows x K = 16 * 4096 = 64 KB; a 1 KB buffer cannot hold
+  // it, so the stripe is re-streamed for every column fold.
+  const GemmWorkload w{256, 256, 4096};
+  const ArrayConfig a{16, 16, Dataflow::kOutputStationary};
+  const MemoryConfig big{1000, 1000, 1000, 10};
+  const MemoryConfig small{1, 1000, 1000, 10};
+  EXPECT_GT(run(w, a, small).dram_ifmap_bytes, run(w, a, big).dram_ifmap_bytes);
+}
+
+TEST(MemoryModel, WsStationaryFilterImmuneToFilterBuffer) {
+  // In WS, filter traffic is always exactly K*N regardless of buffer size
+  // — the paper's Fig. 6(e) observation that WS tolerates small filter
+  // buffers.
+  const GemmWorkload w{512, 512, 512};
+  const ArrayConfig a{16, 16, Dataflow::kWeightStationary};
+  const MemoryConfig small{500, 1, 500, 10};
+  EXPECT_EQ(run(w, a, small).dram_filter_bytes, w.filter_elems());
+}
+
+TEST(MemoryModel, IsStationaryIfmapImmuneToIfmapBuffer) {
+  // Mirror property for IS and the IFMAP operand (paper Fig. 6(d)).
+  const GemmWorkload w{512, 512, 512};
+  const ArrayConfig a{16, 16, Dataflow::kInputStationary};
+  const MemoryConfig small{1, 500, 500, 10};
+  EXPECT_EQ(run(w, a, small).dram_ifmap_bytes, w.ifmap_elems());
+}
+
+TEST(MemoryModel, PsumSpillWhenOfmapBufferTiny) {
+  // WS with K > rows has multiple reduction folds; a too-small OFMAP
+  // buffer forces read+write partial-sum spills of the non-retained part.
+  const GemmWorkload w{2048, 256, 4096};
+  const ArrayConfig a{16, 16, Dataflow::kWeightStationary};
+  const MemoryConfig big{1000, 1000, 1000, 10};
+  const MemoryConfig small{1000, 1000, 1, 10};
+  const auto spilled = run(w, a, small).dram_ofmap_bytes;
+  const auto held = run(w, a, big).dram_ofmap_bytes;
+  // A 1000 KB buffer holds the M x cols partial-sum stripe (32 KB): every
+  // output written exactly once.
+  EXPECT_EQ(held, w.ofmap_elems());
+  EXPECT_GT(spilled, held);
+  // Partial retention: the 1 KB buffer keeps 1024 bytes of each 32768-byte
+  // stripe; the rest pays read+write per extra reduction fold per stripe.
+  const std::int64_t red_folds = (w.k + a.rows - 1) / a.rows;
+  const std::int64_t col_folds = (w.n + a.cols - 1) / a.cols;
+  const std::int64_t stripe = w.m * a.cols;
+  const std::int64_t expected =
+      w.ofmap_elems() + 2 * (red_folds - 1) * col_folds * (stripe - 1024);
+  EXPECT_EQ(spilled, expected);
+}
+
+TEST(MemoryModel, PartialRetentionInterpolates) {
+  // Growing the IFMAP buffer between "nothing retained" and "stripe fits"
+  // must reduce traffic strictly and continuously (no step function).
+  const GemmWorkload w{256, 2048, 4096};  // OS ifmap stripe = 16 * 4096 = 64 KB
+  const ArrayConfig a{16, 16, Dataflow::kOutputStationary};
+  std::int64_t prev = std::numeric_limits<std::int64_t>::max();
+  for (std::int64_t kb : {1, 16, 32, 48, 64}) {
+    const MemoryConfig m{kb, 1000, 1000, 10};
+    const auto traffic = run(w, a, m).dram_ifmap_bytes;
+    EXPECT_LT(traffic, prev) << kb;
+    prev = traffic;
+  }
+  // At 64 KB the stripe fits: minimum traffic, each element fetched once.
+  EXPECT_EQ(prev, w.ifmap_elems());
+}
+
+TEST(MemoryModel, OsNeverSpillsPsums) {
+  // Output-stationary accumulates in the PEs: OFMAP traffic is exactly
+  // M*N even with a minimal output buffer.
+  const GemmWorkload w{2048, 2048, 8192};
+  const ArrayConfig a{8, 8, Dataflow::kOutputStationary};
+  const MemoryConfig m{1, 1, 1, 10};
+  EXPECT_EQ(run(w, a, m).dram_ofmap_bytes, w.ofmap_elems());
+}
+
+// Property: stalls are monotone non-increasing in bandwidth.
+class StallBandwidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(StallBandwidth, MoreBandwidthNeverMoreStalls) {
+  const auto df = dataflow_from_index(GetParam());
+  const GemmWorkload w{300, 500, 700};
+  const ArrayConfig a{32, 16, df};
+  std::int64_t prev = std::numeric_limits<std::int64_t>::max();
+  for (std::int64_t bw : {1, 2, 5, 10, 20, 50, 100}) {
+    const MemoryConfig m{200, 200, 200, bw};
+    const auto stalls = run(w, a, m).stall_cycles;
+    EXPECT_LE(stalls, prev) << "bw=" << bw;
+    prev = stalls;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDataflows, StallBandwidth, ::testing::Values(0, 1, 2));
+
+// Property: growing any single buffer never increases total DRAM traffic.
+class BufferMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(BufferMonotonicity, BiggerBuffersNeverMoreTraffic) {
+  const auto df = dataflow_from_index(GetParam());
+  const GemmWorkload w{777, 333, 1555};
+  const ArrayConfig a{16, 32, df};
+  for (int which = 0; which < 3; ++which) {
+    std::int64_t prev_traffic = std::numeric_limits<std::int64_t>::max();
+    for (std::int64_t kb : {1, 10, 100, 400, 1000}) {
+      MemoryConfig m{100, 100, 100, 10};
+      if (which == 0) m.ifmap_kb = kb;
+      if (which == 1) m.filter_kb = kb;
+      if (which == 2) m.ofmap_kb = kb;
+      const auto traffic = run(w, a, m).dram_total_bytes();
+      EXPECT_LE(traffic, prev_traffic) << "buffer " << which << " kb " << kb;
+      prev_traffic = traffic;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDataflows, BufferMonotonicity, ::testing::Values(0, 1, 2));
+
+TEST(MemoryModel, StallsIncludeFirstFill) {
+  // Even with infinite effective bandwidth overlap, the first tile fetch
+  // cannot be hidden.
+  const GemmWorkload w{16, 16, 16};
+  const ArrayConfig a{16, 16, Dataflow::kOutputStationary};
+  const MemoryConfig m{100, 100, 100, 1};
+  EXPECT_GT(run(w, a, m).stall_cycles, 0);
+}
+
+TEST(MemoryModel, SramTrafficAtLeastDramTraffic) {
+  // Everything from DRAM passes through SRAM; SRAM additionally serves
+  // reuse, so SRAM traffic >= per-operand DRAM traffic for the streamed
+  // operands.
+  const GemmWorkload w{512, 512, 512};
+  for (Dataflow d : kAllDataflows) {
+    const ArrayConfig a{16, 16, d};
+    const MemoryConfig m{300, 300, 300, 10};
+    const auto r = run(w, a, m);
+    EXPECT_GE(r.sram_bytes, w.ifmap_elems());
+    EXPECT_GE(r.sram_bytes, w.filter_elems());
+  }
+}
+
+}  // namespace
+}  // namespace airch

@@ -1,0 +1,128 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace airch::ml {
+namespace {
+
+Matrix scores_from(std::initializer_list<std::initializer_list<float>> rows) {
+  const std::size_t r = rows.size();
+  const std::size_t c = rows.begin()->size();
+  Matrix m(r, c);
+  std::size_t i = 0;
+  for (const auto& row : rows) {
+    std::size_t j = 0;
+    for (float v : row) m(i, j++) = v;
+    ++i;
+  }
+  return m;
+}
+
+TEST(TopkAccuracy, Top1MatchesArgmax) {
+  const Matrix s = scores_from({{0.1f, 0.9f, 0.0f}, {0.5f, 0.2f, 0.3f}});
+  EXPECT_DOUBLE_EQ(topk_accuracy(s, {1, 0}, 1), 1.0);
+  EXPECT_DOUBLE_EQ(topk_accuracy(s, {0, 1}, 1), 0.0);
+}
+
+TEST(TopkAccuracy, WidensWithK) {
+  const Matrix s = scores_from({{0.5f, 0.3f, 0.2f}});
+  EXPECT_DOUBLE_EQ(topk_accuracy(s, {2}, 1), 0.0);
+  EXPECT_DOUBLE_EQ(topk_accuracy(s, {2}, 2), 0.0);
+  EXPECT_DOUBLE_EQ(topk_accuracy(s, {2}, 3), 1.0);
+}
+
+TEST(TopkAccuracy, MonotoneInK) {
+  Rng rng(3);
+  Matrix s(50, 10);
+  std::vector<std::int32_t> y(50);
+  for (std::size_t i = 0; i < s.size(); ++i) s.data()[i] = static_cast<float>(rng.uniform());
+  for (auto& v : y) v = static_cast<std::int32_t>(rng.uniform_int(0, 9));
+  double prev = 0.0;
+  for (int k = 1; k <= 10; ++k) {
+    const double acc = topk_accuracy(s, y, k);
+    EXPECT_GE(acc, prev);
+    prev = acc;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);  // k = classes -> always a hit
+}
+
+TEST(TopkAccuracy, RejectsBadK) {
+  const Matrix s = scores_from({{1.0f, 0.0f}});
+  EXPECT_THROW(topk_accuracy(s, {0}, 0), std::invalid_argument);
+}
+
+TEST(JensenShannon, IdenticalIsZero) {
+  EXPECT_NEAR(jensen_shannon_divergence({5, 3, 2}, {50, 30, 20}), 0.0, 1e-12);
+}
+
+TEST(JensenShannon, DisjointIsLn2) {
+  EXPECT_NEAR(jensen_shannon_divergence({10, 0}, {0, 10}), std::log(2.0), 1e-12);
+}
+
+TEST(JensenShannon, Symmetric) {
+  const std::vector<std::int64_t> p = {7, 1, 2, 5};
+  const std::vector<std::int64_t> q = {1, 4, 4, 1};
+  EXPECT_DOUBLE_EQ(jensen_shannon_divergence(p, q), jensen_shannon_divergence(q, p));
+}
+
+TEST(JensenShannon, RejectsBadInput) {
+  EXPECT_THROW(jensen_shannon_divergence({1, 2}, {1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(jensen_shannon_divergence({0, 0}, {1, 2}), std::invalid_argument);
+}
+
+TEST(ConfusionCounts, Basic) {
+  //      labels: 0 0 1 1 2
+  // predictions: 0 1 1 2 2
+  const auto c = confusion_counts({0, 0, 1, 1, 2}, {0, 1, 1, 2, 2}, 3);
+  EXPECT_EQ(c[0].tp, 1);
+  EXPECT_EQ(c[0].fn, 1);
+  EXPECT_EQ(c[0].fp, 0);
+  EXPECT_EQ(c[1].tp, 1);
+  EXPECT_EQ(c[1].fn, 1);
+  EXPECT_EQ(c[1].fp, 1);
+  EXPECT_EQ(c[2].tp, 1);
+  EXPECT_EQ(c[2].fn, 0);
+  EXPECT_EQ(c[2].fp, 1);
+}
+
+TEST(ConfusionCounts, OutOfRangeLabelThrows) {
+  EXPECT_THROW(confusion_counts({5}, {0}, 3), std::out_of_range);
+  EXPECT_THROW(confusion_counts({0}, {0, 1}, 3), std::invalid_argument);
+}
+
+TEST(MacroF1, PerfectPredictionsScoreOne) {
+  EXPECT_DOUBLE_EQ(macro_f1({0, 1, 2, 1}, {0, 1, 2, 1}, 3), 1.0);
+}
+
+TEST(MacroF1, AllWrongScoresZero) {
+  EXPECT_DOUBLE_EQ(macro_f1({0, 0}, {1, 1}, 2), 0.0);
+}
+
+TEST(MacroF1, IgnoresAbsentClasses) {
+  // Class 2 never appears in labels; macro average is over classes 0,1.
+  const double f1 = macro_f1({0, 1}, {0, 1}, 3);
+  EXPECT_DOUBLE_EQ(f1, 1.0);
+}
+
+TEST(MacroF1, PunishesMajorityClassCollapse) {
+  // A degenerate predictor that always answers the majority class gets
+  // high accuracy but poor macro F1 on imbalanced data.
+  std::vector<std::int32_t> labels;
+  std::vector<std::int32_t> preds;
+  for (int i = 0; i < 90; ++i) {
+    labels.push_back(0);
+    preds.push_back(0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    labels.push_back(1);
+    preds.push_back(0);
+  }
+  const double accuracy = 0.9;  // by construction
+  const double f1 = macro_f1(labels, preds, 2);
+  EXPECT_LT(f1, accuracy - 0.3);
+}
+
+}  // namespace
+}  // namespace airch::ml

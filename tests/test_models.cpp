@@ -1,0 +1,157 @@
+// Every classifier in the Fig. 9 zoo must learn a simple synthetic design
+// rule far better than chance. The dataset mimics the structure of the
+// real case studies: integer features, label a deterministic function.
+
+#include <gtest/gtest.h>
+
+#include "models/gbt.hpp"
+#include "models/neural.hpp"
+#include "models/svc.hpp"
+
+namespace airch {
+namespace {
+
+/// 4 integer features; label = 2*(f0 > 32) + (f2 > 128): four classes
+/// depending on thresholds — linearly separable in log space.
+Dataset synthetic_dataset(std::size_t n, std::uint64_t seed) {
+  Dataset ds({"f0", "f1", "f2", "f3"}, 4);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t f0 = rng.log_uniform_int(1, 1024);
+    const std::int64_t f1 = rng.log_uniform_int(1, 1024);
+    const std::int64_t f2 = rng.log_uniform_int(1, 1024);
+    const std::int64_t f3 = rng.log_uniform_int(1, 1024);
+    const std::int32_t label =
+        static_cast<std::int32_t>(2 * (f0 > 32 ? 1 : 0) + (f2 > 128 ? 1 : 0));
+    ds.add({{f0, f1, f2, f3}, label});
+  }
+  return ds;
+}
+
+class ModelZooTest : public ::testing::Test {
+ protected:
+  ModelZooTest()
+      : train_(synthetic_dataset(4000, 1)),
+        val_(synthetic_dataset(500, 2)),
+        test_(synthetic_dataset(500, 3)),
+        enc_(train_) {}
+
+  double fit_and_score(Classifier& clf) {
+    clf.fit(train_, val_, enc_);
+    return clf.accuracy(test_, enc_);
+  }
+
+  Dataset train_, val_, test_;
+  FeatureEncoder enc_;
+};
+
+TEST_F(ModelZooTest, AirchitectLearnsRule) {
+  auto clf = make_airchitect(1, 10);
+  EXPECT_GT(fit_and_score(*clf), 0.9);
+}
+
+TEST_F(ModelZooTest, MlpALearnsRule) {
+  auto clf = make_mlp_a(1);
+  EXPECT_GT(fit_and_score(*clf), 0.9);
+}
+
+TEST_F(ModelZooTest, MlpBLearnsRule) {
+  auto clf = make_mlp_b(1);
+  EXPECT_GT(fit_and_score(*clf), 0.9);
+}
+
+TEST_F(ModelZooTest, MlpCLearnsRule) {
+  auto clf = make_mlp_c(1);
+  EXPECT_GT(fit_and_score(*clf), 0.9);
+}
+
+TEST_F(ModelZooTest, MlpDLearnsRule) {
+  auto clf = make_mlp_d(1);
+  EXPECT_GT(fit_and_score(*clf), 0.9);
+}
+
+TEST_F(ModelZooTest, LinearSvcLearnsRule) {
+  auto clf = make_svc_linear(1);
+  // Linear SVC on a modest subgradient budget: well above the 0.25 chance
+  // floor, below the kernel/NN models.
+  EXPECT_GT(fit_and_score(*clf), 0.75);
+}
+
+TEST_F(ModelZooTest, RbfSvcLearnsRule) {
+  auto clf = make_svc_rbf(1);
+  EXPECT_GT(fit_and_score(*clf), 0.85);
+}
+
+TEST_F(ModelZooTest, GbtLearnsRule) {
+  auto clf = make_xgboost_like(1);
+  // Threshold rules are trees' native language; expect near-perfect.
+  EXPECT_GT(fit_and_score(*clf), 0.95);
+}
+
+TEST_F(ModelZooTest, HistoryHasExpectedLength) {
+  auto mlp = make_mlp_a(1);
+  const auto history = mlp->fit(train_, val_, enc_);
+  EXPECT_EQ(history.size(), static_cast<std::size_t>(mlp->options().epochs));
+  // Validation accuracy should improve from first to last epoch.
+  EXPECT_GE(history.back().val_accuracy, history.front().val_accuracy - 0.05);
+}
+
+TEST_F(ModelZooTest, PredictBeforeFitThrows) {
+  NeuralClassifier::Options o;
+  NeuralClassifier clf("unfitted", o);
+  EXPECT_THROW(clf.predict(test_, enc_), std::logic_error);
+
+  SvcClassifier svc("unfitted", SvcClassifier::Options{});
+  EXPECT_THROW(svc.predict(test_, enc_), std::logic_error);
+
+  GbtClassifier gbt("unfitted", GbtClassifier::Options{});
+  EXPECT_THROW(gbt.predict(test_, enc_), std::logic_error);
+}
+
+TEST_F(ModelZooTest, PredictProbaSumsToOne) {
+  auto clf = make_airchitect(1, 3);
+  clf->fit(train_, val_, enc_);
+  const auto proba = clf->predict_proba(test_[0].features, enc_);
+  ASSERT_EQ(proba.size(), 4u);
+  float sum = 0.0f;
+  for (float p : proba) {
+    EXPECT_GE(p, 0.0f);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-4f);
+}
+
+TEST_F(ModelZooTest, NamesMatchPaperTable) {
+  EXPECT_EQ(make_mlp_a()->name(), "MLP-A");
+  EXPECT_EQ(make_mlp_d()->name(), "MLP-D");
+  EXPECT_EQ(make_svc_linear()->name(), "SVC-Linear");
+  EXPECT_EQ(make_svc_rbf()->name(), "SVC-RBF");
+  EXPECT_EQ(make_xgboost_like()->name(), "XGBoost");
+  EXPECT_EQ(make_airchitect()->name(), "AIrchitect");
+}
+
+TEST_F(ModelZooTest, ArchitecturesMatchPaperTable) {
+  EXPECT_EQ(make_mlp_a()->options().hidden, (std::vector<std::size_t>{128}));
+  EXPECT_EQ(make_mlp_b()->options().hidden, (std::vector<std::size_t>{256}));
+  EXPECT_EQ(make_mlp_c()->options().hidden, (std::vector<std::size_t>{128, 128}));
+  EXPECT_EQ(make_mlp_d()->options().hidden, (std::vector<std::size_t>{256, 256}));
+  EXPECT_EQ(make_airchitect()->options().embed_dim, 16u);
+  EXPECT_EQ(make_airchitect()->options().hidden, (std::vector<std::size_t>{256}));
+}
+
+TEST(GbtOptions, SubsampleCapRespected) {
+  GbtClassifier::Options o;
+  o.rounds = 2;
+  o.max_train_points = 100;
+  GbtClassifier clf("gbt", o);
+  const Dataset train = synthetic_dataset(1000, 4);
+  const Dataset val = synthetic_dataset(100, 5);
+  const FeatureEncoder enc(train);
+  const auto hist = clf.fit(train, val, enc);
+  EXPECT_EQ(hist.size(), 2u);
+  // Still learns something better than the 4-class chance floor.
+  EXPECT_GT(clf.accuracy(val, enc), 0.4);
+}
+
+}  // namespace
+}  // namespace airch

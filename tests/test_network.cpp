@@ -1,0 +1,139 @@
+#include "ml/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/activation.hpp"
+
+namespace airch::ml {
+namespace {
+
+// Synthetic 3-class problem, float modality: class = argmax coordinate.
+TEST(FeedForwardNet, LearnsSeparableFloatProblem) {
+  Rng rng(3);
+  FeedForwardNet net(3, {32}, 3, rng);
+  Adam opt(0.01);
+
+  Rng data_rng(5);
+  auto make_batch = [&](std::size_t n, Matrix& x, std::vector<std::int32_t>& y) {
+    x.resize(n, 3);
+    y.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      int best = 0;
+      for (int f = 0; f < 3; ++f) {
+        x(i, static_cast<std::size_t>(f)) = static_cast<float>(data_rng.uniform(-1.0, 1.0));
+        if (x(i, static_cast<std::size_t>(f)) > x(i, static_cast<std::size_t>(best))) best = f;
+      }
+      y[i] = best;
+    }
+  };
+
+  Matrix x;
+  std::vector<std::int32_t> y;
+  for (int step = 0; step < 300; ++step) {
+    make_batch(64, x, y);
+    net.train_batch(x, y, opt);
+  }
+  make_batch(500, x, y);
+  const auto preds = net.predict(x);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (preds[i] == y[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / 500.0, 0.9);
+}
+
+// Embedding modality: label determined by a lookup table over 2 features.
+TEST(FeedForwardNet, LearnsCategoricalProblemViaEmbeddings) {
+  Rng rng(7);
+  FeedForwardNet net({5, 5}, 8, {32}, 4, rng);
+  Adam opt(0.01);
+
+  auto label_of = [](int a, int b) { return (a * 3 + b * 7) % 4; };
+  Rng data_rng(9);
+  auto make_batch = [&](std::size_t n, IntBatch& x, std::vector<std::int32_t>& y) {
+    x.resize(n, 2);
+    y.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int a = static_cast<int>(data_rng.uniform_int(0, 4));
+      const int b = static_cast<int>(data_rng.uniform_int(0, 4));
+      x(i, 0) = a;
+      x(i, 1) = b;
+      y[i] = label_of(a, b);
+    }
+  };
+
+  IntBatch x;
+  std::vector<std::int32_t> y;
+  for (int step = 0; step < 400; ++step) {
+    make_batch(64, x, y);
+    net.train_batch(x, y, opt);
+  }
+  make_batch(500, x, y);
+  const auto preds = net.predict(x);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (preds[i] == y[i]) ++correct;
+  }
+  // The mapping is a finite table; the net should essentially memorize it.
+  EXPECT_GT(static_cast<double>(correct) / 500.0, 0.95);
+}
+
+TEST(FeedForwardNet, TrainingReducesLoss) {
+  Rng rng(11);
+  FeedForwardNet net(4, {16}, 2, rng);
+  Adam opt(0.01);
+  Matrix x(32, 4);
+  std::vector<std::int32_t> y(32);
+  Rng data_rng(13);
+  for (std::size_t i = 0; i < 32; ++i) {
+    for (std::size_t f = 0; f < 4; ++f) {
+      x(i, f) = static_cast<float>(data_rng.uniform(-1.0, 1.0));
+    }
+    y[i] = x(i, 0) > 0.0f ? 1 : 0;
+  }
+  const double first = net.train_batch(x, y, opt).loss;
+  double last = first;
+  for (int step = 0; step < 100; ++step) last = net.train_batch(x, y, opt).loss;
+  EXPECT_LT(last, first * 0.5);
+}
+
+TEST(FeedForwardNet, ModalityMismatchThrows) {
+  Rng rng(15);
+  FeedForwardNet float_net(4, {8}, 2, rng);
+  IntBatch ints;
+  ints.resize(1, 4);
+  EXPECT_THROW(float_net.logits(ints, false), std::logic_error);
+
+  FeedForwardNet embed_net({4, 4, 4, 4}, 4, {8}, 2, rng);
+  Matrix floats(1, 4);
+  EXPECT_THROW(embed_net.logits(floats, false), std::logic_error);
+}
+
+TEST(FeedForwardNet, ParamsCoverAllLayers) {
+  Rng rng(17);
+  // embeddings (2 tables) + dense1 (W+b) + dense2 (W+b) = 6 param tensors.
+  FeedForwardNet net({4, 4}, 4, {8}, 3, rng);
+  EXPECT_EQ(net.params().size(), 6u);
+  EXPECT_TRUE(net.has_embedding());
+  EXPECT_EQ(net.num_classes(), 3u);
+}
+
+TEST(Sequential, ForwardBackwardShapes) {
+  Rng rng(19);
+  Sequential seq;
+  seq.add(std::make_unique<DenseLayer>(6, 4, rng));
+  seq.add(std::make_unique<ReluLayer>());
+  seq.add(std::make_unique<DenseLayer>(4, 2, rng));
+  Matrix x(3, 6, 0.5f);
+  const Matrix out = seq.forward(x, true);
+  EXPECT_EQ(out.rows(), 3u);
+  EXPECT_EQ(out.cols(), 2u);
+  Matrix grad(3, 2, 1.0f);
+  const Matrix grad_in = seq.backward(grad);
+  EXPECT_EQ(grad_in.rows(), 3u);
+  EXPECT_EQ(grad_in.cols(), 6u);
+  EXPECT_EQ(seq.num_layers(), 3u);
+}
+
+}  // namespace
+}  // namespace airch::ml

@@ -1,0 +1,52 @@
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace airch {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelFor, ZeroIsNoop) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SmallRunsInline) {
+  // Small n runs on the calling thread (single chunk covering the range).
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for(10, [&](std::size_t begin, std::size_t end) {
+    chunks.emplace_back(begin, end);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], std::make_pair(std::size_t{0}, std::size_t{10}));
+}
+
+TEST(ParallelFor, ChunksAreDisjointAndOrderedWithinThemselves) {
+  const std::size_t n = 5000;
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    std::int64_t local = 0;
+    for (std::size_t i = begin; i < end; ++i) local += static_cast<std::int64_t>(i);
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), static_cast<std::int64_t>(n) * (n - 1) / 2);
+}
+
+TEST(HardwareThreads, AtLeastOne) { EXPECT_GE(hardware_threads(), 1u); }
+
+}  // namespace
+}  // namespace airch

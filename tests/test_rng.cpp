@@ -1,0 +1,158 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace airch {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(77);
+  const auto first = a.next_u64();
+  a.next_u64();
+  a.reseed(77);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(UniformInt, StaysInRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.uniform_int(3, 9);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 9);
+    saw_lo |= v == 3;
+    saw_hi |= v == 9;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(UniformInt, DegenerateRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(UniformInt, NegativeRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-10, -1);
+    ASSERT_GE(v, -10);
+    ASSERT_LE(v, -1);
+  }
+}
+
+TEST(UniformReal, HalfOpenUnit) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(UniformReal, MeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Normal, MomentsMatch) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Normal, ShiftScale) {
+  Rng rng(17);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(LogUniformInt, StaysInRange) {
+  Rng rng(19);
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.log_uniform_int(4, 1 << 19);
+    ASSERT_GE(v, 4);
+    ASSERT_LE(v, 1 << 19);
+  }
+}
+
+TEST(LogUniformInt, OctavesRoughlyEqual) {
+  // Each octave [2^e, 2^{e+1}) should receive a similar share of samples.
+  Rng rng(23);
+  const int n = 200000;
+  std::vector<int> octave_counts(10, 0);
+  for (int i = 0; i < n; ++i) {
+    const auto v = rng.log_uniform_int(1, (1 << 10) - 1);
+    int e = 0;
+    while ((std::int64_t{1} << (e + 1)) <= v) ++e;
+    ++octave_counts[static_cast<std::size_t>(e)];
+  }
+  const double expected = static_cast<double>(n) / 10.0;
+  for (int e = 0; e < 10; ++e) {
+    EXPECT_NEAR(octave_counts[static_cast<std::size_t>(e)], expected, expected * 0.15)
+        << "octave " << e;
+  }
+}
+
+TEST(Shuffle, ProducesPermutation) {
+  Rng rng(29);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Shuffle, ActuallyPermutes) {
+  Rng rng(31);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+}
+
+TEST(WeightedIndex, RespectsWeights) {
+  Rng rng(37);
+  const std::vector<double> w = {0.0, 3.0, 1.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.75, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace airch

@@ -1,0 +1,174 @@
+// Persistence round-trips: a saved encoder / classifier / recommender must
+// reload to bit-identical predictions.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/recommender.hpp"
+#include "dataset/encoding.hpp"
+#include "models/neural.hpp"
+
+namespace airch {
+namespace {
+
+Dataset synthetic(std::size_t n, std::uint64_t seed) {
+  Dataset ds({"a", "b", "c"}, 5);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t a = rng.log_uniform_int(1, 4096);
+    const std::int64_t b = rng.uniform_int(0, 3);
+    const std::int64_t c = rng.log_uniform_int(1, 512);
+    ds.add({{a, b, c}, static_cast<std::int32_t>((a + b + c) % 5)});
+  }
+  return ds;
+}
+
+TEST(EncoderSerialization, RoundTripBuckets) {
+  const Dataset ds = synthetic(500, 1);
+  const FeatureEncoder enc(ds, 16);
+  std::stringstream ss;
+  enc.save(ss);
+  const FeatureEncoder loaded = FeatureEncoder::load(ss);
+
+  EXPECT_EQ(loaded.vocab_sizes(), enc.vocab_sizes());
+  Rng rng(2);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::vector<std::int64_t> f = {rng.uniform_int(-10, 10000), rng.uniform_int(-1, 5),
+                                         rng.uniform_int(0, 1000)};
+    for (int col = 0; col < 3; ++col) {
+      EXPECT_EQ(loaded.bucket(col, f[static_cast<std::size_t>(col)]),
+                enc.bucket(col, f[static_cast<std::size_t>(col)]));
+    }
+    const auto a = enc.encode_float(f);
+    const auto b = loaded.encode_float(f);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+    }
+  }
+}
+
+TEST(EncoderSerialization, RejectsGarbage) {
+  std::stringstream ss("not an encoder");
+  EXPECT_THROW(FeatureEncoder::load(ss), std::runtime_error);
+}
+
+TEST(ClassifierSerialization, RoundTripPredictions) {
+  const Dataset train = synthetic(1000, 3);
+  const Dataset test = synthetic(300, 4);
+  const FeatureEncoder enc(train);
+
+  auto clf = make_airchitect(1, 4);
+  clf->fit(train, {}, enc);
+
+  std::stringstream ss;
+  clf->save(ss);
+  auto loaded = NeuralClassifier::load(ss);
+
+  EXPECT_EQ(loaded->name(), clf->name());
+  const auto orig_preds = clf->predict(test, enc);
+  const auto loaded_preds = loaded->predict(test, enc);
+  EXPECT_EQ(orig_preds, loaded_preds);
+}
+
+TEST(ClassifierSerialization, FloatModalityRoundTrip) {
+  const Dataset train = synthetic(1000, 5);
+  const Dataset test = synthetic(200, 6);
+  const FeatureEncoder enc(train);
+
+  auto clf = make_mlp_a(1, 3);
+  clf->fit(train, {}, enc);
+
+  std::stringstream ss;
+  clf->save(ss);
+  auto loaded = NeuralClassifier::load(ss);
+  EXPECT_EQ(loaded->predict(test, enc), clf->predict(test, enc));
+}
+
+TEST(ClassifierSerialization, SaveBeforeFitThrows) {
+  auto clf = make_mlp_a(1, 3);
+  std::stringstream ss;
+  EXPECT_THROW(clf->save(ss), std::logic_error);
+}
+
+TEST(ClassifierSerialization, TruncatedStreamRejected) {
+  const Dataset train = synthetic(500, 7);
+  const FeatureEncoder enc(train);
+  auto clf = make_mlp_a(1, 2);
+  clf->fit(train, {}, enc);
+  std::stringstream ss;
+  clf->save(ss);
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(NeuralClassifier::load(truncated), std::runtime_error);
+}
+
+class RecommenderSerialization : public ::testing::Test {
+ protected:
+  void SetUp() override { path_ = ::testing::TempDir() + "rec_test.airch"; }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(RecommenderSerialization, RoundTripQueries) {
+  ArrayDataflowStudy study(Case1Config{5, 10, {}}, 10);
+  Recommender::TrainOptions opts;
+  opts.dataset_size = 2000;
+  opts.epochs = 3;
+  const Recommender rec = Recommender::train(study, opts);
+  rec.save(path_);
+
+  const Recommender loaded = Recommender::load(path_, study);
+  EXPECT_DOUBLE_EQ(loaded.report().val_accuracy, rec.report().val_accuracy);
+
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const GemmWorkload w{rng.log_uniform_int(4, 1 << 16), rng.log_uniform_int(4, 1 << 12),
+                         rng.log_uniform_int(4, 1 << 12)};
+    const int budget = static_cast<int>(rng.uniform_int(5, 10));
+    EXPECT_EQ(loaded.recommend_array(w, budget), rec.recommend_array(w, budget));
+  }
+}
+
+TEST_F(RecommenderSerialization, WrongStudyRejected) {
+  ArrayDataflowStudy study(Case1Config{5, 10, {}}, 10);
+  Recommender::TrainOptions opts;
+  opts.dataset_size = 1000;
+  opts.epochs = 2;
+  Recommender::train(study, opts).save(path_);
+
+  SchedulingStudy other;
+  EXPECT_THROW(Recommender::load(path_, other), std::runtime_error);
+}
+
+TEST_F(RecommenderSerialization, MissingFileRejected) {
+  ArrayDataflowStudy study(Case1Config{5, 10, {}}, 10);
+  EXPECT_THROW(Recommender::load("/nonexistent/rec.airch", study), std::runtime_error);
+}
+
+TEST(RecommenderTopK, OrderedAndContainsTop1) {
+  ArrayDataflowStudy study(Case1Config{5, 10, {}}, 10);
+  Recommender::TrainOptions opts;
+  opts.dataset_size = 2000;
+  opts.epochs = 3;
+  const Recommender rec = Recommender::train(study, opts);
+
+  const std::vector<std::int64_t> features = {8, 512, 128, 256};
+  const auto top1 = rec.recommend_label(features);
+  const auto top5 = rec.recommend_topk(features, 5);
+  ASSERT_EQ(top5.size(), 5u);
+  EXPECT_EQ(top5[0], top1);
+  // Labels are distinct.
+  for (std::size_t i = 0; i < top5.size(); ++i) {
+    for (std::size_t j = i + 1; j < top5.size(); ++j) {
+      EXPECT_NE(top5[i], top5[j]);
+    }
+  }
+  // k larger than the space clamps.
+  EXPECT_EQ(rec.recommend_topk(features, 10000).size(),
+            static_cast<std::size_t>(study.num_classes()));
+}
+
+}  // namespace
+}  // namespace airch

@@ -1,0 +1,211 @@
+#include "search/space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/math_utils.hpp"
+
+namespace airch {
+namespace {
+
+// ------------------------------------------------------------- case 1
+
+TEST(ArrayDataflowSpace, PaperSizeIs459) {
+  // 2^18 MAC limit, min dim 2: 153 shapes x 3 dataflows (paper Fig. 8(b)).
+  const ArrayDataflowSpace space(18);
+  EXPECT_EQ(space.size(), 459);
+}
+
+TEST(ArrayDataflowSpace, LabelConfigRoundTrip) {
+  const ArrayDataflowSpace space(18);
+  for (int label = 0; label < space.size(); ++label) {
+    EXPECT_EQ(space.label_of(space.config(label)), label);
+  }
+}
+
+TEST(ArrayDataflowSpace, AllConfigsUniqueAndWithinBudget) {
+  const ArrayDataflowSpace space(18);
+  std::set<std::string> seen;
+  for (int label = 0; label < space.size(); ++label) {
+    const ArrayConfig& c = space.config(label);
+    EXPECT_TRUE(is_pow2(c.rows));
+    EXPECT_TRUE(is_pow2(c.cols));
+    EXPECT_GE(c.rows, 2);
+    EXPECT_GE(c.cols, 2);
+    EXPECT_LE(c.macs(), pow2(18));
+    EXPECT_TRUE(seen.insert(c.to_string()).second) << c.to_string();
+  }
+}
+
+TEST(ArrayDataflowSpace, DataflowFastestVarying) {
+  const ArrayDataflowSpace space(18);
+  EXPECT_EQ(space.config(0).dataflow, Dataflow::kOutputStationary);
+  EXPECT_EQ(space.config(1).dataflow, Dataflow::kWeightStationary);
+  EXPECT_EQ(space.config(2).dataflow, Dataflow::kInputStationary);
+  // Same shape for the first three labels.
+  EXPECT_EQ(space.config(0).rows, space.config(2).rows);
+  EXPECT_EQ(space.config(0).cols, space.config(2).cols);
+}
+
+TEST(ArrayDataflowSpace, BudgetFilter) {
+  const ArrayDataflowSpace space(18);
+  const auto labels = space.labels_within_budget(6);
+  for (int l : labels) {
+    EXPECT_LE(space.config(l).macs(), pow2(6));
+  }
+  // Shapes with 2^a x 2^b, a,b>=1, a+b<=6: (a,b) pairs = 1+2+3+4+5 = 15...
+  // enumerated: a+b in [2,6]: for s=2..6 -> s-1 pairs -> 1+2+3+4+5 = 15 shapes.
+  EXPECT_EQ(labels.size(), 15u * 3u);
+}
+
+TEST(ArrayDataflowSpace, OutOfRangeThrows) {
+  const ArrayDataflowSpace space(18);
+  EXPECT_THROW(space.config(-1), std::out_of_range);
+  EXPECT_THROW(space.config(459), std::out_of_range);
+  EXPECT_THROW(space.label_of({3, 4, Dataflow::kOutputStationary}), std::out_of_range);
+  EXPECT_THROW(space.label_of({1, 4, Dataflow::kOutputStationary}), std::out_of_range);
+  EXPECT_THROW(space.label_of({pow2(10), pow2(10), Dataflow::kOutputStationary}),
+               std::out_of_range);
+}
+
+TEST(ArrayDataflowSpace, SmallerSpaceParameterization) {
+  const ArrayDataflowSpace space(10);
+  // a,b >= 1, a+b <= 10: sum_{s=2}^{10}(s-1) = 45 shapes.
+  EXPECT_EQ(space.size(), 45 * 3);
+}
+
+// ------------------------------------------------------------- case 2
+
+TEST(BufferSizeSpace, PaperSizeIs1000) {
+  const BufferSizeSpace space;
+  EXPECT_EQ(space.size(), 1000);
+  EXPECT_EQ(space.levels(), 10);
+}
+
+TEST(BufferSizeSpace, PaperTableOrdering) {
+  // Fig. 8(c): id 0 = (100,100,100); id 1 = (100,100,200); id 999 = (1000,1000,1000).
+  const BufferSizeSpace space;
+  const MemoryConfig c0 = space.config(0);
+  EXPECT_EQ(c0.ifmap_kb, 100);
+  EXPECT_EQ(c0.filter_kb, 100);
+  EXPECT_EQ(c0.ofmap_kb, 100);
+  const MemoryConfig c1 = space.config(1);
+  EXPECT_EQ(c1.ofmap_kb, 200);
+  EXPECT_EQ(c1.ifmap_kb, 100);
+  const MemoryConfig c999 = space.config(999);
+  EXPECT_EQ(c999.ifmap_kb, 1000);
+  EXPECT_EQ(c999.filter_kb, 1000);
+  EXPECT_EQ(c999.ofmap_kb, 1000);
+}
+
+TEST(BufferSizeSpace, RoundTrip) {
+  const BufferSizeSpace space;
+  for (int label = 0; label < space.size(); ++label) {
+    EXPECT_EQ(space.label_of(space.config(label)), label);
+  }
+}
+
+TEST(BufferSizeSpace, LimitFilter) {
+  const BufferSizeSpace space;
+  const auto labels = space.labels_within_limit(300);
+  EXPECT_EQ(labels.size(), 27u);  // 3^3
+  for (int l : labels) {
+    const MemoryConfig m = space.config(l);
+    EXPECT_LE(m.ifmap_kb, 300);
+    EXPECT_LE(m.filter_kb, 300);
+    EXPECT_LE(m.ofmap_kb, 300);
+  }
+}
+
+TEST(BufferSizeSpace, TotalCapacityFilter) {
+  const BufferSizeSpace space;
+  // total <= 400 KB: (100,100,100) plus three (200,100,100) permutations.
+  const auto labels = space.labels_within_total(400);
+  EXPECT_EQ(labels.size(), 4u);
+  for (int l : labels) {
+    EXPECT_LE(space.config(l).total_kb(), 400);
+  }
+  // The full space fits in 3000 KB.
+  EXPECT_EQ(space.labels_within_total(3000).size(), 1000u);
+}
+
+TEST(BufferSizeSpace, InvalidLabelsThrow) {
+  const BufferSizeSpace space;
+  EXPECT_THROW(space.config(-1), std::out_of_range);
+  EXPECT_THROW(space.config(1000), std::out_of_range);
+  EXPECT_THROW(space.label_of(MemoryConfig{150, 100, 100, 1}), std::out_of_range);
+  EXPECT_THROW(space.label_of(MemoryConfig{1100, 100, 100, 1}), std::out_of_range);
+}
+
+TEST(BufferSizeSpace, CustomQuantization) {
+  const BufferSizeSpace space(50, 200);  // 4 levels
+  EXPECT_EQ(space.size(), 64);
+  EXPECT_EQ(space.config(0).ofmap_kb, 50);
+  EXPECT_EQ(space.config(63).ifmap_kb, 200);
+}
+
+// ------------------------------------------------------------- case 3
+
+TEST(ScheduleSpace, PaperSizeIs1944) {
+  const ScheduleSpace space(4);
+  EXPECT_EQ(space.size(), 1944);  // 3^4 * 4!
+}
+
+TEST(ScheduleSpace, GrowthFormula) {
+  // Fig. 7(b): N = 3^x * x!.
+  EXPECT_EQ(ScheduleSpace::space_size(1), 3);
+  EXPECT_EQ(ScheduleSpace::space_size(2), 18);
+  EXPECT_EQ(ScheduleSpace::space_size(3), 162);  // the paper's 3-array example
+  EXPECT_EQ(ScheduleSpace::space_size(4), 1944);
+  EXPECT_EQ(ScheduleSpace::space_size(5), 29160);
+}
+
+TEST(ScheduleSpace, PaperTableOrdering) {
+  // Fig. 8(d): id 0 = identity assignment, all OS; id 1 flips the last
+  // array's dataflow to WS; id 2 to IS; id 3 moves to array 2.
+  const ScheduleSpace space(4);
+  const auto s0 = space.config(0);
+  EXPECT_EQ(s0.workload_of, (std::vector<int>{0, 1, 2, 3}));
+  for (auto d : s0.dataflow_of) EXPECT_EQ(d, Dataflow::kOutputStationary);
+  const auto s1 = space.config(1);
+  EXPECT_EQ(s1.dataflow_of[3], Dataflow::kWeightStationary);
+  EXPECT_EQ(s1.dataflow_of[2], Dataflow::kOutputStationary);
+  const auto s2 = space.config(2);
+  EXPECT_EQ(s2.dataflow_of[3], Dataflow::kInputStationary);
+  const auto s3 = space.config(3);
+  EXPECT_EQ(s3.dataflow_of[2], Dataflow::kWeightStationary);
+  EXPECT_EQ(s3.dataflow_of[3], Dataflow::kOutputStationary);
+}
+
+TEST(ScheduleSpace, RoundTrip) {
+  const ScheduleSpace space(4);
+  for (int label = 0; label < space.size(); ++label) {
+    EXPECT_EQ(space.label_of(space.config(label)), label);
+  }
+}
+
+TEST(ScheduleSpace, EveryScheduleIsPermutation) {
+  const ScheduleSpace space(3);
+  for (int label = 0; label < space.size(); ++label) {
+    auto s = space.config(label);
+    std::set<int> seen(s.workload_of.begin(), s.workload_of.end());
+    EXPECT_EQ(seen.size(), 3u);
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), 2);
+  }
+}
+
+TEST(ScheduleSpace, InvalidInputsThrow) {
+  const ScheduleSpace space(3);
+  EXPECT_THROW(space.config(-1), std::out_of_range);
+  EXPECT_THROW(space.config(space.size()), std::out_of_range);
+  ScheduleSpace::Schedule bad;
+  bad.workload_of = {0, 0, 1};  // not a permutation
+  bad.dataflow_of = {Dataflow::kOutputStationary, Dataflow::kOutputStationary,
+                     Dataflow::kOutputStationary};
+  EXPECT_THROW(space.label_of(bad), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace airch

@@ -1,0 +1,58 @@
+// Large-space parameterizations used by the Fig. 11(b) scale sweep: the
+// output-space enumeration must stay a bijection as the MAC budget grows
+// toward the paper's 2^40.
+
+#include <gtest/gtest.h>
+
+#include "common/math_utils.hpp"
+#include "search/space.hpp"
+
+namespace airch {
+namespace {
+
+class SpaceScaling : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpaceScaling, SizeFormulaHolds) {
+  const int max_exp = GetParam();
+  const ArrayDataflowSpace space(max_exp);
+  // Shapes: (a, b) with a, b >= 1 and a + b <= max_exp, i.e. the
+  // triangular number T(max_exp - 1) = (max_exp - 1) * max_exp / 2.
+  const int expected_shapes = (max_exp - 1) * max_exp / 2;
+  EXPECT_EQ(space.size(), expected_shapes * 3);
+}
+
+TEST_P(SpaceScaling, RoundTripBijection) {
+  const ArrayDataflowSpace space(GetParam());
+  for (int label = 0; label < space.size(); ++label) {
+    ASSERT_EQ(space.label_of(space.config(label)), label);
+  }
+}
+
+TEST_P(SpaceScaling, EveryConfigWithinBudget) {
+  const int max_exp = GetParam();
+  const ArrayDataflowSpace space(max_exp);
+  for (int label = 0; label < space.size(); ++label) {
+    ASSERT_LE(space.config(label).macs(), pow2(max_exp));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, SpaceScaling, ::testing::Values(10, 18, 24, 32, 40));
+
+TEST(SpaceScaling, PaperScaleFortyHas2340Labels) {
+  // 2^40 MAC budget: T(39) = 780 shapes x 3 dataflows.
+  const ArrayDataflowSpace space(40);
+  EXPECT_EQ(space.size(), 780 * 3);
+}
+
+TEST(ScheduleSpaceScaling, EightArrays) {
+  // 3^8 * 8! = 6561 * 40320 — the Fig. 7(b) tail. Construction of the
+  // space object itself must stay tractable (permutations are enumerated
+  // lazily per label for larger arities via the stored table).
+  EXPECT_EQ(ScheduleSpace::space_size(8), 264539520LL);
+  const ScheduleSpace space(5);  // 29160 labels is still enumerable
+  EXPECT_EQ(space.size(), 29160);
+  EXPECT_EQ(space.label_of(space.config(12345)), 12345);
+}
+
+}  // namespace
+}  // namespace airch
