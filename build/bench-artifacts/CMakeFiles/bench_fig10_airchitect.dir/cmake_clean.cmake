@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_airchitect"
+  "../bench/bench_fig10_airchitect.pdb"
+  "CMakeFiles/bench_fig10_airchitect.dir/bench_fig10_airchitect.cpp.o"
+  "CMakeFiles/bench_fig10_airchitect.dir/bench_fig10_airchitect.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_airchitect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

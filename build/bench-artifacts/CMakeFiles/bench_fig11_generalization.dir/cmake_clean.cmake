@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_generalization"
+  "../bench/bench_fig11_generalization.pdb"
+  "CMakeFiles/bench_fig11_generalization.dir/bench_fig11_generalization.cpp.o"
+  "CMakeFiles/bench_fig11_generalization.dir/bench_fig11_generalization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_array_dataflow"
+  "../bench/bench_fig5_array_dataflow.pdb"
+  "CMakeFiles/bench_fig5_array_dataflow.dir/bench_fig5_array_dataflow.cpp.o"
+  "CMakeFiles/bench_fig5_array_dataflow.dir/bench_fig5_array_dataflow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_array_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

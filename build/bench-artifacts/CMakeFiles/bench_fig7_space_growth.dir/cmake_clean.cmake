@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_space_growth"
+  "../bench/bench_fig7_space_growth.pdb"
+  "CMakeFiles/bench_fig7_space_growth.dir/bench_fig7_space_growth.cpp.o"
+  "CMakeFiles/bench_fig7_space_growth.dir/bench_fig7_space_growth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_space_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

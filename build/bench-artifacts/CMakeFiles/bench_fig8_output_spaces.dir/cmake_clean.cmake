@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_output_spaces"
+  "../bench/bench_fig8_output_spaces.pdb"
+  "CMakeFiles/bench_fig8_output_spaces.dir/bench_fig8_output_spaces.cpp.o"
+  "CMakeFiles/bench_fig8_output_spaces.dir/bench_fig8_output_spaces.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_output_spaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

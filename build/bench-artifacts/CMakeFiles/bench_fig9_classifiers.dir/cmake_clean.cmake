@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_classifiers"
+  "../bench/bench_fig9_classifiers.pdb"
+  "CMakeFiles/bench_fig9_classifiers.dir/bench_fig9_classifiers.cpp.o"
+  "CMakeFiles/bench_fig9_classifiers.dir/bench_fig9_classifiers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_classifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

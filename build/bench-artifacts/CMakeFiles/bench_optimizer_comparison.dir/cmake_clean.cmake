@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_optimizer_comparison"
+  "../bench/bench_optimizer_comparison.pdb"
+  "CMakeFiles/bench_optimizer_comparison.dir/bench_optimizer_comparison.cpp.o"
+  "CMakeFiles/bench_optimizer_comparison.dir/bench_optimizer_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizer_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

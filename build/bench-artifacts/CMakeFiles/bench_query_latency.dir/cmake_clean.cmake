@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_query_latency"
+  "../bench/bench_query_latency.pdb"
+  "CMakeFiles/bench_query_latency.dir/bench_query_latency.cpp.o"
+  "CMakeFiles/bench_query_latency.dir/bench_query_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

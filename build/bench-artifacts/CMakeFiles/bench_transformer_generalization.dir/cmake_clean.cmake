@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_transformer_generalization"
+  "../bench/bench_transformer_generalization.pdb"
+  "CMakeFiles/bench_transformer_generalization.dir/bench_transformer_generalization.cpp.o"
+  "CMakeFiles/bench_transformer_generalization.dir/bench_transformer_generalization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transformer_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_aware_design.dir/energy_aware_design.cpp.o"
+  "CMakeFiles/energy_aware_design.dir/energy_aware_design.cpp.o.d"
+  "energy_aware_design"
+  "energy_aware_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_aware_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

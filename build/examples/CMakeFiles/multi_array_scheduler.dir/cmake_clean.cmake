@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_array_scheduler.dir/multi_array_scheduler.cpp.o"
+  "CMakeFiles/multi_array_scheduler.dir/multi_array_scheduler.cpp.o.d"
+  "multi_array_scheduler"
+  "multi_array_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_array_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airch_common.dir/cli.cpp.o"
+  "CMakeFiles/airch_common.dir/cli.cpp.o.d"
+  "CMakeFiles/airch_common.dir/csv.cpp.o"
+  "CMakeFiles/airch_common.dir/csv.cpp.o.d"
+  "CMakeFiles/airch_common.dir/math_utils.cpp.o"
+  "CMakeFiles/airch_common.dir/math_utils.cpp.o.d"
+  "CMakeFiles/airch_common.dir/parallel.cpp.o"
+  "CMakeFiles/airch_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/airch_common.dir/rng.cpp.o"
+  "CMakeFiles/airch_common.dir/rng.cpp.o.d"
+  "CMakeFiles/airch_common.dir/table.cpp.o"
+  "CMakeFiles/airch_common.dir/table.cpp.o.d"
+  "libairch_common.a"
+  "libairch_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airch_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

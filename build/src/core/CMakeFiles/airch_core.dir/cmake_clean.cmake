@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airch_core.dir/case_study.cpp.o"
+  "CMakeFiles/airch_core.dir/case_study.cpp.o.d"
+  "CMakeFiles/airch_core.dir/pipeline.cpp.o"
+  "CMakeFiles/airch_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/airch_core.dir/recommender.cpp.o"
+  "CMakeFiles/airch_core.dir/recommender.cpp.o.d"
+  "libairch_core.a"
+  "libairch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

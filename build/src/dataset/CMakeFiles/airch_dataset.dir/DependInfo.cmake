@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/dataset.cpp" "src/dataset/CMakeFiles/airch_dataset.dir/dataset.cpp.o" "gcc" "src/dataset/CMakeFiles/airch_dataset.dir/dataset.cpp.o.d"
+  "/root/repo/src/dataset/encoding.cpp" "src/dataset/CMakeFiles/airch_dataset.dir/encoding.cpp.o" "gcc" "src/dataset/CMakeFiles/airch_dataset.dir/encoding.cpp.o.d"
+  "/root/repo/src/dataset/generator.cpp" "src/dataset/CMakeFiles/airch_dataset.dir/generator.cpp.o" "gcc" "src/dataset/CMakeFiles/airch_dataset.dir/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/airch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/airch_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/airch_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/airch_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/airch_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airch_dataset.dir/dataset.cpp.o"
+  "CMakeFiles/airch_dataset.dir/dataset.cpp.o.d"
+  "CMakeFiles/airch_dataset.dir/encoding.cpp.o"
+  "CMakeFiles/airch_dataset.dir/encoding.cpp.o.d"
+  "CMakeFiles/airch_dataset.dir/generator.cpp.o"
+  "CMakeFiles/airch_dataset.dir/generator.cpp.o.d"
+  "libairch_dataset.a"
+  "libairch_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airch_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

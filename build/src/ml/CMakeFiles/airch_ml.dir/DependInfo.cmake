@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/activation.cpp" "src/ml/CMakeFiles/airch_ml.dir/activation.cpp.o" "gcc" "src/ml/CMakeFiles/airch_ml.dir/activation.cpp.o.d"
+  "/root/repo/src/ml/dense.cpp" "src/ml/CMakeFiles/airch_ml.dir/dense.cpp.o" "gcc" "src/ml/CMakeFiles/airch_ml.dir/dense.cpp.o.d"
+  "/root/repo/src/ml/dropout.cpp" "src/ml/CMakeFiles/airch_ml.dir/dropout.cpp.o" "gcc" "src/ml/CMakeFiles/airch_ml.dir/dropout.cpp.o.d"
+  "/root/repo/src/ml/embedding.cpp" "src/ml/CMakeFiles/airch_ml.dir/embedding.cpp.o" "gcc" "src/ml/CMakeFiles/airch_ml.dir/embedding.cpp.o.d"
+  "/root/repo/src/ml/loss.cpp" "src/ml/CMakeFiles/airch_ml.dir/loss.cpp.o" "gcc" "src/ml/CMakeFiles/airch_ml.dir/loss.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/ml/CMakeFiles/airch_ml.dir/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/airch_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/airch_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/airch_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/network.cpp" "src/ml/CMakeFiles/airch_ml.dir/network.cpp.o" "gcc" "src/ml/CMakeFiles/airch_ml.dir/network.cpp.o.d"
+  "/root/repo/src/ml/optimizer.cpp" "src/ml/CMakeFiles/airch_ml.dir/optimizer.cpp.o" "gcc" "src/ml/CMakeFiles/airch_ml.dir/optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/airch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airch_ml.dir/activation.cpp.o"
+  "CMakeFiles/airch_ml.dir/activation.cpp.o.d"
+  "CMakeFiles/airch_ml.dir/dense.cpp.o"
+  "CMakeFiles/airch_ml.dir/dense.cpp.o.d"
+  "CMakeFiles/airch_ml.dir/dropout.cpp.o"
+  "CMakeFiles/airch_ml.dir/dropout.cpp.o.d"
+  "CMakeFiles/airch_ml.dir/embedding.cpp.o"
+  "CMakeFiles/airch_ml.dir/embedding.cpp.o.d"
+  "CMakeFiles/airch_ml.dir/loss.cpp.o"
+  "CMakeFiles/airch_ml.dir/loss.cpp.o.d"
+  "CMakeFiles/airch_ml.dir/matrix.cpp.o"
+  "CMakeFiles/airch_ml.dir/matrix.cpp.o.d"
+  "CMakeFiles/airch_ml.dir/metrics.cpp.o"
+  "CMakeFiles/airch_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/airch_ml.dir/network.cpp.o"
+  "CMakeFiles/airch_ml.dir/network.cpp.o.d"
+  "CMakeFiles/airch_ml.dir/optimizer.cpp.o"
+  "CMakeFiles/airch_ml.dir/optimizer.cpp.o.d"
+  "libairch_ml.a"
+  "libairch_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airch_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

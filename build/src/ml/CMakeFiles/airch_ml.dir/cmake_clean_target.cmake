@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libairch_ml.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airch_models.dir/classifier.cpp.o"
+  "CMakeFiles/airch_models.dir/classifier.cpp.o.d"
+  "CMakeFiles/airch_models.dir/gbt.cpp.o"
+  "CMakeFiles/airch_models.dir/gbt.cpp.o.d"
+  "CMakeFiles/airch_models.dir/neural.cpp.o"
+  "CMakeFiles/airch_models.dir/neural.cpp.o.d"
+  "CMakeFiles/airch_models.dir/svc.cpp.o"
+  "CMakeFiles/airch_models.dir/svc.cpp.o.d"
+  "libairch_models.a"
+  "libairch_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airch_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/annealing.cpp" "src/search/CMakeFiles/airch_search.dir/annealing.cpp.o" "gcc" "src/search/CMakeFiles/airch_search.dir/annealing.cpp.o.d"
+  "/root/repo/src/search/exhaustive.cpp" "src/search/CMakeFiles/airch_search.dir/exhaustive.cpp.o" "gcc" "src/search/CMakeFiles/airch_search.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/search/genetic.cpp" "src/search/CMakeFiles/airch_search.dir/genetic.cpp.o" "gcc" "src/search/CMakeFiles/airch_search.dir/genetic.cpp.o.d"
+  "/root/repo/src/search/objective.cpp" "src/search/CMakeFiles/airch_search.dir/objective.cpp.o" "gcc" "src/search/CMakeFiles/airch_search.dir/objective.cpp.o.d"
+  "/root/repo/src/search/reinforce.cpp" "src/search/CMakeFiles/airch_search.dir/reinforce.cpp.o" "gcc" "src/search/CMakeFiles/airch_search.dir/reinforce.cpp.o.d"
+  "/root/repo/src/search/space.cpp" "src/search/CMakeFiles/airch_search.dir/space.cpp.o" "gcc" "src/search/CMakeFiles/airch_search.dir/space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/airch_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/airch_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/airch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

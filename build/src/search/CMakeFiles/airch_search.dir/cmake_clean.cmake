@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airch_search.dir/annealing.cpp.o"
+  "CMakeFiles/airch_search.dir/annealing.cpp.o.d"
+  "CMakeFiles/airch_search.dir/exhaustive.cpp.o"
+  "CMakeFiles/airch_search.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/airch_search.dir/genetic.cpp.o"
+  "CMakeFiles/airch_search.dir/genetic.cpp.o.d"
+  "CMakeFiles/airch_search.dir/objective.cpp.o"
+  "CMakeFiles/airch_search.dir/objective.cpp.o.d"
+  "CMakeFiles/airch_search.dir/reinforce.cpp.o"
+  "CMakeFiles/airch_search.dir/reinforce.cpp.o.d"
+  "CMakeFiles/airch_search.dir/space.cpp.o"
+  "CMakeFiles/airch_search.dir/space.cpp.o.d"
+  "libairch_search.a"
+  "libairch_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airch_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

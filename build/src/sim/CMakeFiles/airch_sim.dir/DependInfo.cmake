@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/compute_model.cpp" "src/sim/CMakeFiles/airch_sim.dir/compute_model.cpp.o" "gcc" "src/sim/CMakeFiles/airch_sim.dir/compute_model.cpp.o.d"
+  "/root/repo/src/sim/dataflow.cpp" "src/sim/CMakeFiles/airch_sim.dir/dataflow.cpp.o" "gcc" "src/sim/CMakeFiles/airch_sim.dir/dataflow.cpp.o.d"
+  "/root/repo/src/sim/energy_model.cpp" "src/sim/CMakeFiles/airch_sim.dir/energy_model.cpp.o" "gcc" "src/sim/CMakeFiles/airch_sim.dir/energy_model.cpp.o.d"
+  "/root/repo/src/sim/memory_model.cpp" "src/sim/CMakeFiles/airch_sim.dir/memory_model.cpp.o" "gcc" "src/sim/CMakeFiles/airch_sim.dir/memory_model.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/airch_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/airch_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace_sim.cpp" "src/sim/CMakeFiles/airch_sim.dir/trace_sim.cpp.o" "gcc" "src/sim/CMakeFiles/airch_sim.dir/trace_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/airch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/airch_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airch_sim.dir/compute_model.cpp.o"
+  "CMakeFiles/airch_sim.dir/compute_model.cpp.o.d"
+  "CMakeFiles/airch_sim.dir/dataflow.cpp.o"
+  "CMakeFiles/airch_sim.dir/dataflow.cpp.o.d"
+  "CMakeFiles/airch_sim.dir/energy_model.cpp.o"
+  "CMakeFiles/airch_sim.dir/energy_model.cpp.o.d"
+  "CMakeFiles/airch_sim.dir/memory_model.cpp.o"
+  "CMakeFiles/airch_sim.dir/memory_model.cpp.o.d"
+  "CMakeFiles/airch_sim.dir/simulator.cpp.o"
+  "CMakeFiles/airch_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/airch_sim.dir/trace_sim.cpp.o"
+  "CMakeFiles/airch_sim.dir/trace_sim.cpp.o.d"
+  "libairch_sim.a"
+  "libairch_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airch_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airch_workload.dir/model_zoo.cpp.o"
+  "CMakeFiles/airch_workload.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/airch_workload.dir/sampler.cpp.o"
+  "CMakeFiles/airch_workload.dir/sampler.cpp.o.d"
+  "libairch_workload.a"
+  "libairch_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airch_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_annealing_objective.dir/test_annealing_objective.cpp.o"
+  "CMakeFiles/test_annealing_objective.dir/test_annealing_objective.cpp.o.d"
+  "test_annealing_objective"
+  "test_annealing_objective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_annealing_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

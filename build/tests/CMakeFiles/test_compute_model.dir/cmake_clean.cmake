@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compute_model.dir/test_compute_model.cpp.o"
+  "CMakeFiles/test_compute_model.dir/test_compute_model.cpp.o.d"
+  "test_compute_model"
+  "test_compute_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compute_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

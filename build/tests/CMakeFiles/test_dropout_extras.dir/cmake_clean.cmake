@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dropout_extras.dir/test_dropout_extras.cpp.o"
+  "CMakeFiles/test_dropout_extras.dir/test_dropout_extras.cpp.o.d"
+  "test_dropout_extras"
+  "test_dropout_extras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dropout_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energy_sim.dir/test_energy_sim.cpp.o"
+  "CMakeFiles/test_energy_sim.dir/test_energy_sim.cpp.o.d"
+  "test_energy_sim"
+  "test_energy_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energy_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gbt_svc_details.dir/test_gbt_svc_details.cpp.o"
+  "CMakeFiles/test_gbt_svc_details.dir/test_gbt_svc_details.cpp.o.d"
+  "test_gbt_svc_details"
+  "test_gbt_svc_details.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gbt_svc_details.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

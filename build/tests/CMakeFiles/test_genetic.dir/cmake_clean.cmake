@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_genetic.dir/test_genetic.cpp.o"
+  "CMakeFiles/test_genetic.dir/test_genetic.cpp.o.d"
+  "test_genetic"
+  "test_genetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_genetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math_utils.dir/test_math_utils.cpp.o"
+  "CMakeFiles/test_math_utils.dir/test_math_utils.cpp.o.d"
+  "test_math_utils"
+  "test_math_utils.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math_utils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

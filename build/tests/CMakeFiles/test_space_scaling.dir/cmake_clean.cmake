@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_space_scaling.dir/test_space_scaling.cpp.o"
+  "CMakeFiles/test_space_scaling.dir/test_space_scaling.cpp.o.d"
+  "test_space_scaling"
+  "test_space_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_space_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/test_workload.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/airch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/airch_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/airch_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/airch_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/airch_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/airch_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/airch_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/airch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_recommender.dir/query_recommender.cpp.o"
+  "CMakeFiles/query_recommender.dir/query_recommender.cpp.o.d"
+  "query_recommender"
+  "query_recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_recommender.dir/train_recommender.cpp.o"
+  "CMakeFiles/train_recommender.dir/train_recommender.cpp.o.d"
+  "train_recommender"
+  "train_recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
