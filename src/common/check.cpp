@@ -1,0 +1,15 @@
+#include "common/check.hpp"
+
+#include <sstream>
+
+namespace airch::detail {
+
+void contract_fail(const char* kind, const char* expr, const char* file, int line,
+                   const char* msg) {
+  std::ostringstream os;
+  os << "AIRCH_" << kind << " failed: " << expr << " at " << file << ':' << line;
+  if (msg != nullptr) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace airch::detail

@@ -1,0 +1,64 @@
+#pragma once
+// Debug contract macros. Policy (see docs/static_analysis.md):
+//
+//   AIRCH_CHECK(cond, msg)   always on, throws airch::ContractViolation.
+//                            Use at API boundaries where a caller mistake
+//                            must be caught even in Release.
+//   AIRCH_ASSERT(cond)       internal invariant. Active when NDEBUG is not
+//                            defined (Debug and all sanitizer presets);
+//                            compiled out in Release. When compiled out the
+//                            condition is NOT evaluated, so it must be free
+//                            of side effects.
+//   AIRCH_DCHECK(cond, msg)  like AIRCH_ASSERT but carries a message.
+//
+// Violations throw instead of aborting so tests can observe them and so a
+// serving process can turn a contract failure into a failed request rather
+// than a crash. The sanitizer presets build without NDEBUG, which means
+// every AIRCH_ASSERT is live under ASan/UBSan/TSan.
+
+#include <stdexcept>
+#include <string>
+
+namespace airch {
+
+/// Thrown by AIRCH_CHECK / AIRCH_ASSERT / AIRCH_DCHECK on failure.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void contract_fail(const char* kind, const char* expr, const char* file, int line,
+                                const char* msg);
+
+}  // namespace detail
+}  // namespace airch
+
+#define AIRCH_CHECK(cond, msg)                                                   \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      ::airch::detail::contract_fail("CHECK", #cond, __FILE__, __LINE__, (msg)); \
+    }                                                                            \
+  } while (false)
+
+#ifdef NDEBUG
+// Release: no-op, condition not evaluated (guaranteed — relied upon by
+// tests/test_check.cpp). The sizeof trick keeps the expression
+// syntactically checked so Release-only bit-rot is still a compile error.
+#define AIRCH_ASSERT(cond) static_cast<void>(sizeof((cond) ? 1 : 0))
+#define AIRCH_DCHECK(cond, msg) static_cast<void>(sizeof((cond) ? 1 : 0))
+#else
+#define AIRCH_ASSERT(cond)                                                           \
+  do {                                                                              \
+    if (!(cond)) {                                                                  \
+      ::airch::detail::contract_fail("ASSERT", #cond, __FILE__, __LINE__, nullptr); \
+    }                                                                               \
+  } while (false)
+#define AIRCH_DCHECK(cond, msg)                                                    \
+  do {                                                                             \
+    if (!(cond)) {                                                                 \
+      ::airch::detail::contract_fail("DCHECK", #cond, __FILE__, __LINE__, (msg));  \
+    }                                                                              \
+  } while (false)
+#endif

@@ -41,7 +41,7 @@ void ArgParser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      std::cout << usage();
+      std::cout << usage();  // airch-lint: allow(cout) — --help is interactive by contract
       std::exit(0);
     }
     if (arg.rfind("--", 0) != 0) {

@@ -6,7 +6,7 @@ double geomean(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;
   double log_sum = 0.0;
   for (double x : xs) {
-    assert(x > 0.0);
+    AIRCH_ASSERT(x > 0.0);
     log_sum += std::log(x);
   }
   return std::exp(log_sum / static_cast<double>(xs.size()));

@@ -1,16 +1,17 @@
 #pragma once
 // Small integer/floating-point helpers shared across the library.
 
-#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <vector>
+
+#include "common/check.hpp"
 
 namespace airch {
 
 /// Integer ceiling division. Requires b > 0.
 constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
-  assert(b > 0);
+  AIRCH_ASSERT(b > 0);
   return (a + b - 1) / b;
 }
 
@@ -19,7 +20,7 @@ constexpr bool is_pow2(std::int64_t x) { return x > 0 && (x & (x - 1)) == 0; }
 
 /// floor(log2(x)) for x >= 1.
 constexpr int log2_floor(std::int64_t x) {
-  assert(x >= 1);
+  AIRCH_ASSERT(x >= 1);
   int r = 0;
   while (x > 1) {
     x >>= 1;
@@ -30,13 +31,13 @@ constexpr int log2_floor(std::int64_t x) {
 
 /// ceil(log2(x)) for x >= 1.
 constexpr int log2_ceil(std::int64_t x) {
-  assert(x >= 1);
+  AIRCH_ASSERT(x >= 1);
   return is_pow2(x) ? log2_floor(x) : log2_floor(x) + 1;
 }
 
 /// 2^e as int64. Requires 0 <= e < 63.
 constexpr std::int64_t pow2(int e) {
-  assert(e >= 0 && e < 63);
+  AIRCH_ASSERT(e >= 0 && e < 63);
   return std::int64_t{1} << e;
 }
 

@@ -1,33 +1,76 @@
 #include "common/parallel.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <exception>
 #include <thread>
 #include <vector>
 
+#include "common/check.hpp"
+
 namespace airch {
 
+namespace {
+
+// Below this trip count the auto-sized overload runs inline: thread spawn
+// cost dwarfs the work.
+constexpr std::size_t kInlineThreshold = 256;
+
+}  // namespace
+
 unsigned hardware_threads() {
+  if (const char* env = std::getenv("AIRCH_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024) {
+      return static_cast<unsigned>(v);
+    }
+  }
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : n;
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
-  const unsigned workers = std::min<std::size_t>(hardware_threads(), n);
-  if (workers <= 1 || n < 256) {
+  const unsigned workers = hardware_threads();
+  if (workers <= 1 || n < kInlineThreshold) {
+    fn(0, n);
+    return;
+  }
+  parallel_for(n, workers, fn);
+}
+
+void parallel_for(std::size_t n, unsigned workers,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  AIRCH_CHECK(workers >= 1, "parallel_for requires at least one worker");
+  if (n == 0) return;
+  workers = static_cast<unsigned>(std::min<std::size_t>(workers, n));
+  if (workers == 1) {
     fn(0, n);
     return;
   }
   const std::size_t chunk = (n + workers - 1) / workers;
   std::vector<std::thread> threads;
   threads.reserve(workers);
+  // One error slot per worker: slots are disjoint, so capture needs no
+  // synchronization beyond join(). The lowest-chunk exception is rethrown.
+  std::vector<std::exception_ptr> errors(workers);
   for (unsigned w = 0; w < workers; ++w) {
     const std::size_t begin = w * chunk;
     const std::size_t end = std::min(n, begin + chunk);
     if (begin >= end) break;
-    threads.emplace_back([&fn, begin, end] { fn(begin, end); });
+    threads.emplace_back([&fn, &errors, w, begin, end] {
+      try {
+        fn(begin, end);
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
   }
   for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
 }
 
 }  // namespace airch

@@ -1,5 +1,5 @@
 #pragma once
-// Minimal fork-join helper: statically partitions [0, n) across hardware
+// Minimal fork-join helper: statically partitions [0, n) across worker
 // threads. Dataset generation and exhaustive search are embarrassingly
 // parallel; this keeps them fast without pulling in a task framework.
 
@@ -8,11 +8,23 @@
 
 namespace airch {
 
-/// Number of worker threads used by parallel_for (>= 1).
+/// Number of worker threads used by the auto-sized parallel_for (>= 1).
+/// Honors the AIRCH_THREADS environment variable (1..1024) when set; this
+/// is how concurrency tests force real threads on small machines and how
+/// deployments pin the pool width. Falls back to hardware_concurrency().
 unsigned hardware_threads();
 
 /// Invokes fn(begin, end) on disjoint chunks covering [0, n), concurrently.
 /// fn must be thread-safe across chunks. Runs inline when n is small.
+/// If any worker throws, the first exception (lowest chunk index) is
+/// rethrown on the calling thread after all workers have joined.
 void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// Same, but with an explicit worker count (>= 1). Always forks `workers`
+/// threads (capped at n), even for tiny n — concurrency stress tests rely
+/// on this to exercise real thread interleavings regardless of core count.
+/// Nesting is allowed: an inner parallel_for simply spawns its own workers.
+void parallel_for(std::size_t n, unsigned workers,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
 
 }  // namespace airch

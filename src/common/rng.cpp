@@ -1,9 +1,10 @@
 #include "common/rng.hpp"
 
-#include "common/math_utils.hpp"
-
 #include <cmath>
 #include <numeric>
+
+#include "common/check.hpp"
+#include "common/math_utils.hpp"
 
 namespace airch {
 
@@ -37,7 +38,7 @@ std::uint64_t Rng::next_u64() {
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  assert(lo <= hi);
+  AIRCH_ASSERT(lo <= hi);
   const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
   if (range == 0) return static_cast<std::int64_t>(next_u64());  // full 64-bit range
   // Rejection sampling to remove modulo bias.
@@ -72,7 +73,7 @@ double Rng::normal() {
 }
 
 std::int64_t Rng::log_uniform_int(std::int64_t lo, std::int64_t hi) {
-  assert(lo >= 1 && lo <= hi);
+  AIRCH_ASSERT(lo >= 1 && lo <= hi);
   const double llo = std::log(static_cast<double>(lo));
   const double lhi = std::log(static_cast<double>(hi) + 1.0);
   const auto v = static_cast<std::int64_t>(std::exp(uniform(llo, lhi)));
@@ -80,9 +81,9 @@ std::int64_t Rng::log_uniform_int(std::int64_t lo, std::int64_t hi) {
 }
 
 std::size_t Rng::weighted_index(const std::vector<double>& weights) {
-  assert(!weights.empty());
+  AIRCH_ASSERT(!weights.empty());
   const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
-  assert(total > 0.0);
+  AIRCH_ASSERT(total > 0.0);
   double r = uniform() * total;
   for (std::size_t i = 0; i < weights.size(); ++i) {
     r -= weights[i];

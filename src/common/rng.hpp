@@ -5,7 +5,6 @@
 // not guaranteed, and dataset generation must be bit-reproducible.
 
 #include <algorithm>
-#include <cassert>
 #include <cstdint>
 #include <vector>
 

@@ -6,19 +6,31 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/check.hpp"
+
 namespace airch {
 
 std::int32_t FeatureEncoder::Column::bucket_of(std::int64_t v) const {
+  std::int32_t bucket = 0;
   if (exact) {
     // Unseen values map to the nearest known value's bucket.
     auto it = value_to_index.lower_bound(v);
-    if (it == value_to_index.end()) return std::prev(it)->second;
-    if (it->first == v || it == value_to_index.begin()) return it->second;
-    auto prev = std::prev(it);
-    return (v - prev->first <= it->first - v) ? prev->second : it->second;
+    if (it == value_to_index.end()) {
+      bucket = std::prev(it)->second;
+    } else if (it->first == v || it == value_to_index.begin()) {
+      bucket = it->second;
+    } else {
+      auto prev = std::prev(it);
+      bucket = (v - prev->first <= it->first - v) ? prev->second : it->second;
+    }
+  } else {
+    const auto it = std::lower_bound(boundaries.begin(), boundaries.end(), v);
+    bucket = static_cast<std::int32_t>(it - boundaries.begin());
   }
-  const auto it = std::lower_bound(boundaries.begin(), boundaries.end(), v);
-  return static_cast<std::int32_t>(it - boundaries.begin());
+  // Embedding tables are sized from vocab(); an out-of-range bucket would
+  // index past the table.
+  AIRCH_DCHECK(bucket >= 0 && bucket < vocab(), "bucket outside embedding vocab range");
+  return bucket;
 }
 
 int FeatureEncoder::Column::vocab() const {
@@ -88,6 +100,8 @@ std::vector<int> FeatureEncoder::vocab_sizes() const {
 }
 
 std::int32_t FeatureEncoder::bucket(int col, std::int64_t value) const {
+  AIRCH_DCHECK(col >= 0 && static_cast<std::size_t>(col) < columns_.size(),
+               "feature column index out of range");
   return columns_[static_cast<std::size_t>(col)].bucket_of(value);
 }
 

@@ -133,9 +133,14 @@ Dataset generate_case3(std::size_t n, const ScheduleSpace& space,
 
   std::vector<std::string> names;
   for (int i = 0; i < w; ++i) {
-    names.push_back("M" + std::to_string(i));
-    names.push_back("N" + std::to_string(i));
-    names.push_back("K" + std::to_string(i));
+    // Built via += rather than "M" + to_string(i): the operator+ form trips
+    // a spurious -Wrestrict in GCC 12's inlined char_traits (PR 105651).
+    const std::string suffix = std::to_string(i);
+    for (const char* dim : {"M", "N", "K"}) {
+      std::string name = dim;
+      name += suffix;
+      names.push_back(std::move(name));
+    }
   }
   Dataset ds(names, space.size());
   for (std::size_t i = 0; i < n; ++i) {

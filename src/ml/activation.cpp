@@ -1,6 +1,6 @@
 #include "ml/activation.hpp"
 
-#include <cassert>
+#include "common/check.hpp"
 
 namespace airch::ml {
 
@@ -16,7 +16,7 @@ Matrix ReluLayer::forward(const Matrix& x, bool /*training*/) {
 }
 
 Matrix ReluLayer::backward(const Matrix& grad_out) {
-  assert(grad_out.rows() == mask_.rows() && grad_out.cols() == mask_.cols());
+  AIRCH_ASSERT(grad_out.rows() == mask_.rows() && grad_out.cols() == mask_.cols());
   Matrix g = grad_out;
   for (std::size_t i = 0; i < g.size(); ++i) g.data()[i] *= mask_.data()[i];
   return g;

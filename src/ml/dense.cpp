@@ -1,7 +1,8 @@
 #include "ml/dense.hpp"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "common/check.hpp"
 
 namespace airch::ml {
 
@@ -17,7 +18,7 @@ DenseLayer::DenseLayer(std::size_t in_dim, std::size_t out_dim, Rng& rng)
 }
 
 Matrix DenseLayer::forward(const Matrix& x, bool /*training*/) {
-  assert(x.cols() == in_dim_);
+  AIRCH_ASSERT(x.cols() == in_dim_);
   cached_input_ = x;
   Matrix y(x.rows(), out_dim_);
   matmul(x, false, w_, false, y);
@@ -26,7 +27,7 @@ Matrix DenseLayer::forward(const Matrix& x, bool /*training*/) {
 }
 
 Matrix DenseLayer::backward(const Matrix& grad_out) {
-  assert(grad_out.rows() == cached_input_.rows() && grad_out.cols() == out_dim_);
+  AIRCH_ASSERT(grad_out.rows() == cached_input_.rows() && grad_out.cols() == out_dim_);
   // dW = x^T * dY ; db = column sums of dY ; dX = dY * W^T
   matmul(cached_input_, true, grad_out, false, w_grad_);
   column_sums(grad_out, b_grad_);
@@ -40,7 +41,7 @@ std::vector<ParamRef> DenseLayer::params() {
 }
 
 std::size_t DenseLayer::output_dim(std::size_t input_dim) const {
-  assert(input_dim == in_dim_);
+  AIRCH_ASSERT(input_dim == in_dim_);
   (void)input_dim;
   return out_dim_;
 }

@@ -1,7 +1,8 @@
 #include "ml/dropout.hpp"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "common/check.hpp"
 
 namespace airch::ml {
 
@@ -25,7 +26,7 @@ Matrix DropoutLayer::forward(const Matrix& x, bool training) {
 
 Matrix DropoutLayer::backward(const Matrix& grad_out) {
   if (!last_forward_training_ || rate_ == 0.0) return grad_out;
-  assert(grad_out.rows() == mask_.rows() && grad_out.cols() == mask_.cols());
+  AIRCH_ASSERT(grad_out.rows() == mask_.rows() && grad_out.cols() == mask_.cols());
   Matrix g = grad_out;
   for (std::size_t i = 0; i < g.size(); ++i) g.data()[i] *= mask_.data()[i];
   return g;

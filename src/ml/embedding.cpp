@@ -1,8 +1,9 @@
 #include "ml/embedding.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+
+#include "common/check.hpp"
 
 namespace airch::ml {
 
@@ -21,7 +22,7 @@ EmbeddingBag::EmbeddingBag(std::vector<int> vocab_sizes, std::size_t dim, Rng& r
 }
 
 Matrix EmbeddingBag::forward(const IntBatch& indices) {
-  assert(indices.cols == vocab_sizes_.size());
+  AIRCH_ASSERT(indices.cols == vocab_sizes_.size());
   cached_indices_ = indices;
   Matrix out(indices.rows, output_dim());
   for (std::size_t r = 0; r < indices.rows; ++r) {
@@ -38,7 +39,7 @@ Matrix EmbeddingBag::forward(const IntBatch& indices) {
 }
 
 void EmbeddingBag::backward(const Matrix& grad_out) {
-  assert(grad_out.rows() == cached_indices_.rows && grad_out.cols() == output_dim());
+  AIRCH_ASSERT(grad_out.rows() == cached_indices_.rows && grad_out.cols() == output_dim());
   for (auto& g : table_grads_) g.fill(0.0f);
   for (std::size_t r = 0; r < cached_indices_.rows; ++r) {
     const float* src = grad_out.row(r);

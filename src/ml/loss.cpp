@@ -1,13 +1,14 @@
 #include "ml/loss.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.hpp"
 
 namespace airch::ml {
 
 LossResult softmax_cross_entropy(const Matrix& logits, const std::vector<std::int32_t>& labels) {
-  assert(logits.rows() == labels.size());
+  AIRCH_ASSERT(logits.rows() == labels.size());
   const std::size_t batch = logits.rows();
   const std::size_t classes = logits.cols();
   LossResult r;
@@ -23,7 +24,7 @@ LossResult softmax_cross_entropy(const Matrix& logits, const std::vector<std::in
     for (std::size_t j = 0; j < classes; ++j) denom += std::exp(static_cast<double>(row[j] - max_logit));
 
     const auto label = static_cast<std::size_t>(labels[i]);
-    assert(label < classes);
+    AIRCH_ASSERT(label < classes);
 
     std::size_t argmax = 0;
     for (std::size_t j = 0; j < classes; ++j) {
@@ -49,9 +50,11 @@ void softmax_rows(Matrix& m) {
     double denom = 0.0;
     for (std::size_t j = 0; j < m.cols(); ++j) {
       row[j] = static_cast<float>(std::exp(static_cast<double>(row[j] - max_logit)));
-      denom += row[j];
+      denom += static_cast<double>(row[j]);
     }
-    for (std::size_t j = 0; j < m.cols(); ++j) row[j] = static_cast<float>(row[j] / denom);
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      row[j] = static_cast<float>(static_cast<double>(row[j]) / denom);
+    }
   }
 }
 

@@ -15,9 +15,9 @@ void matmul(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b, Matrix
   const std::size_t k = trans_a ? a.rows() : a.cols();
   const std::size_t k2 = trans_b ? b.cols() : b.rows();
   const std::size_t n = trans_b ? b.rows() : b.cols();
-  assert(k == k2);
+  AIRCH_DCHECK(k == k2, "matmul inner dimensions must agree");
   (void)k2;
-  assert(c.rows() == m && c.cols() == n);
+  AIRCH_DCHECK(c.rows() == m && c.cols() == n, "matmul output must be pre-sized to m x n");
 
   if (beta == 0.0f) {
     c.fill(0.0f);
@@ -44,7 +44,7 @@ void matmul(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b, Matrix
 }
 
 void add_row_broadcast(Matrix& y, const std::vector<float>& row) {
-  assert(row.size() == y.cols());
+  AIRCH_ASSERT(row.size() == y.cols());
   for (std::size_t i = 0; i < y.rows(); ++i) {
     float* yr = y.row(i);
     for (std::size_t j = 0; j < y.cols(); ++j) yr[j] += row[j];

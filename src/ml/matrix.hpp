@@ -3,10 +3,10 @@
 // Sized for classifier training (batches of a few hundred by a few hundred
 // features): a cache-friendly ikj GEMM is all the performance this needs.
 
-#include <cassert>
 #include <cstddef>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/rng.hpp"
 
 namespace airch::ml {
@@ -23,11 +23,11 @@ class Matrix {
   bool empty() const { return data_.empty(); }
 
   float& operator()(std::size_t r, std::size_t c) {
-    assert(r < rows_ && c < cols_);
+    AIRCH_ASSERT(r < rows_ && c < cols_);
     return data_[r * cols_ + c];
   }
   float operator()(std::size_t r, std::size_t c) const {
-    assert(r < rows_ && c < cols_);
+    AIRCH_ASSERT(r < rows_ && c < cols_);
     return data_[r * cols_ + c];
   }
 

@@ -1,15 +1,16 @@
 #include "ml/metrics.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
 
+#include "common/check.hpp"
+
 namespace airch::ml {
 
 double topk_accuracy(const Matrix& scores, const std::vector<std::int32_t>& labels, int k) {
-  assert(scores.rows() == labels.size());
+  AIRCH_ASSERT(scores.rows() == labels.size());
   if (labels.empty()) return 0.0;
   if (k < 1) throw std::invalid_argument("k must be >= 1");
   std::size_t hits = 0;

@@ -1,8 +1,8 @@
 #include "ml/network.hpp"
 
-#include <cassert>
 #include <stdexcept>
 
+#include "common/check.hpp"
 #include "ml/activation.hpp"
 #include "ml/dropout.hpp"
 
@@ -79,13 +79,13 @@ TrainStats FeedForwardNet::apply_loss_and_step(const Matrix& logits_out,
 
 TrainStats FeedForwardNet::train_batch(const IntBatch& x, const std::vector<std::int32_t>& y,
                                        Optimizer& opt) {
-  assert(x.rows == y.size());
+  AIRCH_ASSERT(x.rows == y.size());
   return apply_loss_and_step(logits(x, /*training=*/true), y, opt);
 }
 
 TrainStats FeedForwardNet::train_batch(const Matrix& x, const std::vector<std::int32_t>& y,
                                        Optimizer& opt) {
-  assert(x.rows() == y.size());
+  AIRCH_ASSERT(x.rows() == y.size());
   return apply_loss_and_step(logits(x, /*training=*/true), y, opt);
 }
 

@@ -1,8 +1,9 @@
 #include "ml/optimizer.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "common/check.hpp"
 
 namespace airch::ml {
 
@@ -23,7 +24,7 @@ void SgdMomentum::step(const std::vector<ParamRef>& params) {
   for (std::size_t k = 0; k < params.size(); ++k) {
     const auto& p = params[k];
     auto& vel = velocity_[k];
-    assert(vel.size() == p.size);
+    AIRCH_ASSERT(vel.size() == p.size);
     for (std::size_t i = 0; i < p.size; ++i) {
       vel[i] = static_cast<float>(momentum_) * vel[i] - static_cast<float>(lr_) * p.grad[i];
       p.value[i] += vel[i];
@@ -48,13 +49,13 @@ void Adam::step(const std::vector<ParamRef>& params) {
     const auto& p = params[k];
     auto& m = m_[k];
     auto& v = v_[k];
-    assert(m.size() == p.size);
+    AIRCH_ASSERT(m.size() == p.size);
     for (std::size_t i = 0; i < p.size; ++i) {
       const double g = p.grad[i];
-      m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * g);
-      v[i] = static_cast<float>(beta2_ * v[i] + (1.0 - beta2_) * g * g);
-      const double m_hat = m[i] / bias1;
-      const double v_hat = v[i] / bias2;
+      m[i] = static_cast<float>(beta1_ * static_cast<double>(m[i]) + (1.0 - beta1_) * g);
+      v[i] = static_cast<float>(beta2_ * static_cast<double>(v[i]) + (1.0 - beta2_) * g * g);
+      const double m_hat = static_cast<double>(m[i]) / bias1;
+      const double v_hat = static_cast<double>(v[i]) / bias2;
       p.value[i] -= static_cast<float>(lr_ * m_hat / (std::sqrt(v_hat) + eps_));
     }
   }

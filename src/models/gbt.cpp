@@ -50,8 +50,8 @@ GbtClassifier::Tree GbtClassifier::fit_tree(const std::vector<std::int32_t>& buc
 
     double g_sum = 0.0, h_sum = 0.0;
     for (std::size_t i = w.begin; i < w.end; ++i) {
-      g_sum += grad[indices[i]];
-      h_sum += hess[indices[i]];
+      g_sum += static_cast<double>(grad[indices[i]]);
+      h_sum += static_cast<double>(hess[indices[i]]);
     }
     const double parent_score = g_sum * g_sum / (h_sum + options_.lambda);
 
@@ -79,8 +79,8 @@ GbtClassifier::Tree GbtClassifier::fit_tree(const std::vector<std::int32_t>& buc
       for (std::size_t i = w.begin; i < w.end; ++i) {
         const std::size_t row = indices[i];
         const auto b = static_cast<std::size_t>(buckets[row * num_features + f]);
-        g_hist[b] += grad[row];
-        h_hist[b] += hess[row];
+        g_hist[b] += static_cast<double>(grad[row]);
+        h_hist[b] += static_cast<double>(hess[row]);
         ++c_hist[b];
       }
       double g_left = 0.0, h_left = 0.0;

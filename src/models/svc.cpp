@@ -79,7 +79,7 @@ std::vector<EpochStats> SvcClassifier::fit(const Dataset& train, const Dataset& 
         }
         const float violation = 1.0f + s[worst] - s[y];
         if (violation > 0.0f) {
-          loss_sum += violation;
+          loss_sum += static_cast<double>(violation);
           grad_scores(i, worst) = 1.0f / static_cast<float>(bs);
           grad_scores(i, y) = -1.0f / static_cast<float>(bs);
         }

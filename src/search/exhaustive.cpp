@@ -1,9 +1,9 @@
 #include "search/exhaustive.hpp"
 
-#include <cassert>
 #include <limits>
 #include <stdexcept>
 
+#include "common/check.hpp"
 #include "common/math_utils.hpp"
 
 namespace airch {
@@ -12,7 +12,7 @@ namespace airch {
 
 ArrayDataflowSearch::Result ArrayDataflowSearch::best(const GemmWorkload& w,
                                                       int budget_exp) const {
-  assert(w.valid());
+  AIRCH_ASSERT(w.valid());
   Result best{-1, std::numeric_limits<std::int64_t>::max()};
   const std::int64_t budget = pow2(std::min(budget_exp, 62));
   for (int label = 0; label < space_->size(); ++label) {
@@ -33,7 +33,7 @@ ArrayDataflowSearch::Result ArrayDataflowSearch::best(const GemmWorkload& w,
 ArrayDataflowSearch::ObjectiveResult ArrayDataflowSearch::best_with_objective(
     const GemmWorkload& w, int budget_exp, const ObjectiveEvaluator& evaluator,
     Objective objective) const {
-  assert(w.valid());
+  AIRCH_ASSERT(w.valid());
   ObjectiveResult best{-1, std::numeric_limits<double>::max()};
   const std::int64_t budget = pow2(std::min(budget_exp, 62));
   for (int label = 0; label < space_->size(); ++label) {
@@ -54,7 +54,7 @@ std::int64_t ArrayDataflowSearch::cycles_of(const GemmWorkload& w, int label) co
 
 BufferSearch::Result BufferSearch::best(const GemmWorkload& w, const ArrayConfig& array,
                                         std::int64_t bandwidth, std::int64_t limit_kb) const {
-  assert(w.valid() && array.valid());
+  AIRCH_ASSERT(w.valid() && array.valid());
   Result best{-1, std::numeric_limits<std::int64_t>::max(),
               std::numeric_limits<std::int64_t>::max()};
   const ComputeResult compute = compute_latency(w, array);

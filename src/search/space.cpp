@@ -1,9 +1,9 @@
 #include "search/space.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
 
+#include "common/check.hpp"
 #include "common/math_utils.hpp"
 
 namespace airch {
@@ -12,7 +12,8 @@ namespace airch {
 
 ArrayDataflowSpace::ArrayDataflowSpace(int max_macs_exp, int min_exp)
     : max_macs_exp_(max_macs_exp), min_exp_(min_exp) {
-  assert(min_exp >= 0 && max_macs_exp >= 2 * min_exp);
+  AIRCH_CHECK(min_exp >= 0 && max_macs_exp >= 2 * min_exp && max_macs_exp <= 62,
+              "array/dataflow space parameters out of range");
   for (int a = min_exp; a <= max_macs_exp - min_exp; ++a) {
     for (int b = min_exp; a + b <= max_macs_exp; ++b) {
       for (Dataflow d : kAllDataflows) {
@@ -40,7 +41,9 @@ int ArrayDataflowSpace::label_of(const ArrayConfig& c) const {
   int shape_index = 0;
   for (int ap = min_exp_; ap < a; ++ap) shape_index += max_macs_exp_ - min_exp_ - ap + 1;
   shape_index += b - min_exp_;
-  return shape_index * kNumDataflows + dataflow_index(c.dataflow);
+  const int label = shape_index * kNumDataflows + dataflow_index(c.dataflow);
+  AIRCH_DCHECK(label >= 0 && label < size(), "label_of produced index outside [0, size)");
+  return label;
 }
 
 std::vector<int> ArrayDataflowSpace::labels_within_budget(int budget_exp) const {
@@ -56,7 +59,8 @@ std::vector<int> ArrayDataflowSpace::labels_within_budget(int budget_exp) const 
 
 BufferSizeSpace::BufferSizeSpace(std::int64_t step_kb, std::int64_t max_kb)
     : step_kb_(step_kb), max_kb_(max_kb), levels_(static_cast<int>(max_kb / step_kb)) {
-  assert(step_kb >= 1 && max_kb % step_kb == 0 && levels_ >= 1);
+  AIRCH_CHECK(step_kb >= 1 && max_kb % step_kb == 0 && levels_ >= 1,
+              "buffer space requires max_kb a positive multiple of step_kb");
 }
 
 MemoryConfig BufferSizeSpace::config(int label) const {
@@ -100,14 +104,15 @@ std::vector<int> BufferSizeSpace::labels_within_total(std::int64_t total_kb) con
 // ---------------------------------------------------------------- case 3
 
 std::int64_t ScheduleSpace::space_size(int x) {
-  assert(x >= 1);
+  AIRCH_CHECK(x >= 1, "schedule space arity must be >= 1");
   std::int64_t n = 1;
   for (int i = 1; i <= x; ++i) n *= 3 * i;  // 3^x * x!
   return n;
 }
 
 ScheduleSpace::ScheduleSpace(int num_arrays) : num_arrays_(num_arrays) {
-  assert(num_arrays >= 1 && num_arrays <= 8);
+  AIRCH_CHECK(num_arrays >= 1 && num_arrays <= 8,
+              "schedule space supports 1..8 arrays (size grows as 3^x * x!)");
   std::vector<int> perm(static_cast<std::size_t>(num_arrays));
   for (int i = 0; i < num_arrays; ++i) perm[static_cast<std::size_t>(i)] = i;
   do {
@@ -124,6 +129,8 @@ ScheduleSpace::Schedule ScheduleSpace::config(int label) const {
   for (int i = 0; i < num_arrays_; ++i) df_combos *= kNumDataflows;
   const int perm_idx = static_cast<int>(label / df_combos);
   std::int64_t df_code = label % df_combos;
+  AIRCH_DCHECK(perm_idx >= 0 && static_cast<std::size_t>(perm_idx) < permutations_.size(),
+               "schedule label decoded to an out-of-range permutation");
 
   Schedule s;
   s.workload_of = permutations_[static_cast<std::size_t>(perm_idx)];

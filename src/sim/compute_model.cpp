@@ -1,7 +1,6 @@
 #include "sim/compute_model.hpp"
 
-#include <cassert>
-
+#include "common/check.hpp"
 #include "common/math_utils.hpp"
 
 namespace airch {
@@ -16,7 +15,7 @@ Mapping map_workload(const GemmWorkload& w, Dataflow d) {
 }
 
 ComputeResult compute_latency(const GemmWorkload& w, const ArrayConfig& array) {
-  assert(w.valid() && array.valid());
+  AIRCH_ASSERT(w.valid() && array.valid());
   const Mapping map = map_workload(w, array.dataflow);
   const std::int64_t row_folds = ceil_div(map.spatial_rows, array.rows);
   const std::int64_t col_folds = ceil_div(map.spatial_cols, array.cols);
@@ -41,6 +40,10 @@ ComputeResult compute_latency(const GemmWorkload& w, const ArrayConfig& array) {
   const double capacity =
       static_cast<double>(array.macs()) * static_cast<double>(r.cycles);
   r.utilization = capacity > 0.0 ? useful_macs / capacity : 0.0;
+  AIRCH_DCHECK(r.folds >= 1 && r.fold_cycles >= 1 && r.cycles >= 1,
+               "compute latency must be positive for a valid workload/array");
+  AIRCH_DCHECK(r.utilization >= 0.0 && r.utilization <= 1.0,
+               "utilization is a fraction of peak MAC throughput");
   return r;
 }
 

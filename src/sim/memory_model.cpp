@@ -1,8 +1,8 @@
 #include "sim/memory_model.hpp"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.hpp"
 #include "common/math_utils.hpp"
 
 namespace airch {
@@ -95,7 +95,7 @@ Traffic traffic_is(const GemmWorkload& w, const ArrayConfig& a, const MemoryConf
 
 MemoryResult memory_behavior(const GemmWorkload& w, const ArrayConfig& array,
                              const MemoryConfig& mem, const ComputeResult& compute) {
-  assert(w.valid() && array.valid() && mem.valid());
+  AIRCH_ASSERT(w.valid() && array.valid() && mem.valid());
   Traffic t;
   switch (array.dataflow) {
     case Dataflow::kOutputStationary: t = traffic_os(w, array, mem); break;
@@ -109,9 +109,14 @@ MemoryResult memory_behavior(const GemmWorkload& w, const ArrayConfig& array,
   r.dram_ofmap_bytes = t.ofmap * kBytesPerElement;
   r.sram_bytes = t.sram * kBytesPerElement;
 
+  // Traffic components are counts of fetched bytes: a negative value means
+  // a reuse formula above went wrong (e.g. retained > stripe) or overflowed.
+  AIRCH_DCHECK(t.ifmap >= 0 && t.filter >= 0 && t.ofmap >= 0 && t.sram >= 0 && t.first_fill >= 0,
+               "negative traffic — reuse accounting bug or int64 overflow");
   const std::int64_t transfer_cycles = ceil_div(r.dram_total_bytes(), mem.bandwidth);
   const std::int64_t fill_cycles = ceil_div(t.first_fill * kBytesPerElement, mem.bandwidth);
   r.stall_cycles = fill_cycles + std::max<std::int64_t>(0, transfer_cycles - compute.cycles);
+  AIRCH_DCHECK(r.stall_cycles >= 0, "stall cycles must be non-negative");
   return r;
 }
 

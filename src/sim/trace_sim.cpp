@@ -1,13 +1,14 @@
 #include "sim/trace_sim.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+
+#include "common/check.hpp"
 
 namespace airch {
 
 GemmMatrix reference_gemm(const GemmMatrix& a, const GemmMatrix& b) {
-  assert(a.cols == b.rows);
+  AIRCH_ASSERT(a.cols == b.rows);
   GemmMatrix c(a.rows, b.cols);
   for (std::int64_t i = 0; i < a.rows; ++i) {
     for (std::int64_t k = 0; k < a.cols; ++k) {

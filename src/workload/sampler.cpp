@@ -1,7 +1,6 @@
 #include "workload/sampler.hpp"
 
-#include <cassert>
-
+#include "common/check.hpp"
 #include "common/math_utils.hpp"
 #include "workload/model_zoo.hpp"
 
@@ -24,8 +23,8 @@ GemmWorkload LogUniformGemmSampler::sample(Rng& rng) const {
 
 ZooEmpiricalGemmSampler::ZooEmpiricalGemmSampler(double jitter)
     : population_(zoo_gemms()), jitter_(jitter) {
-  assert(!population_.empty());
-  assert(jitter_ >= 0.0);
+  AIRCH_ASSERT(!population_.empty());
+  AIRCH_ASSERT(jitter_ >= 0.0);
 }
 
 GemmWorkload ZooEmpiricalGemmSampler::sample(Rng& rng) const {

@@ -1,0 +1,83 @@
+// Semantics of the contract macros (src/common/check.hpp):
+//  - AIRCH_CHECK is always on and throws ContractViolation.
+//  - AIRCH_ASSERT / AIRCH_DCHECK fire only when NDEBUG is not defined
+//    (Debug and the sanitizer presets); in Release they are no-ops that do
+//    NOT evaluate their condition. Both halves are asserted here, so this
+//    test is meaningful in every preset.
+
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+TEST(Check, CheckPassesOnTrue) {
+  int evaluations = 0;
+  AIRCH_CHECK([&] { ++evaluations; return true; }(), "should not fire");
+  EXPECT_EQ(evaluations, 1);  // AIRCH_CHECK always evaluates its condition
+}
+
+TEST(Check, CheckThrowsContractViolation) {
+  EXPECT_THROW(AIRCH_CHECK(false, "boom"), airch::ContractViolation);
+}
+
+TEST(Check, CheckMessageNamesExpressionFileAndMessage) {
+  try {
+    AIRCH_CHECK(1 + 1 == 3, "arithmetic is broken");
+    FAIL() << "AIRCH_CHECK(false) did not throw";
+  } catch (const airch::ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("arithmetic is broken"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, ContractViolationIsLogicError) {
+  // Callers may catch std::logic_error generically.
+  EXPECT_THROW(AIRCH_CHECK(false, "x"), std::logic_error);
+}
+
+#ifdef NDEBUG
+
+TEST(Check, ReleaseAssertIsNoOp) {
+  AIRCH_ASSERT(false);  // must not throw
+  AIRCH_DCHECK(false, "never fires in Release");
+}
+
+TEST(Check, ReleaseAssertDoesNotEvaluateCondition) {
+  // The documented guarantee: conditions may be arbitrarily expensive (or
+  // side-effecting, though they should not be) — Release never runs them.
+  int evaluations = 0;
+  AIRCH_ASSERT([&] { ++evaluations; return false; }());
+  AIRCH_DCHECK([&] { ++evaluations; return false; }(), "msg");
+  EXPECT_EQ(evaluations, 0);
+}
+
+#else  // Debug / sanitizer presets
+
+TEST(Check, DebugAssertThrowsOnFalse) {
+  EXPECT_THROW(AIRCH_ASSERT(false), airch::ContractViolation);
+  EXPECT_THROW(AIRCH_DCHECK(false, "fired"), airch::ContractViolation);
+}
+
+TEST(Check, DebugAssertEvaluatesConditionExactlyOnce) {
+  int evaluations = 0;
+  AIRCH_ASSERT([&] { ++evaluations; return true; }());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Check, DebugDcheckMessageIsCarried) {
+  try {
+    AIRCH_DCHECK(false, "the payload");
+    FAIL() << "AIRCH_DCHECK(false) did not throw";
+  } catch (const airch::ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("the payload"), std::string::npos);
+  }
+}
+
+#endif
+
+}  // namespace

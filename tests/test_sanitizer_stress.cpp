@@ -1,0 +1,194 @@
+// Concurrency stress suite for common/parallel.hpp, designed to run under
+// ThreadSanitizer (`ctest --preset tsan` / `ctest -L tsan` in build-tsan).
+// The explicit-worker-count overload forces real threads even when the
+// machine reports a single core, so these interleavings are exercised on
+// any hardware.
+
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using airch::hardware_threads;
+using airch::parallel_for;
+
+TEST(ParallelFor, ZeroElementsNeverInvokes) {
+  int calls = 0;
+  parallel_for(0, [&](std::size_t, std::size_t) { ++calls; });
+  parallel_for(0, 8, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, OneElementRunsInline) {
+  int calls = 0;
+  parallel_for(1, [&](std::size_t b, std::size_t e) {
+    ++calls;
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 1u);
+  });
+  parallel_for(1, 8, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(ParallelFor, ExplicitWorkersCoverEveryIndexExactlyOnce) {
+  const std::size_t n = 1000;
+  for (unsigned workers : {2u, 3u, 7u, 16u}) {
+    std::vector<std::atomic<int>> hits(n);
+    parallel_for(n, workers, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " with " << workers << " workers";
+    }
+  }
+}
+
+TEST(ParallelFor, MoreWorkersThanElements) {
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(3, 64, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) sum.fetch_add(static_cast<std::int64_t>(i) + 1);
+  });
+  EXPECT_EQ(sum.load(), 1 + 2 + 3);
+}
+
+TEST(ParallelFor, ZeroWorkersViolatesContract) {
+  EXPECT_THROW(parallel_for(4, 0, [](std::size_t, std::size_t) {}),
+               airch::ContractViolation);
+}
+
+TEST(ParallelFor, SharedAtomicAccumulatorUnderContention) {
+  // Hammer one cacheline from every worker — the pattern exhaustive search
+  // and dataset generation use for progress/result accumulation.
+  const std::size_t n = 100000;
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(n, 8, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      sum.fetch_add(static_cast<std::int64_t>(i), std::memory_order_relaxed);
+    }
+  });
+  const auto expected = static_cast<std::int64_t>(n) * static_cast<std::int64_t>(n - 1) / 2;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ParallelFor, MutexGuardedBestResultReduction) {
+  // Mirror of the shared best-result pattern in search: workers race to
+  // publish minima into shared state behind a mutex.
+  const std::size_t n = 50000;
+  std::vector<std::int64_t> cost(n);
+  airch::Rng rng(7);
+  for (auto& c : cost) c = rng.uniform_int(0, 1 << 20);
+  cost[31337] = -5;  // unique known minimum
+
+  std::mutex mu;
+  std::int64_t best_cost = std::numeric_limits<std::int64_t>::max();
+  std::size_t best_index = 0;
+  parallel_for(n, 8, [&](std::size_t b, std::size_t e) {
+    std::int64_t local_best = std::numeric_limits<std::int64_t>::max();
+    std::size_t local_index = 0;
+    for (std::size_t i = b; i < e; ++i) {
+      if (cost[i] < local_best) {
+        local_best = cost[i];
+        local_index = i;
+      }
+    }
+    const std::lock_guard<std::mutex> lock(mu);
+    if (local_best < best_cost) {
+      best_cost = local_best;
+      best_index = local_index;
+    }
+  });
+  EXPECT_EQ(best_cost, -5);
+  EXPECT_EQ(best_index, 31337u);
+}
+
+TEST(ParallelFor, NestedParallelForIsAllowed) {
+  const std::size_t outer = 6, inner = 200;
+  std::vector<std::atomic<int>> hits(outer * inner);
+  parallel_for(outer, 3, [&](std::size_t ob, std::size_t oe) {
+    for (std::size_t o = ob; o < oe; ++o) {
+      parallel_for(inner, 2, [&, o](std::size_t ib, std::size_t ie) {
+        for (std::size_t i = ib; i < ie; ++i) {
+          hits[o * inner + i].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, WorkerExceptionPropagatesAfterJoin) {
+  std::atomic<int> completed{0};
+  try {
+    parallel_for(1000, 4, [&](std::size_t b, std::size_t) {
+      if (b == 0) throw std::runtime_error("worker failed at " + std::to_string(b));
+      completed.fetch_add(1);
+    });
+    FAIL() << "exception from worker was swallowed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "worker failed at 0");
+  }
+  // All other workers ran to completion (join-before-rethrow guarantee).
+  EXPECT_EQ(completed.load(), 3);
+}
+
+TEST(ParallelFor, LowestChunkExceptionWinsWhenAllThrow) {
+  try {
+    parallel_for(400, 4, [](std::size_t b, std::size_t) {
+      throw std::runtime_error("chunk " + std::to_string(b));
+    });
+    FAIL() << "exception from workers was swallowed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 0");
+  }
+}
+
+TEST(ParallelFor, ContractViolationCrossesThreadBoundary) {
+  EXPECT_THROW(parallel_for(100, 4,
+                            [](std::size_t, std::size_t) {
+                              AIRCH_CHECK(false, "invariant broken inside worker");
+                            }),
+               airch::ContractViolation);
+}
+
+TEST(HardwareThreads, HonorsAirchThreadsEnv) {
+  ASSERT_EQ(setenv("AIRCH_THREADS", "5", 1), 0);
+  EXPECT_EQ(hardware_threads(), 5u);
+  // Out-of-range or garbage values fall back to the hardware count.
+  ASSERT_EQ(setenv("AIRCH_THREADS", "0", 1), 0);
+  EXPECT_GE(hardware_threads(), 1u);
+  ASSERT_EQ(setenv("AIRCH_THREADS", "banana", 1), 0);
+  EXPECT_GE(hardware_threads(), 1u);
+  ASSERT_EQ(unsetenv("AIRCH_THREADS"), 0);
+}
+
+TEST(HardwareThreads, EnvDrivesAutoParallelFor) {
+  // Above the inline threshold the auto overload must fork AIRCH_THREADS
+  // workers; chunk boundaries reveal the worker count.
+  ASSERT_EQ(setenv("AIRCH_THREADS", "4", 1), 0);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for(1024, [&](std::size_t b, std::size_t e) {
+    const std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(b, e);
+  });
+  ASSERT_EQ(unsetenv("AIRCH_THREADS"), 0);
+  EXPECT_EQ(chunks.size(), 4u);
+  std::int64_t covered = 0;
+  for (const auto& [b, e] : chunks) covered += static_cast<std::int64_t>(e - b);
+  EXPECT_EQ(covered, 1024);
+}
+
+}  // namespace

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# One-shot pre-merge gate: configure + build + test the default, ASan+UBSan,
+# and TSan configurations, and run the repo linter in each. All library
+# targets compile with -Werror (AIRCH_WERROR=ON via the presets used here).
+#
+#   tools/check.sh             # everything (slow: three full builds)
+#   tools/check.sh default     # just the Release build + full test suite
+#   tools/check.sh asan tsan   # any subset of: default asan tsan
+#
+# TSan runs only the `tsan`-labelled concurrency suite (the full suite under
+# TSan is prohibitively slow); ASan+UBSan runs the full suite. AIRCH_THREADS
+# forces real worker threads even on single-core CI runners.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+STAGES=("$@")
+if [ ${#STAGES[@]} -eq 0 ]; then STAGES=(default asan tsan); fi
+
+run() { echo "+ $*" >&2; "$@"; }
+
+for stage in "${STAGES[@]}"; do
+  case "$stage" in
+    default)
+      run cmake --preset checked
+      run cmake --build build-checked -j "$JOBS"
+      run ctest --test-dir build-checked --output-on-failure -j "$JOBS"
+      ;;
+    asan)
+      run cmake --preset asan
+      run cmake --build build-asan -j "$JOBS"
+      # abort on the first report so CI fails loudly; UBSan halts too.
+      ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 AIRCH_THREADS=4 \
+        run ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+      ;;
+    tsan)
+      run cmake --preset tsan
+      run cmake --build build-tsan -j "$JOBS" --target \
+        test_parallel test_sanitizer_stress lint_airch
+      TSAN_OPTIONS=halt_on_error=1 AIRCH_THREADS=4 \
+        run ctest --test-dir build-tsan -L tsan --output-on-failure
+      ;;
+    *)
+      echo "unknown stage: $stage (want: default asan tsan)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "check.sh: all stages passed (${STAGES[*]})"

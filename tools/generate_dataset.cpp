@@ -23,6 +23,10 @@ int main(int argc, char** argv) {
     std::cerr << "--case must be 1, 2, or 3\n";
     return 1;
   }
+  if (args.i64("points") < 1) {
+    std::cerr << "--points must be >= 1\n";
+    return 1;
+  }
   const auto study = make_case_study(static_cast<CaseId>(case_num));
   std::cout << case_name(study->id()) << ": generating " << args.i64("points")
             << " points (output space: " << study->num_classes() << " labels)...\n";

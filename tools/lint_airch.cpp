@@ -1,0 +1,234 @@
+// Repo linter enforcing AIrchitect project invariants (docs/static_analysis.md):
+//
+//   rand         no rand()/srand() — randomness must go through common/rng
+//                so dataset generation stays bit-reproducible
+//   cast         no C-style (float)/(double) casts — narrowing must be a
+//                visible static_cast
+//   new-delete   no naked new/delete — use containers / smart pointers
+//   pragma-once  every header starts its life with #pragma once
+//   cout         no std::cout in library code (src/); printing belongs to
+//                tools, benches, examples and tests
+//
+// A violation on one line can be waived with a trailing comment:
+//     code;  // airch-lint: allow(rule)
+// (comma-separated rule list; `allow(pragma-once)` anywhere in a header
+// waives that file-level rule).
+//
+// Usage: lint_airch <repo_root>
+// Exit status 0 iff no violations — wired into CTest as `lint_airch`.
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  std::size_t line;
+  std::string rule;
+  std::string message;
+};
+
+/// Comment/string stripper state carried across lines of one file.
+struct StripState {
+  bool in_block_comment = false;
+  bool in_raw_string = false;
+};
+
+/// Returns `line` with comments and string/char literal contents blanked
+/// out, so rule regexes never match inside them.
+std::string strip_code(const std::string& line, StripState& st) {
+  std::string out;
+  out.reserve(line.size());
+  std::size_t i = 0;
+  const std::size_t n = line.size();
+  while (i < n) {
+    if (st.in_block_comment) {
+      if (line[i] == '*' && i + 1 < n && line[i + 1] == '/') {
+        st.in_block_comment = false;
+        i += 2;
+      } else {
+        ++i;
+      }
+      continue;
+    }
+    if (st.in_raw_string) {  // only the common R"( ... )" delimiter is used here
+      if (line[i] == ')' && i + 1 < n && line[i + 1] == '"') {
+        st.in_raw_string = false;
+        i += 2;
+      } else {
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < n && line[i + 1] == '/') break;  // line comment
+    if (c == '/' && i + 1 < n && line[i + 1] == '*') {
+      st.in_block_comment = true;
+      i += 2;
+      continue;
+    }
+    if (c == 'R' && i + 2 < n && line[i + 1] == '"' && line[i + 2] == '(') {
+      st.in_raw_string = true;
+      out.push_back(' ');
+      i += 3;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n) {
+        if (line[i] == '\\') {
+          i += 2;
+        } else if (line[i] == quote) {
+          ++i;
+          break;
+        } else {
+          ++i;
+        }
+      }
+      out.push_back(quote);  // keep a marker so tokens don't merge
+      continue;
+    }
+    out.push_back(c);
+    ++i;
+  }
+  return out;
+}
+
+/// Rules waived on this line via `airch-lint: allow(a, b)`.
+std::set<std::string> allowed_rules(const std::string& raw_line) {
+  std::set<std::string> out;
+  const std::string tag = "airch-lint: allow(";
+  const std::size_t at = raw_line.find(tag);
+  if (at == std::string::npos) return out;
+  std::size_t i = at + tag.size();
+  std::string cur;
+  while (i < raw_line.size() && raw_line[i] != ')') {
+    const char c = raw_line[i++];
+    if (c == ',') {
+      if (!cur.empty()) out.insert(cur);
+      cur.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.insert(cur);
+  return out;
+}
+
+const std::regex kRandRe(R"((^|[^A-Za-z0-9_])(srand|rand)\s*\()");
+const std::regex kCastRe(R"(\(\s*(float|double)\s*\)\s*([A-Za-z_][A-Za-z0-9_]*|\(|[0-9][0-9a-fA-FxX.']*))");
+const std::regex kNewDeleteRe(R"((^|[^A-Za-z0-9_])(new|delete)($|[^A-Za-z0-9_]))");
+const std::regex kCoutRe(R"(std\s*::\s*cout)");
+
+// Tokens that legally follow a parenthesized type in a declaration, e.g.
+// `double f(double) const;` — not casts.
+bool is_decl_suffix(const std::string& tok) {
+  return tok == "const" || tok == "noexcept" || tok == "override" || tok == "final" ||
+         tok == "throw" || tok == "delete" || tok == "default";
+}
+
+void lint_file(const fs::path& path, bool is_library_code, std::vector<Finding>& findings) {
+  std::ifstream in(path);
+  if (!in) {
+    findings.push_back({path.string(), 0, "io", "cannot open file"});
+    return;
+  }
+  const bool is_header = path.extension() == ".hpp";
+  bool saw_pragma_once = false;
+  bool pragma_once_waived = false;
+
+  StripState st;
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::set<std::string> allow = allowed_rules(raw);
+    if (allow.count("pragma-once")) pragma_once_waived = true;
+    const std::string code = strip_code(raw, st);
+    if (code.find("#pragma once") != std::string::npos) saw_pragma_once = true;
+
+    std::smatch m;
+    if (!allow.count("rand") && std::regex_search(code, m, kRandRe)) {
+      findings.push_back({path.string(), lineno, "rand",
+                          "use airch::Rng (common/rng.hpp) instead of " + m[2].str() + "()"});
+    }
+    if (!allow.count("cast") && std::regex_search(code, m, kCastRe) &&
+        !is_decl_suffix(m[2].str())) {
+      findings.push_back({path.string(), lineno, "cast",
+                          "C-style (" + m[1].str() + ") cast — write static_cast<" +
+                              m[1].str() + ">(...) so narrowing is visible"});
+    }
+    if (!allow.count("new-delete") && std::regex_search(code, m, kNewDeleteRe)) {
+      // `= delete`d functions are declarations, not deallocations.
+      const std::string prefix = m.prefix().str();
+      const std::size_t last = prefix.find_last_not_of(" \t");
+      const bool deleted_fn = m[2].str() == "delete" && last != std::string::npos &&
+                              prefix[last] == '=';
+      if (!deleted_fn) {
+        findings.push_back({path.string(), lineno, "new-delete",
+                            "naked " + m[2].str() +
+                                " — use std::vector / std::make_unique instead"});
+      }
+    }
+    if (is_library_code && !allow.count("cout") && std::regex_search(code, m, kCoutRe)) {
+      findings.push_back({path.string(), lineno, "cout",
+                          "std::cout in library code — return data or take an std::ostream&"});
+    }
+  }
+  if (is_header && !saw_pragma_once && !pragma_once_waived) {
+    findings.push_back({path.string(), 1, "pragma-once", "header is missing #pragma once"});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: lint_airch <repo_root>\n";
+    return 2;
+  }
+  const fs::path root = argv[1];
+  const std::vector<std::string> dirs = {"src", "tests", "tools", "bench", "examples"};
+
+  std::vector<Finding> findings;
+  std::size_t files = 0;
+  for (const auto& dir : dirs) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension();
+      if (ext != ".cpp" && ext != ".hpp") continue;
+      // Never lint generated trees (in-source build leftovers).
+      if (entry.path().string().find("CMakeFiles") != std::string::npos) continue;
+      ++files;
+      lint_file(entry.path(), dir == "src", findings);
+    }
+  }
+
+  // Zero files scanned means a typo'd root, which must not pass the gate.
+  if (files == 0) {
+    std::cerr << "lint_airch: no .cpp/.hpp sources under " << root << " — is that the repo root?\n";
+    return 2;
+  }
+
+  for (const auto& f : findings) {
+    std::cout << f.file << ':' << f.line << ": [" << f.rule << "] " << f.message << '\n';
+  }
+  if (findings.empty()) {
+    std::cout << "lint_airch: " << files << " files clean\n";
+    return 0;
+  }
+  std::cout << "lint_airch: " << findings.size() << " violation(s) in " << files << " files\n";
+  return 1;
+}

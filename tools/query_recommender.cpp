@@ -3,7 +3,7 @@
 // train_recommender and answer one design query.
 //
 //   ./query_recommender --model=case1.airch --case=1 --M=3136 --N=64 --K=576 --budget_exp=10
-//   ./query_recommender --model=case2.airch --case=2 --M=... --rows=32 --cols=32 \
+//   ./query_recommender --model=case2.airch --case=2 --M=... --rows=32 --cols=32
 //       --dataflow=WS --bandwidth=10 --limit_kb=900
 
 #include <iostream>
