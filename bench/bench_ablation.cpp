@@ -127,7 +127,7 @@ int main(int argc, char** argv) {
         const auto best = search.best_with_objective(w, 10, eval, obj);
         const ArrayConfig& c = study.space().config(best.label);
         ++df[dataflow_index(c.dataflow)];
-        macs_sum += static_cast<double>(c.macs());
+        macs_sum += static_cast<double>(c.macs().value());
         if (best.label == search.best(w, 10).label) ++agree;
       }
       t5.add_row({to_string(obj), AsciiTable::fmt(100.0 * df[0] / nq, 0) + "%",

@@ -54,10 +54,10 @@ int main(int argc, char** argv) {
         const ArrayConfig pred = rec.recommend_array(w, 10);
         const auto best = search.best(w, 10);
         const ArrayConfig opt = study.space().config(best.label);
-        std::int64_t pred_cycles = study.simulator().compute_cycles(w, pred);
-        if (pred.macs() > 1024) pred_cycles *= (pred.macs() + 1023) / 1024;
-        const double achieved =
-            std::min(1.0, static_cast<double>(best.cycles) / static_cast<double>(pred_cycles));
+        Cycles pred_cycles = study.simulator().compute_cycles(w, pred);
+        const MacCount budget{1024};
+        if (pred.macs() > budget) pred_cycles *= ceil_div(pred.macs(), budget);
+        const double achieved = std::min(1.0, best.cycles / pred_cycles);
         geo_log_sum += std::log(achieved);
         ++count;
         if (pred == opt) ++exact;

@@ -190,7 +190,7 @@ int main(int argc, char** argv) {
     // clusters are exactly "which workload is biggest goes to which array".
     std::map<std::string, std::map<int, int>> clusters;
     for (std::size_t i = 0; i < ns; ++i) {
-      std::array<std::pair<std::int64_t, int>, 4> sized;
+      std::array<std::pair<MacCount, int>, 4> sized;
       for (int wl = 0; wl < 4; ++wl) {
         sized[static_cast<std::size_t>(wl)] = {inputs[i][static_cast<std::size_t>(wl)].macs(), wl};
       }

@@ -60,38 +60,37 @@ int main(int argc, char** argv) {
       gopts.seed = seed + q;
       const auto g = ga.best(w, 10, gopts);
       ga_evals += g.evaluations;
-      ga_quality.push_back(static_cast<double>(opt.cycles) / static_cast<double>(g.cycles));
+      ga_quality.push_back(opt.cycles / g.cycles);
 
       ReinforceOptions ropts;
       ropts.seed = seed + q;
       const auto r = rl.best(w, 10, ropts);
       rl_evals += r.evaluations;
-      rl_quality.push_back(static_cast<double>(opt.cycles) / static_cast<double>(r.cycles));
+      rl_quality.push_back(opt.cycles / r.cycles);
 
       AnnealingOptions sopts;
       sopts.steps = 100;
       sopts.seed = seed + q;
       const auto s = sa.best(w, 10, sopts);
       sa_evals += s.evaluations;
-      sa_quality.push_back(static_cast<double>(opt.cycles) / static_cast<double>(s.cycles));
+      sa_quality.push_back(opt.cycles / s.cycles);
 
       const ArrayConfig pred = rec.recommend_array(w, 10);
-      std::int64_t pred_cycles = study.simulator().compute_cycles(w, pred);
-      if (pred.macs() > pow2(10)) pred_cycles *= ceil_div(pred.macs(), pow2(10));
-      ml_quality.push_back(
-          std::min(1.0, static_cast<double>(opt.cycles) / static_cast<double>(pred_cycles)));
+      Cycles pred_cycles = study.simulator().compute_cycles(w, pred);
+      const MacCount budget{pow2(10)};
+      if (pred.macs() > budget) pred_cycles *= ceil_div(pred.macs(), budget);
+      ml_quality.push_back(std::min(1.0, opt.cycles / pred_cycles));
 
       // Hybrid: top-5 inference candidates re-ranked by 5 simulations.
       const auto top5 = rec.recommend_topk({10, w.m, w.n, w.k}, 5);
-      std::int64_t best5 = std::numeric_limits<std::int64_t>::max();
+      Cycles best5{std::numeric_limits<std::int64_t>::max()};
       for (auto label : top5) {
         const ArrayConfig c = study.space().config(label);
-        std::int64_t cyc = study.simulator().compute_cycles(w, c);
-        if (c.macs() > pow2(10)) cyc *= ceil_div(c.macs(), pow2(10));
+        Cycles cyc = study.simulator().compute_cycles(w, c);
+        if (c.macs() > budget) cyc *= ceil_div(c.macs(), budget);
         best5 = std::min(best5, cyc);
       }
-      topk_quality.push_back(
-          std::min(1.0, static_cast<double>(opt.cycles) / static_cast<double>(best5)));
+      topk_quality.push_back(std::min(1.0, opt.cycles / best5));
     }
 
     AsciiTable t({"optimizer", "geomean quality", "evals/query"});
@@ -135,13 +134,11 @@ int main(int argc, char** argv) {
       gopts.seed = seed + q;
       const auto g = ga.best(workloads, gopts);
       ga_evals += g.evaluations;
-      ga_quality.push_back(static_cast<double>(opt.makespan_cycles) /
-                           static_cast<double>(g.makespan_cycles));
+      ga_quality.push_back(opt.makespan_cycles / g.makespan_cycles);
 
       const auto sched = rec.recommend_schedule(workloads);
       const auto pred = exhaustive.evaluate(workloads, study.space().label_of(sched));
-      ml_quality.push_back(static_cast<double>(opt.makespan_cycles) /
-                           static_cast<double>(pred.makespan_cycles));
+      ml_quality.push_back(opt.makespan_cycles / pred.makespan_cycles);
     }
 
     AsciiTable t({"optimizer", "geomean quality", "evals/query"});

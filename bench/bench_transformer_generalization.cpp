@@ -41,9 +41,10 @@ int main(int argc, char** argv) {
   auto score = [&](const GemmWorkload& w) {
     const ArrayConfig pred = rec.recommend_array(w, budget);
     const auto best = search.best(w, budget);
-    std::int64_t pred_cycles = study.simulator().compute_cycles(w, pred);
-    if (pred.macs() > pow2(budget)) pred_cycles *= ceil_div(pred.macs(), pow2(budget));
-    return std::min(1.0, static_cast<double>(best.cycles) / static_cast<double>(pred_cycles));
+    Cycles pred_cycles = study.simulator().compute_cycles(w, pred);
+    const MacCount budget_macs{pow2(budget)};
+    if (pred.macs() > budget_macs) pred_cycles *= ceil_div(pred.macs(), budget_macs);
+    return std::min(1.0, best.cycles / pred_cycles);
   };
 
   // ------------------------------------------- per-network summary

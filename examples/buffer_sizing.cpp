@@ -57,8 +57,7 @@ int main(int argc, char** argv) {
     MemoryConfig pm = pred;
     pm.bandwidth = bw;
     const auto pred_stalls = memory_behavior(w, array, pm, compute).stall_cycles;
-    const double ratio = static_cast<double>(compute.cycles + best.stall_cycles) /
-                         static_cast<double>(compute.cycles + pred_stalls);
+    const double ratio = (compute.cycles + best.stall_cycles) / (compute.cycles + pred_stalls);
     worst_ratio = std::min(worst_ratio, ratio);
 
     auto fmt_mem = [](const MemoryConfig& m) {

@@ -36,14 +36,14 @@ int main(int argc, char** argv) {
   const ArrayDataflowSpace space(18);
   const Simulator sim;
 
-  std::cout << "Workload " << w.to_string() << " (" << w.macs() << " MACs), budget 2^"
+  std::cout << "Workload " << w.to_string() << " (" << w.macs().value() << " MACs), budget 2^"
             << budget_exp << " PEs\n\n";
 
   // Rank every in-budget design by stall-free runtime.
   struct Ranked {
     int label;
-    std::int64_t cycles;
-    double utilization;
+    Cycles cycles;
+    Utilization utilization;
   };
   std::vector<Ranked> ranked;
   for (int label : space.labels_within_budget(budget_exp)) {
@@ -58,8 +58,8 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < top; ++i) {
     const auto& r = ranked[i];
     t.add_row({std::to_string(i + 1), space.config(r.label).to_string(),
-               std::to_string(r.cycles), AsciiTable::fmt(100.0 * r.utilization, 1) + "%",
-               AsciiTable::fmt(static_cast<double>(ranked[0].cycles) / r.cycles, 3)});
+               std::to_string(r.cycles.value()), AsciiTable::fmt(100.0 * r.utilization.value(), 1) + "%",
+               AsciiTable::fmt(ranked[0].cycles / r.cycles, 3)});
   }
   t.print(std::cout);
 
@@ -73,14 +73,14 @@ int main(int argc, char** argv) {
   std::cout << "\nBuffer sizing for " << best.to_string() << " @ " << args.i64("bandwidth")
             << " B/cyc, " << args.i64("mem_budget_kb") << " KB budget:\n"
             << "  IFMAP " << mem.ifmap_kb << " KB, Filter " << mem.filter_kb << " KB, OFMAP "
-            << mem.ofmap_kb << " KB -> " << buf.stall_cycles << " stall cycles\n";
+            << mem.ofmap_kb << " KB -> " << buf.stall_cycles.value() << " stall cycles\n";
 
   MemoryConfig final_mem = mem;
   final_mem.bandwidth = args.i64("bandwidth");
   const SimResult sr = sim.simulate(w, best, final_mem);
-  std::cout << "\nEnd-to-end: " << sr.total_cycles() << " cycles ("
-            << sr.compute.cycles << " compute + " << sr.memory.stall_cycles << " stalls), "
-            << AsciiTable::fmt(sr.energy.total_pj() / 1e6, 2) << " uJ, DRAM "
-            << sr.memory.dram_total_bytes() / 1024 << " KB moved\n";
+  std::cout << "\nEnd-to-end: " << sr.total_cycles().value() << " cycles ("
+            << sr.compute.cycles.value() << " compute + " << sr.memory.stall_cycles.value()
+            << " stalls), " << AsciiTable::fmt(sr.energy.total().value() / 1e6, 2) << " uJ, DRAM "
+            << sr.memory.dram_total_bytes().value() / 1024 << " KB moved\n";
   return 0;
 }

@@ -66,16 +66,15 @@ int main(int argc, char** argv) {
                  to_string(s.dataflow_of[a])});
     }
     t.print(std::cout);
-    std::cout << "  makespan: " << r.makespan_cycles << " cycles, energy: "
-              << AsciiTable::fmt(r.energy_pj / 1e6, 2) << " uJ\n";
+    std::cout << "  makespan: " << r.makespan_cycles.value() << " cycles, energy: "
+              << AsciiTable::fmt(r.energy_pj.value() / 1e6, 2) << " uJ\n";
   };
 
   print_schedule("Search optimum", study.space().config(best.label), best);
   print_schedule("Recommender (one inference)", predicted_schedule, predicted);
 
   std::cout << "\nachieved/optimal makespan: "
-            << AsciiTable::fmt(
-                   static_cast<double>(best.makespan_cycles) / predicted.makespan_cycles, 3)
+            << AsciiTable::fmt(best.makespan_cycles / predicted.makespan_cycles, 3)
             << '\n';
   return 0;
 }

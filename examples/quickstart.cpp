@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
     const auto best = search.best(w, budget_exp);
     const ArrayConfig optimal = study.space().config(best.label);
     const auto pred_cycles = study.simulator().compute_cycles(w, predicted);
-    const double ratio = static_cast<double>(best.cycles) / static_cast<double>(pred_cycles);
+    const double ratio = best.cycles / pred_cycles;
     table.add_row({w.to_string(), predicted.to_string(), optimal.to_string(),
                    AsciiTable::fmt(ratio, 3)});
   }

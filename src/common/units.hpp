@@ -1,0 +1,204 @@
+#pragma once
+// Compile-time dimensional analysis for the cost models.
+//
+// Every number the search pipeline optimizes over is a physical quantity —
+// cycles, bytes moved, picojoules — and the search labels (paper Figs. 5/8)
+// are argmins over those quantities. A silent unit mix-up (cycles added to
+// bytes, pJ scaled as nJ) corrupts every downstream dataset and trained
+// recommender without failing a single runtime test. `Quantity<Tag, Rep>`
+// moves that failure mode to compile time:
+//
+//   * same-dimension arithmetic (Cycles + Cycles, Bytes - Bytes) works;
+//   * cross-dimension arithmetic (Cycles + Bytes) does not compile;
+//   * construction from a raw number is explicit (`Cycles{38}`), never
+//     implicit, so a bare double cannot sneak into the type system;
+//   * the only way OUT of the type system is `.value()` — the repo linter
+//     (tools/lint_airch.cpp, rule `value-escape`) confines those calls to
+//     the serialization/ML boundary (src/dataset/, src/ml/, common/csv)
+//     unless a site carries an explicit `// airch-lint: allow(value-escape)`
+//     justification;
+//   * dimensioned products are declared one relation at a time below
+//     (MacCount x EnergyPerMac -> Picojoules, Bytes / BytesPerCycle ->
+//     Cycles), so "MACs times pJ-per-byte" is rejected at compile time.
+//
+// The wrapper is guaranteed zero-overhead: the static_asserts at the bottom
+// of this header pin sizeof(Quantity) == sizeof(Rep) and trivial
+// copy/destroy semantics, so the hot search loops (exhaustive argmin over
+// hundreds of labels per sample) keep their codegen.
+//
+// tests/compile_fail/ holds snippets that must NOT compile, driven by CTest
+// (tests/CMakeLists.txt) — the proof that the forbidden operations above
+// are actually rejected rather than merely frowned upon.
+
+#include <cstdint>
+#include <ostream>
+#include <type_traits>
+
+#include "common/math_utils.hpp"
+
+namespace airch {
+
+/// A strongly-typed quantity of dimension `Tag` stored as `Rep`.
+/// `Tag::unit` supplies the suffix used when streaming diagnostics.
+template <typename Tag, typename Rep>
+class Quantity {
+  static_assert(std::is_arithmetic_v<Rep>, "Quantity wraps a numeric representation");
+
+ public:
+  using rep = Rep;
+  using tag = Tag;
+
+  constexpr Quantity() = default;
+  explicit constexpr Quantity(Rep v) : v_(v) {}
+
+  /// The raw number, shedding the dimension. This is the escape hatch for
+  /// CSV/ML boundaries; library code elsewhere must justify each call with
+  /// `// airch-lint: allow(value-escape)`.
+  constexpr Rep value() const { return v_; }
+
+  // Same-dimension arithmetic.
+  friend constexpr Quantity operator+(Quantity a, Quantity b) { return Quantity{a.v_ + b.v_}; }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) { return Quantity{a.v_ - b.v_}; }
+  constexpr Quantity operator-() const { return Quantity{-v_}; }
+  constexpr Quantity& operator+=(Quantity o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    v_ -= o.v_;
+    return *this;
+  }
+  /// Adds one unit (event counters in the trace simulator).
+  constexpr Quantity& operator++() {
+    ++v_;
+    return *this;
+  }
+
+  // Scaling by a dimensionless count. `Rep` is a non-deduced parameter of a
+  // hidden friend, so plain `int` literals convert; another Quantity never
+  // does (its conversion to Rep is explicit-only via value()).
+  friend constexpr Quantity operator*(Quantity a, Rep s) { return Quantity{a.v_ * s}; }
+  friend constexpr Quantity operator*(Rep s, Quantity a) { return Quantity{s * a.v_}; }
+  friend constexpr Quantity operator/(Quantity a, Rep s) { return Quantity{a.v_ / s}; }
+  constexpr Quantity& operator*=(Rep s) {
+    v_ *= s;
+    return *this;
+  }
+
+  /// Ratio of two like quantities is dimensionless (speedups, normalized
+  /// performance, Metropolis deltas) — always computed in double.
+  friend constexpr double operator/(Quantity a, Quantity b) {
+    return static_cast<double>(a.v_) / static_cast<double>(b.v_);
+  }
+
+  friend constexpr bool operator==(Quantity, Quantity) = default;
+  friend constexpr auto operator<=>(Quantity, Quantity) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Quantity q) {
+    os << q.v_;
+    if (Tag::unit[0] != '\0') os << ' ' << Tag::unit;
+    return os;
+  }
+
+ private:
+  Rep v_{};
+};
+
+// ------------------------------------------------------------------ tags
+
+struct CyclesTag {
+  static constexpr const char unit[] = "cyc";
+};
+struct BytesTag {
+  static constexpr const char unit[] = "B";
+};
+struct PicojoulesTag {
+  static constexpr const char unit[] = "pJ";
+};
+struct MacCountTag {
+  static constexpr const char unit[] = "MACs";
+};
+struct UtilizationTag {  // dimensionless fraction of peak throughput
+  static constexpr const char unit[] = "";
+};
+struct EnergyPerMacTag {
+  static constexpr const char unit[] = "pJ/MAC";
+};
+struct EnergyPerByteTag {
+  static constexpr const char unit[] = "pJ/B";
+};
+struct BytesPerCycleTag {
+  static constexpr const char unit[] = "B/cyc";
+};
+
+using Cycles = Quantity<CyclesTag, std::int64_t>;
+using Bytes = Quantity<BytesTag, std::int64_t>;
+using Picojoules = Quantity<PicojoulesTag, double>;
+using MacCount = Quantity<MacCountTag, std::int64_t>;
+using Utilization = Quantity<UtilizationTag, double>;
+using EnergyPerMac = Quantity<EnergyPerMacTag, double>;
+using EnergyPerByte = Quantity<EnergyPerByteTag, double>;
+using BytesPerCycle = Quantity<BytesPerCycleTag, std::int64_t>;
+
+// ------------------------------------------- declared dimension products
+//
+// Each relation the cost models rely on is spelled out once; anything not
+// listed here (Bytes * EnergyPerMac, Cycles * Cycles, ...) is a compile
+// error. Products are commutative, so both orders are provided.
+
+/// MACs executed x energy per MAC = compute energy.
+constexpr Picojoules operator*(MacCount n, EnergyPerMac e) {
+  return Picojoules{static_cast<double>(n.value()) * e.value()};
+}
+constexpr Picojoules operator*(EnergyPerMac e, MacCount n) { return n * e; }
+
+/// Bytes moved x energy per byte = data-movement energy.
+constexpr Picojoules operator*(Bytes b, EnergyPerByte e) {
+  return Picojoules{static_cast<double>(b.value()) * e.value()};
+}
+constexpr Picojoules operator*(EnergyPerByte e, Bytes b) { return b * e; }
+
+/// Cycles to transfer `b` bytes over a `bw` interface, rounded up (a
+/// partially-filled beat still occupies the bus for a full cycle).
+constexpr Cycles ceil_div(Bytes b, BytesPerCycle bw) {
+  return Cycles{ceil_div(b.value(), bw.value())};
+}
+
+/// Ceiling ratio of two like integer quantities — a dimensionless count
+/// (e.g. how many times an over-budget design must be time-multiplexed).
+template <typename Tag>
+constexpr std::int64_t ceil_div(Quantity<Tag, std::int64_t> a, Quantity<Tag, std::int64_t> b) {
+  return ceil_div(a.value(), b.value());
+}
+
+// -------------------------------------------------- zero-overhead proofs
+//
+// The hot search loops iterate these by value millions of times; any hidden
+// vtable, padding, or non-trivial copy would show up as a regression. Pin
+// the layout and triviality so a future "helpful" change breaks the build
+// instead of the benchmarks.
+
+template <typename Q>
+inline constexpr bool kQuantityIsTransparent =
+    sizeof(Q) == sizeof(typename Q::rep) && std::is_trivially_copyable_v<Q> &&
+    std::is_trivially_destructible_v<Q> && std::is_standard_layout_v<Q>;
+
+static_assert(kQuantityIsTransparent<Cycles>);
+static_assert(kQuantityIsTransparent<Bytes>);
+static_assert(kQuantityIsTransparent<Picojoules>);
+static_assert(kQuantityIsTransparent<MacCount>);
+static_assert(kQuantityIsTransparent<Utilization>);
+static_assert(kQuantityIsTransparent<EnergyPerMac>);
+static_assert(kQuantityIsTransparent<EnergyPerByte>);
+static_assert(kQuantityIsTransparent<BytesPerCycle>);
+
+// A raw double must never silently become (or come from) a quantity.
+static_assert(!std::is_convertible_v<double, Picojoules>);
+static_assert(!std::is_convertible_v<Picojoules, double>);
+static_assert(!std::is_convertible_v<std::int64_t, Cycles>);
+static_assert(!std::is_convertible_v<Cycles, std::int64_t>);
+// Dimensions must never cross-convert.
+static_assert(!std::is_convertible_v<Cycles, Bytes>);
+static_assert(!std::is_constructible_v<Cycles, Bytes>);
+
+}  // namespace airch

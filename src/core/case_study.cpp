@@ -42,15 +42,15 @@ double ArrayDataflowStudy::normalized_performance(const DataPoint& point,
                                                   std::int32_t predicted) const {
   const Case1Features f = decode_case1(point.features);
   ArrayDataflowSearch search(space_, sim_);
-  const std::int64_t best = search.cycles_of(f.workload, point.label);
-  std::int64_t pred = search.cycles_of(f.workload, predicted);
+  const Cycles best = search.cycles_of(f.workload, point.label);
+  Cycles pred = search.cycles_of(f.workload, predicted);
   // A prediction that exceeds the MAC budget is not buildable as-is; the
   // closest realizable design time-multiplexes it onto the budget, which
   // serializes execution by the overshoot factor.
-  const std::int64_t budget = pow2(std::min(f.budget_exp, 62));
-  const std::int64_t macs = space_.config(predicted).macs();
+  const MacCount budget{pow2(std::min(f.budget_exp, 62))};
+  const MacCount macs = space_.config(predicted).macs();
   if (macs > budget) pred *= ceil_div(macs, budget);
-  return std::min(1.0, static_cast<double>(best) / static_cast<double>(pred));
+  return std::min(1.0, best / pred);
 }
 
 // ---------------------------------------------------------------- case 2
@@ -66,7 +66,7 @@ double BufferSizingStudy::normalized_performance(const DataPoint& point,
   const Case2Features f = decode_case2(point.features);
   BufferSearch search(space_, sim_);
   const ComputeResult compute = compute_latency(f.workload, f.array);
-  const std::int64_t best_stalls = search.stalls_of(f.workload, f.array, f.bandwidth, point.label);
+  const Cycles best_stalls = search.stalls_of(f.workload, f.array, f.bandwidth, point.label);
   // Clamp an over-budget prediction to the nearest realizable design:
   // greedily shrink the largest buffer until the shared capacity limit is
   // met (each buffer stays on the space's quantization grid).
@@ -80,12 +80,11 @@ double BufferSizingStudy::normalized_performance(const DataPoint& point,
     *largest -= step;
   }
   pred_mem.bandwidth = f.bandwidth;
-  const std::int64_t pred_stalls =
+  const Cycles pred_stalls =
       memory_behavior(f.workload, f.array, pred_mem, compute).stall_cycles;
   // End-to-end runtime ratio (stall-only ratio would divide by zero on
   // stall-free optima).
-  return static_cast<double>(compute.cycles + best_stalls) /
-         static_cast<double>(compute.cycles + pred_stalls);
+  return (compute.cycles + best_stalls) / (compute.cycles + pred_stalls);
 }
 
 // ---------------------------------------------------------------- case 3
@@ -109,7 +108,7 @@ double SchedulingStudy::normalized_performance(const DataPoint& point,
   const auto workloads = decode_case3(point.features);
   const auto best = search_.evaluate(workloads, point.label);
   const auto pred = search_.evaluate(workloads, predicted);
-  return static_cast<double>(best.makespan_cycles) / static_cast<double>(pred.makespan_cycles);
+  return best.makespan_cycles / pred.makespan_cycles;
 }
 
 std::unique_ptr<CaseStudy> make_case_study(CaseId id) {

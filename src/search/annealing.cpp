@@ -37,7 +37,7 @@ AnnealingArrayDataflowSearch::Result AnnealingArrayDataflowSearch::best(
     return sim_->compute_cycles(w, to_config(s));
   };
 
-  std::int64_t cur_cost = evaluate(cur);
+  Cycles cur_cost = evaluate(cur);
   result.label = space_->label_of(to_config(cur));
   result.cycles = cur_cost;
 
@@ -56,11 +56,11 @@ AnnealingArrayDataflowSearch::Result AnnealingArrayDataflowSearch::best(
         break;
     }
     clamp_state(next);
-    const std::int64_t next_cost = evaluate(next);
+    const Cycles next_cost = evaluate(next);
 
-    // Metropolis acceptance on relative cost difference.
-    const double delta = (static_cast<double>(next_cost) - static_cast<double>(cur_cost)) /
-                         static_cast<double>(cur_cost);
+    // Metropolis acceptance on relative cost difference; the dimensionless
+    // ratio comes straight from the same-tag Quantity division.
+    const double delta = (next_cost - cur_cost) / cur_cost;
     if (delta <= 0.0 || rng.uniform() < std::exp(-delta / std::max(temperature, 1e-9))) {
       cur = next;
       cur_cost = next_cost;

@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "common/rng.hpp"
+#include "common/units.hpp"
 #include "search/space.hpp"
 #include "sim/simulator.hpp"
 #include "workload/gemm.hpp"
@@ -27,7 +28,7 @@ class AnnealingArrayDataflowSearch {
 
   struct Result {
     int label = -1;
-    std::int64_t cycles = 0;
+    Cycles cycles;
     std::size_t evaluations = 0;
   };
 

@@ -13,12 +13,12 @@ namespace airch {
 ArrayDataflowSearch::Result ArrayDataflowSearch::best(const GemmWorkload& w,
                                                       int budget_exp) const {
   AIRCH_ASSERT(w.valid());
-  Result best{-1, std::numeric_limits<std::int64_t>::max()};
-  const std::int64_t budget = pow2(std::min(budget_exp, 62));
+  Result best{-1, Cycles{std::numeric_limits<std::int64_t>::max()}};
+  const MacCount budget{pow2(std::min(budget_exp, 62))};
   for (int label = 0; label < space_->size(); ++label) {
     const ArrayConfig& c = space_->config(label);
     if (c.macs() > budget) continue;
-    const std::int64_t cycles = sim_->compute_cycles(w, c);
+    const Cycles cycles = sim_->compute_cycles(w, c);
     // Ties prefer the smaller array (fewer MACs), then the lower label.
     if (cycles < best.cycles ||
         (cycles == best.cycles && best.label >= 0 &&
@@ -35,7 +35,7 @@ ArrayDataflowSearch::ObjectiveResult ArrayDataflowSearch::best_with_objective(
     Objective objective) const {
   AIRCH_ASSERT(w.valid());
   ObjectiveResult best{-1, std::numeric_limits<double>::max()};
-  const std::int64_t budget = pow2(std::min(budget_exp, 62));
+  const MacCount budget{pow2(std::min(budget_exp, 62))};
   for (int label = 0; label < space_->size(); ++label) {
     const ArrayConfig& c = space_->config(label);
     if (c.macs() > budget) continue;
@@ -46,7 +46,7 @@ ArrayDataflowSearch::ObjectiveResult ArrayDataflowSearch::best_with_objective(
   return best;
 }
 
-std::int64_t ArrayDataflowSearch::cycles_of(const GemmWorkload& w, int label) const {
+Cycles ArrayDataflowSearch::cycles_of(const GemmWorkload& w, int label) const {
   return sim_->compute_cycles(w, space_->config(label));
 }
 
@@ -55,7 +55,7 @@ std::int64_t ArrayDataflowSearch::cycles_of(const GemmWorkload& w, int label) co
 BufferSearch::Result BufferSearch::best(const GemmWorkload& w, const ArrayConfig& array,
                                         std::int64_t bandwidth, std::int64_t limit_kb) const {
   AIRCH_ASSERT(w.valid() && array.valid());
-  Result best{-1, std::numeric_limits<std::int64_t>::max(),
+  Result best{-1, Cycles{std::numeric_limits<std::int64_t>::max()},
               std::numeric_limits<std::int64_t>::max()};
   const ComputeResult compute = compute_latency(w, array);
   for (int label = 0; label < space_->size(); ++label) {
@@ -73,8 +73,8 @@ BufferSearch::Result BufferSearch::best(const GemmWorkload& w, const ArrayConfig
   return best;
 }
 
-std::int64_t BufferSearch::stalls_of(const GemmWorkload& w, const ArrayConfig& array,
-                                     std::int64_t bandwidth, int label) const {
+Cycles BufferSearch::stalls_of(const GemmWorkload& w, const ArrayConfig& array,
+                               std::int64_t bandwidth, int label) const {
   MemoryConfig mem = space_->config(label);
   mem.bandwidth = bandwidth;
   const ComputeResult compute = compute_latency(w, array);
@@ -98,8 +98,8 @@ ScheduleSearch::Result ScheduleSearch::best(const std::vector<GemmWorkload>& wor
   const int n = space_->num_arrays();
   // Precompute per (array, workload, dataflow) costs; a label is then an
   // O(n) combination instead of n fresh simulations.
-  std::vector<std::int64_t> cycles(static_cast<std::size_t>(n * n * 3));
-  std::vector<double> energy(static_cast<std::size_t>(n * n * 3));
+  std::vector<Cycles> cycles(static_cast<std::size_t>(n * n * 3));
+  std::vector<Picojoules> energy(static_cast<std::size_t>(n * n * 3));
   for (int a = 0; a < n; ++a) {
     for (int wl = 0; wl < n; ++wl) {
       for (int d = 0; d < 3; ++d) {
@@ -109,17 +109,17 @@ ScheduleSearch::Result ScheduleSearch::best(const std::vector<GemmWorkload>& wor
                                             arrays_[static_cast<std::size_t>(a)].memory);
         const auto idx = static_cast<std::size_t>((a * n + wl) * 3 + d);
         cycles[idx] = sr.total_cycles();
-        energy[idx] = sr.energy.total_pj();
+        energy[idx] = sr.energy.total();
       }
     }
   }
 
-  Result best{-1, std::numeric_limits<std::int64_t>::max(),
-              std::numeric_limits<double>::max()};
+  Result best{-1, Cycles{std::numeric_limits<std::int64_t>::max()},
+              Picojoules{std::numeric_limits<double>::max()}};
   for (int label = 0; label < space_->size(); ++label) {
     const ScheduleSpace::Schedule s = space_->config(label);
-    std::int64_t makespan = 0;
-    double total_energy = 0.0;
+    Cycles makespan;
+    Picojoules total_energy;
     for (int a = 0; a < n; ++a) {
       const int wl = s.workload_of[static_cast<std::size_t>(a)];
       const int d = dataflow_index(s.dataflow_of[static_cast<std::size_t>(a)]);
@@ -141,7 +141,7 @@ ScheduleSearch::Result ScheduleSearch::evaluate(const std::vector<GemmWorkload>&
     throw std::invalid_argument("workload count must match schedule space arity");
   }
   const ScheduleSpace::Schedule s = space_->config(label);
-  Result r{label, 0, 0.0};
+  Result r{label, Cycles{0}, Picojoules{0.0}};
   for (int a = 0; a < space_->num_arrays(); ++a) {
     ArrayConfig cfg = arrays_[static_cast<std::size_t>(a)].array;
     cfg.dataflow = s.dataflow_of[static_cast<std::size_t>(a)];
@@ -149,7 +149,7 @@ ScheduleSearch::Result ScheduleSearch::evaluate(const std::vector<GemmWorkload>&
     const SimResult sr = sim_->simulate(workloads[static_cast<std::size_t>(wl)], cfg,
                                         arrays_[static_cast<std::size_t>(a)].memory);
     r.makespan_cycles = std::max(r.makespan_cycles, sr.total_cycles());
-    r.energy_pj += sr.energy.total_pj();
+    r.energy_pj += sr.energy.total();
   }
   return r;
 }

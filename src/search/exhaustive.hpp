@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/units.hpp"
 #include "search/objective.hpp"
 #include "search/space.hpp"
 #include "sim/simulator.hpp"
@@ -25,7 +26,7 @@ class ArrayDataflowSearch {
 
   struct Result {
     int label = -1;
-    std::int64_t cycles = 0;
+    Cycles cycles;
   };
 
   /// budget_exp: MAC budget is 2^budget_exp; only shapes within it compete.
@@ -42,7 +43,7 @@ class ArrayDataflowSearch {
                                       Objective objective) const;
 
   /// Runtime of an arbitrary label on `w` (used to score predictions).
-  std::int64_t cycles_of(const GemmWorkload& w, int label) const;
+  Cycles cycles_of(const GemmWorkload& w, int label) const;
 
  private:
   const ArrayDataflowSpace* space_;
@@ -62,15 +63,15 @@ class BufferSearch {
 
   struct Result {
     int label = -1;
-    std::int64_t stall_cycles = 0;
+    Cycles stall_cycles;
     std::int64_t total_kb = 0;
   };
 
   Result best(const GemmWorkload& w, const ArrayConfig& array, std::int64_t bandwidth,
               std::int64_t limit_kb) const;
 
-  std::int64_t stalls_of(const GemmWorkload& w, const ArrayConfig& array,
-                         std::int64_t bandwidth, int label) const;
+  Cycles stalls_of(const GemmWorkload& w, const ArrayConfig& array,
+                   std::int64_t bandwidth, int label) const;
 
  private:
   const BufferSizeSpace* space_;
@@ -92,8 +93,8 @@ class ScheduleSearch {
 
   struct Result {
     int label = -1;
-    std::int64_t makespan_cycles = 0;
-    double energy_pj = 0.0;
+    Cycles makespan_cycles;
+    Picojoules energy_pj;
   };
 
   /// workloads.size() must equal the space's array count.

@@ -55,14 +55,15 @@ GaArrayDataflowSearch::Result GaArrayDataflowSearch::best(const GemmWorkload& w,
     clamp_genome(g);
   };
   hooks.fitness = [&](const ArrayGenome& g) {
-    return -static_cast<double>(sim_->compute_cycles(w, to_config(g)));
+    // GA fitness is a bare maximized double by contract; scalarize here.
+    return -static_cast<double>(sim_->compute_cycles(w, to_config(g)).value());  // airch-lint: allow(value-escape)
   };
 
   GeneticOptimizer<ArrayGenome> ga(options, std::move(hooks));
   const auto r = ga.run();
   Result out;
   out.label = space_->label_of(to_config(r.best));
-  out.cycles = static_cast<std::int64_t>(-r.fitness);
+  out.cycles = Cycles{static_cast<std::int64_t>(-r.fitness)};
   out.evaluations = r.evaluations;
   return out;
 }
@@ -123,14 +124,16 @@ GaScheduleSearch::Result GaScheduleSearch::best(const std::vector<GemmWorkload>&
   };
   hooks.fitness = [&](const ScheduleGenome& g) {
     const int label = space_->label_of(g.schedule);
-    return -static_cast<double>(exhaustive_.evaluate(workloads, label).makespan_cycles);
+    // GA fitness is a bare maximized double by contract; scalarize here.
+    return -static_cast<double>(
+        exhaustive_.evaluate(workloads, label).makespan_cycles.value());  // airch-lint: allow(value-escape)
   };
 
   GeneticOptimizer<ScheduleGenome> ga(options, std::move(hooks));
   const auto r = ga.run();
   Result out;
   out.label = space_->label_of(r.best.schedule);
-  out.makespan_cycles = static_cast<std::int64_t>(-r.fitness);
+  out.makespan_cycles = Cycles{static_cast<std::int64_t>(-r.fitness)};
   out.evaluations = r.evaluations;
   return out;
 }

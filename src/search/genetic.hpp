@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/units.hpp"
 #include "search/exhaustive.hpp"
 #include "search/space.hpp"
 #include "sim/simulator.hpp"
@@ -114,7 +115,7 @@ class GaArrayDataflowSearch {
 
   struct Result {
     int label = -1;
-    std::int64_t cycles = 0;
+    Cycles cycles;
     std::size_t evaluations = 0;
   };
 
@@ -135,7 +136,7 @@ class GaScheduleSearch {
 
   struct Result {
     int label = -1;
-    std::int64_t makespan_cycles = 0;
+    Cycles makespan_cycles;
     std::size_t evaluations = 0;
   };
 

@@ -20,16 +20,20 @@ Objective objective_from_string(const std::string& s) {
   throw std::invalid_argument("unknown objective: " + s);
 }
 
+// cost() deliberately erases the dimension: a single `double` scale lets the
+// heuristic searches and dataset generators compare runtime (cycles), energy
+// (pJ) and EDP (pJ*cyc) through one interface. This is a scalarization
+// boundary, so the value-escape hatches below are justified.
 double ObjectiveEvaluator::cost(const GemmWorkload& w, const ArrayConfig& array,
                                 Objective objective) const {
   if (objective == Objective::kRuntime) {
     // Stall-free runtime, identical to the paper's case-1 cost metric.
-    return static_cast<double>(sim_->compute_cycles(w, array));
+    return static_cast<double>(sim_->compute_cycles(w, array).value());  // airch-lint: allow(value-escape)
   }
   const SimResult r = sim_->simulate(w, array, memory_);
-  const double energy = r.energy.total_pj();
+  const double energy = r.energy.total().value();  // airch-lint: allow(value-escape)
   if (objective == Objective::kEnergy) return energy;
-  return energy * static_cast<double>(r.total_cycles());  // EDP
+  return energy * static_cast<double>(r.total_cycles().value());  // EDP  // airch-lint: allow(value-escape)
 }
 
 }  // namespace airch

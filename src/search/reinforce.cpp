@@ -57,7 +57,7 @@ ReinforceArrayDataflowSearch::Result ReinforceArrayDataflowSearch::best(
   std::vector<double> col_logits(row_choices, 0.0);
   std::vector<double> df_logits(3, 0.0);
 
-  Result best{-1, std::numeric_limits<std::int64_t>::max(), 0};
+  Result best{-1, Cycles{std::numeric_limits<std::int64_t>::max()}, 0};
 
   for (int iter = 0; iter < options.iterations; ++iter) {
     struct Sample {
@@ -79,14 +79,15 @@ ReinforceArrayDataflowSearch::Result ReinforceArrayDataflowSearch::best(
 
       const ArrayConfig cfg{pow2(row_exp), pow2(col_exp),
                             dataflow_from_index(static_cast<int>(s.df_idx))};
-      const std::int64_t cycles = sim_->compute_cycles(w, cfg);
+      const Cycles cycles = sim_->compute_cycles(w, cfg);
       ++best.evaluations;
       if (cycles < best.cycles) {
         best.cycles = cycles;
         best.label = space_->label_of(cfg);
       }
-      // Reward: negative log-cycles (scale-free across workload sizes).
-      s.reward = -std::log(static_cast<double>(cycles));
+      // Reward: negative log-cycles (scale-free across workload sizes);
+      // the RL reward is dimensionless by construction.
+      s.reward = -std::log(static_cast<double>(cycles.value()));  // airch-lint: allow(value-escape)
       samples.push_back(s);
     }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/units.hpp"
 #include "search/space.hpp"
 #include "sim/simulator.hpp"
 #include "workload/gemm.hpp"
@@ -31,7 +32,7 @@ class ReinforceArrayDataflowSearch {
 
   struct Result {
     int label = -1;
-    std::int64_t cycles = 0;
+    Cycles cycles;
     std::size_t evaluations = 0;
   };
 

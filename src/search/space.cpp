@@ -50,7 +50,7 @@ std::vector<int> ArrayDataflowSpace::labels_within_budget(int budget_exp) const 
   std::vector<int> out;
   for (int l = 0; l < size(); ++l) {
     const auto& c = configs_[static_cast<std::size_t>(l)];
-    if (c.macs() <= pow2(std::min(budget_exp, 62))) out.push_back(l);
+    if (c.macs() <= MacCount{pow2(std::min(budget_exp, 62))}) out.push_back(l);
   }
   return out;
 }

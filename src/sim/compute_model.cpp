@@ -26,23 +26,26 @@ ComputeResult compute_latency(const GemmWorkload& w, const ArrayConfig& array) {
     case Dataflow::kOutputStationary:
       // Skewed operand fill, K accumulation steps, then shifting results
       // out through the array.
-      r.fold_cycles = (array.rows - 1) + map.temporal + (array.rows + array.cols - 1);
+      r.fold_cycles = Cycles{(array.rows - 1) + map.temporal + (array.rows + array.cols - 1)};
       break;
     case Dataflow::kWeightStationary:
     case Dataflow::kInputStationary:
       // Preload the stationary operand row-by-row, stream the moving
       // operand, and drain the final skewed wavefront.
-      r.fold_cycles = array.rows + map.temporal + (array.rows + array.cols - 2);
+      r.fold_cycles = Cycles{array.rows + map.temporal + (array.rows + array.cols - 2)};
       break;
   }
-  r.cycles = r.folds * r.fold_cycles;
-  const double useful_macs = static_cast<double>(w.macs());
-  const double capacity =
-      static_cast<double>(array.macs()) * static_cast<double>(r.cycles);
-  r.utilization = capacity > 0.0 ? useful_macs / capacity : 0.0;
-  AIRCH_DCHECK(r.folds >= 1 && r.fold_cycles >= 1 && r.cycles >= 1,
+  r.cycles = r.fold_cycles * r.folds;
+  // Utilization is MAC / (MAC/cycle x cycle) — dimensionless, but the
+  // intermediate "MAC-cycles of capacity" has no declared unit, so the
+  // factors exit the type system here.
+  const double useful_macs = static_cast<double>(w.macs().value());       // airch-lint: allow(value-escape)
+  const double capacity = static_cast<double>(array.macs().value()) *     // airch-lint: allow(value-escape)
+                          static_cast<double>(r.cycles.value());          // airch-lint: allow(value-escape)
+  r.utilization = Utilization{capacity > 0.0 ? useful_macs / capacity : 0.0};
+  AIRCH_DCHECK(r.folds >= 1 && r.fold_cycles >= Cycles{1} && r.cycles >= Cycles{1},
                "compute latency must be positive for a valid workload/array");
-  AIRCH_DCHECK(r.utilization >= 0.0 && r.utilization <= 1.0,
+  AIRCH_DCHECK(r.utilization >= Utilization{0.0} && r.utilization <= Utilization{1.0},
                "utilization is a fraction of peak MAC throughput");
   return r;
 }

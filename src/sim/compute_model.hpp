@@ -26,6 +26,7 @@
 
 #include <cstdint>
 
+#include "common/units.hpp"
 #include "sim/array_config.hpp"
 #include "workload/gemm.hpp"
 
@@ -42,10 +43,10 @@ struct Mapping {
 Mapping map_workload(const GemmWorkload& w, Dataflow d);
 
 struct ComputeResult {
-  std::int64_t cycles = 0;        ///< total compute cycles (no memory stalls)
-  std::int64_t folds = 0;         ///< number of spatial folds executed
-  std::int64_t fold_cycles = 0;   ///< cycles per fold (uniform across folds)
-  double utilization = 0.0;       ///< useful MACs / (macs * cycles), in (0, 1]
+  Cycles cycles;                 ///< total compute latency (no memory stalls)
+  std::int64_t folds = 0;        ///< number of spatial folds executed
+  Cycles fold_cycles;            ///< latency per fold (uniform across folds)
+  Utilization utilization;       ///< useful MACs / (macs * cycles), in (0, 1]
 };
 
 /// Computes stall-free latency of `w` on `array`.

@@ -5,9 +5,9 @@ namespace airch {
 EnergyResult energy_cost(const GemmWorkload& w, const MemoryResult& memres,
                          const EnergyParams& params) {
   EnergyResult e;
-  e.compute_pj = static_cast<double>(w.macs()) * params.mac_pj;
-  e.sram_pj = static_cast<double>(memres.sram_bytes) * params.sram_pj;
-  e.dram_pj = static_cast<double>(memres.dram_total_bytes()) * params.dram_pj;
+  e.compute_total = w.macs() * params.mac_per_op;
+  e.sram_total = memres.sram_bytes * params.sram_per_byte;
+  e.dram_total = memres.dram_total_bytes() * params.dram_per_byte;
   return e;
 }
 

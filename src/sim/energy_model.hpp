@@ -3,25 +3,30 @@
 // case study 3). Constants follow the usual 45 nm numbers (Horowitz,
 // ISSCC'14 ratios): an 8-bit MAC is cheap, SRAM access ~5x a MAC per byte,
 // DRAM access two orders of magnitude above SRAM.
+//
+// Params are per-event energies (pJ/MAC, pJ/byte); results are total
+// energies (pJ). The two used to share field names (`sram_pj` meant
+// "pJ per byte" in EnergyParams but "total SRAM pJ" in EnergyResult) —
+// the strong types plus the `_per_byte`/`_total` names make that
+// distinction impossible to drop on the floor again.
 
-#include <cstdint>
-
+#include "common/units.hpp"
 #include "sim/memory_model.hpp"
 #include "workload/gemm.hpp"
 
 namespace airch {
 
 struct EnergyParams {
-  double mac_pj = 0.2;     ///< energy per multiply-accumulate (pJ)
-  double sram_pj = 1.0;    ///< energy per SRAM byte moved (pJ)
-  double dram_pj = 160.0;  ///< energy per DRAM byte moved (pJ)
+  EnergyPerMac mac_per_op{0.2};       ///< energy per multiply-accumulate
+  EnergyPerByte sram_per_byte{1.0};   ///< energy per SRAM byte moved
+  EnergyPerByte dram_per_byte{160.0}; ///< energy per DRAM byte moved
 };
 
 struct EnergyResult {
-  double compute_pj = 0.0;
-  double sram_pj = 0.0;
-  double dram_pj = 0.0;
-  double total_pj() const { return compute_pj + sram_pj + dram_pj; }
+  Picojoules compute_total;  ///< all MACs
+  Picojoules sram_total;     ///< all SRAM traffic
+  Picojoules dram_total;     ///< all DRAM traffic
+  Picojoules total() const { return compute_total + sram_total + dram_total; }
 };
 
 /// Energy of executing `w` given the memory traffic `memres`.

@@ -9,41 +9,46 @@ namespace airch {
 
 namespace {
 
+/// Operand extents are element counts; traffic is accounted in Bytes from
+/// the start so the reuse formulas below cannot mix the two dimensions.
+constexpr Bytes bytes_of(std::int64_t elems) { return Bytes{elems * kBytesPerElement}; }
+
 /// Partial-retention reuse: a stripe of `stripe` bytes is fetched once and
 /// the buffer retains up to its capacity across the `reuses` subsequent
 /// passes; the non-retained remainder is re-fetched every pass.
 /// Boundary cases: capacity >= stripe -> stripe (fetched once);
 /// capacity = 0 -> stripe * (1 + reuses) (re-fetched every pass).
-std::int64_t stripe_traffic(std::int64_t stripe, std::int64_t capacity, std::int64_t reuses) {
-  const std::int64_t retained = std::min(stripe, capacity);
+Bytes stripe_traffic(Bytes stripe, Bytes capacity, std::int64_t reuses) {
+  const Bytes retained = std::min(stripe, capacity);
   return stripe + reuses * (stripe - retained);
 }
 
-/// Per-dataflow traffic accounting. All sizes in bytes (1 byte/element).
+/// Per-dataflow traffic accounting.
 struct Traffic {
-  std::int64_t ifmap = 0;
-  std::int64_t filter = 0;
-  std::int64_t ofmap = 0;
-  std::int64_t sram = 0;
-  std::int64_t first_fill = 0;  ///< bytes that must land before cycle 0
+  Bytes ifmap;
+  Bytes filter;
+  Bytes ofmap;
+  Bytes sram;
+  Bytes first_fill;  ///< bytes that must land before cycle 0
 };
 
 Traffic traffic_os(const GemmWorkload& w, const ArrayConfig& a, const MemoryConfig& mem) {
   const std::int64_t row_folds = ceil_div(w.m, a.rows);
   const std::int64_t col_folds = ceil_div(w.n, a.cols);
-  const std::int64_t ifmap_stripe = std::min(w.m, a.rows) * w.k;  // rows x K
-  const std::int64_t filter_tile = w.k * std::min(w.n, a.cols);   // K x cols
+  const Bytes ifmap_stripe = bytes_of(std::min(w.m, a.rows) * w.k);  // rows x K
+  const Bytes filter_tile = bytes_of(w.k * std::min(w.n, a.cols));   // K x cols
 
   Traffic t;
   // IFMAP stripe is reused across the column folds of its row stripe.
   t.ifmap = row_folds * stripe_traffic(ifmap_stripe, mem.ifmap_bytes(), col_folds - 1);
   // Filter is reused across row stripes only to the extent the whole
   // K x N operand fits.
-  t.filter = stripe_traffic(w.filter_elems(), mem.filter_bytes(), row_folds - 1);
-  t.ofmap = w.ofmap_elems();  // partial sums accumulate inside the PEs
+  t.filter = stripe_traffic(bytes_of(w.filter_elems()), mem.filter_bytes(), row_folds - 1);
+  t.ofmap = bytes_of(w.ofmap_elems());  // partial sums accumulate inside the PEs
   // SRAM streams every fold's operand tiles into the array regardless of
   // DRAM-side reuse, and the outputs out once.
-  t.sram = col_folds * w.ifmap_elems() + row_folds * w.filter_elems() + w.ofmap_elems();
+  t.sram = col_folds * bytes_of(w.ifmap_elems()) + row_folds * bytes_of(w.filter_elems()) +
+           bytes_of(w.ofmap_elems());
   t.first_fill = std::min(ifmap_stripe, mem.ifmap_bytes()) +
                  std::min(filter_tile, mem.filter_bytes());
   return t;
@@ -52,21 +57,21 @@ Traffic traffic_os(const GemmWorkload& w, const ArrayConfig& a, const MemoryConf
 Traffic traffic_ws(const GemmWorkload& w, const ArrayConfig& a, const MemoryConfig& mem) {
   const std::int64_t red_folds = ceil_div(w.k, a.rows);  // reduction folds
   const std::int64_t col_folds = ceil_div(w.n, a.cols);
-  const std::int64_t ifmap_slice = w.m * std::min(w.k, a.rows);  // M x rows
-  const std::int64_t filter_tile = std::min(w.k, a.rows) * std::min(w.n, a.cols);
+  const Bytes ifmap_slice = bytes_of(w.m * std::min(w.k, a.rows));  // M x rows
+  const Bytes filter_tile = bytes_of(std::min(w.k, a.rows) * std::min(w.n, a.cols));
 
   Traffic t;
-  t.filter = w.filter_elems();  // stationary: each weight fetched exactly once
+  t.filter = bytes_of(w.filter_elems());  // stationary: each weight fetched exactly once
   // IFMAP K-slice is reused across the column folds of its reduction fold.
   t.ifmap = red_folds * stripe_traffic(ifmap_slice, mem.ifmap_bytes(), col_folds - 1);
   // Partial sums: the retained part of the M x cols stripe accumulates in
   // the buffer across reduction folds; the spilled remainder pays a DRAM
   // read + write per extra fold.
-  const std::int64_t psum_stripe = w.m * std::min(w.n, a.cols);  // M x cols
-  const std::int64_t spilled =
-      psum_stripe - std::min(psum_stripe, mem.ofmap_bytes());
-  t.ofmap = w.ofmap_elems() + 2 * (red_folds - 1) * col_folds * spilled;
-  t.sram = w.filter_elems() + col_folds * w.ifmap_elems() + 2 * red_folds * w.ofmap_elems();
+  const Bytes psum_stripe = bytes_of(w.m * std::min(w.n, a.cols));  // M x cols
+  const Bytes spilled = psum_stripe - std::min(psum_stripe, mem.ofmap_bytes());
+  t.ofmap = bytes_of(w.ofmap_elems()) + 2 * (red_folds - 1) * col_folds * spilled;
+  t.sram = bytes_of(w.filter_elems()) + col_folds * bytes_of(w.ifmap_elems()) +
+           2 * red_folds * bytes_of(w.ofmap_elems());
   t.first_fill = std::min(filter_tile, mem.filter_bytes()) +
                  std::min(ifmap_slice, mem.ifmap_bytes());
   return t;
@@ -75,17 +80,17 @@ Traffic traffic_ws(const GemmWorkload& w, const ArrayConfig& a, const MemoryConf
 Traffic traffic_is(const GemmWorkload& w, const ArrayConfig& a, const MemoryConfig& mem) {
   const std::int64_t red_folds = ceil_div(w.k, a.rows);
   const std::int64_t col_folds = ceil_div(w.m, a.cols);
-  const std::int64_t filter_slice = w.n * std::min(w.k, a.rows);  // N x rows
-  const std::int64_t ifmap_tile = std::min(w.k, a.rows) * std::min(w.m, a.cols);
+  const Bytes filter_slice = bytes_of(w.n * std::min(w.k, a.rows));  // N x rows
+  const Bytes ifmap_tile = bytes_of(std::min(w.k, a.rows) * std::min(w.m, a.cols));
 
   Traffic t;
-  t.ifmap = w.ifmap_elems();  // stationary operand
+  t.ifmap = bytes_of(w.ifmap_elems());  // stationary operand
   t.filter = red_folds * stripe_traffic(filter_slice, mem.filter_bytes(), col_folds - 1);
-  const std::int64_t psum_stripe = w.n * std::min(w.m, a.cols);  // N x cols
-  const std::int64_t spilled =
-      psum_stripe - std::min(psum_stripe, mem.ofmap_bytes());
-  t.ofmap = w.ofmap_elems() + 2 * (red_folds - 1) * col_folds * spilled;
-  t.sram = w.ifmap_elems() + col_folds * w.filter_elems() + 2 * red_folds * w.ofmap_elems();
+  const Bytes psum_stripe = bytes_of(w.n * std::min(w.m, a.cols));  // N x cols
+  const Bytes spilled = psum_stripe - std::min(psum_stripe, mem.ofmap_bytes());
+  t.ofmap = bytes_of(w.ofmap_elems()) + 2 * (red_folds - 1) * col_folds * spilled;
+  t.sram = bytes_of(w.ifmap_elems()) + col_folds * bytes_of(w.filter_elems()) +
+           2 * red_folds * bytes_of(w.ofmap_elems());
   t.first_fill = std::min(ifmap_tile, mem.ifmap_bytes()) +
                  std::min(filter_slice, mem.filter_bytes());
   return t;
@@ -104,19 +109,20 @@ MemoryResult memory_behavior(const GemmWorkload& w, const ArrayConfig& array,
   }
 
   MemoryResult r;
-  r.dram_ifmap_bytes = t.ifmap * kBytesPerElement;
-  r.dram_filter_bytes = t.filter * kBytesPerElement;
-  r.dram_ofmap_bytes = t.ofmap * kBytesPerElement;
-  r.sram_bytes = t.sram * kBytesPerElement;
+  r.dram_ifmap_bytes = t.ifmap;
+  r.dram_filter_bytes = t.filter;
+  r.dram_ofmap_bytes = t.ofmap;
+  r.sram_bytes = t.sram;
 
   // Traffic components are counts of fetched bytes: a negative value means
   // a reuse formula above went wrong (e.g. retained > stripe) or overflowed.
-  AIRCH_DCHECK(t.ifmap >= 0 && t.filter >= 0 && t.ofmap >= 0 && t.sram >= 0 && t.first_fill >= 0,
+  AIRCH_DCHECK(t.ifmap >= Bytes{0} && t.filter >= Bytes{0} && t.ofmap >= Bytes{0} &&
+                   t.sram >= Bytes{0} && t.first_fill >= Bytes{0},
                "negative traffic — reuse accounting bug or int64 overflow");
-  const std::int64_t transfer_cycles = ceil_div(r.dram_total_bytes(), mem.bandwidth);
-  const std::int64_t fill_cycles = ceil_div(t.first_fill * kBytesPerElement, mem.bandwidth);
-  r.stall_cycles = fill_cycles + std::max<std::int64_t>(0, transfer_cycles - compute.cycles);
-  AIRCH_DCHECK(r.stall_cycles >= 0, "stall cycles must be non-negative");
+  const Cycles transfer_cycles = ceil_div(r.dram_total_bytes(), mem.bytes_per_cycle());
+  const Cycles fill_cycles = ceil_div(t.first_fill, mem.bytes_per_cycle());
+  r.stall_cycles = fill_cycles + std::max(Cycles{0}, transfer_cycles - compute.cycles);
+  AIRCH_DCHECK(r.stall_cycles >= Cycles{0}, "stall cycles must be non-negative");
   return r;
 }
 

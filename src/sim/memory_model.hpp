@@ -26,6 +26,7 @@
 
 #include <cstdint>
 
+#include "common/units.hpp"
 #include "sim/array_config.hpp"
 #include "sim/compute_model.hpp"
 #include "workload/gemm.hpp"
@@ -33,13 +34,13 @@
 namespace airch {
 
 struct MemoryResult {
-  std::int64_t dram_ifmap_bytes = 0;
-  std::int64_t dram_filter_bytes = 0;
-  std::int64_t dram_ofmap_bytes = 0;  ///< includes partial-sum spill traffic
-  std::int64_t sram_bytes = 0;        ///< operand bytes streamed through SRAM
-  std::int64_t stall_cycles = 0;
+  Bytes dram_ifmap_bytes;
+  Bytes dram_filter_bytes;
+  Bytes dram_ofmap_bytes;  ///< includes partial-sum spill traffic
+  Bytes sram_bytes;        ///< operand bytes streamed through SRAM
+  Cycles stall_cycles;
 
-  std::int64_t dram_total_bytes() const {
+  Bytes dram_total_bytes() const {
     return dram_ifmap_bytes + dram_filter_bytes + dram_ofmap_bytes;
   }
 };

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 
+#include "common/units.hpp"
 #include "sim/array_config.hpp"
 #include "sim/compute_model.hpp"
 #include "sim/energy_model.hpp"
@@ -18,7 +19,7 @@ struct SimResult {
   EnergyResult energy;
 
   /// End-to-end latency: compute plus memory stalls.
-  std::int64_t total_cycles() const { return compute.cycles + memory.stall_cycles; }
+  Cycles total_cycles() const { return compute.cycles + memory.stall_cycles; }
 };
 
 class Simulator {
@@ -30,7 +31,7 @@ class Simulator {
                      const MemoryConfig& mem) const;
 
   /// Compute-only latency (case study 1 uses runtime under an ideal memory).
-  std::int64_t compute_cycles(const GemmWorkload& w, const ArrayConfig& array) const {
+  Cycles compute_cycles(const GemmWorkload& w, const ArrayConfig& array) const {
     return compute_latency(w, array).cycles;
   }
 

@@ -104,12 +104,12 @@ TraceResult TraceSimulator::run_os(const GemmMatrix& a, const GemmMatrix& b,
           }
         }
       }
-      result.cycles += stream_cycles;
+      result.cycles += Cycles{stream_cycles};
 
       // Drain: accumulated results shift out through the rows (one cycle
       // per occupied row), matching the analytical model's drain term.
-      result.cycles += rm;
-      result.drain_cycles += rm;
+      result.cycles += Cycles{rm};
+      result.drain_cycles += Cycles{rm};
       for (std::int64_t i = 0; i < rm; ++i) {
         for (std::int64_t j = 0; j < cn; ++j) {
           result.output.at(i0 + i, j0 + j) = static_cast<std::int32_t>(acc[idx(i, j)]);
@@ -138,8 +138,8 @@ TraceResult TraceSimulator::run_ws(const GemmMatrix& a, const GemmMatrix& b,
       const std::int64_t cn = std::min(cols, n - j0);
 
       // Preload the stationary K x N weight tile, one row per cycle.
-      result.cycles += rk;
-      result.sram_reads += rk * cn;
+      result.cycles += Cycles{rk};
+      result.sram_reads += Bytes{rk * cn * kBytesPerElement};
 
       // Stream A with row skew; partial sums flow down the columns.
       // psum[i][j] after cycle t holds the partial sum that PE(i,j)
@@ -170,7 +170,7 @@ TraceResult TraceSimulator::run_ws(const GemmMatrix& a, const GemmMatrix& b,
         }
         std::swap(psum, psum_next);
       }
-      result.cycles += stream_cycles;
+      result.cycles += Cycles{stream_cycles};
       // Skewed wavefront drain is included in stream_cycles; the final
       // column's exit latency is the (cn - 1) term above.
     }
@@ -203,8 +203,8 @@ TraceResult TraceSimulator::run_is(const GemmMatrix& a, const GemmMatrix& b,
 
       // Preload the stationary K x M input tile (A transposed onto the
       // array: PE(i,j) holds A[m0+j][k0+i]).
-      result.cycles += rk;
-      result.sram_reads += rk * cm;
+      result.cycles += Cycles{rk};
+      result.sram_reads += Bytes{rk * cm * kBytesPerElement};
 
       std::vector<std::int64_t> psum(static_cast<std::size_t>(rk * cm), 0);
       std::vector<std::int64_t> psum_next(psum.size());
@@ -232,7 +232,7 @@ TraceResult TraceSimulator::run_is(const GemmMatrix& a, const GemmMatrix& b,
         }
         std::swap(psum, psum_next);
       }
-      result.cycles += stream_cycles;
+      result.cycles += Cycles{stream_cycles};
     }
   }
 

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/units.hpp"
 #include "sim/array_config.hpp"
 #include "workload/gemm.hpp"
 
@@ -49,12 +50,12 @@ struct GemmMatrix {
 GemmMatrix reference_gemm(const GemmMatrix& a, const GemmMatrix& b);
 
 struct TraceResult {
-  GemmMatrix output;             ///< the computed C matrix
-  std::int64_t cycles = 0;       ///< total cycles stepped
-  std::int64_t macs = 0;         ///< non-zero-operand MACs actually performed
-  std::int64_t folds = 0;        ///< spatial folds executed
-  std::int64_t sram_reads = 0;   ///< operand elements injected into the array
-  std::int64_t drain_cycles = 0; ///< cycles spent draining results/psums
+  GemmMatrix output;    ///< the computed C matrix
+  Cycles cycles;        ///< total cycles stepped
+  MacCount macs;        ///< non-zero-operand MACs actually performed
+  std::int64_t folds = 0;  ///< spatial folds executed
+  Bytes sram_reads;     ///< operand bytes (1 B/element) injected into the array
+  Cycles drain_cycles;  ///< cycles spent draining results/psums
 };
 
 class TraceSimulator {

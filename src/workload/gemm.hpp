@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/units.hpp"
+
 namespace airch {
 
 struct GemmWorkload {
@@ -14,7 +16,7 @@ struct GemmWorkload {
   std::int64_t k = 1;  ///< cols of A / rows of B (reduction dim)
 
   /// Total multiply-accumulate operations.
-  std::int64_t macs() const { return m * n * k; }
+  MacCount macs() const { return MacCount{m * n * k}; }
 
   /// Operand element counts.
   std::int64_t ifmap_elems() const { return m * k; }

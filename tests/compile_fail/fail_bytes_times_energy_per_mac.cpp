@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: per-MAC energy applies to MAC counts only; scaling
+// it by a byte count is the classic energy-model unit slip.
+#include "common/units.hpp"
+
+int main() {
+  const airch::Bytes b{64};
+  const airch::EnergyPerMac e{0.2};
+  auto wrong = b * e;  // only MacCount * EnergyPerMac is declared
+  (void)wrong;
+  return 0;
+}

@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: ordering across dimensions ("is 10 cycles less than
+// 64 bytes?") is a category error.
+#include "common/units.hpp"
+
+int main() {
+  const airch::Cycles c{10};
+  const airch::Bytes b{64};
+  const bool wrong = c < b;  // no operator<(Cycles, Bytes)
+  (void)wrong;
+  return 0;
+}

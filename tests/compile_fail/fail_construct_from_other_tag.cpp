@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: a quantity cannot be built from a quantity of a
+// different dimension, even though both wrap the same Rep.
+#include "common/units.hpp"
+
+int main() {
+  const airch::Bytes b{64};
+  const airch::Cycles wrong{b};  // Cycles is not constructible from Bytes
+  (void)wrong;
+  return 0;
+}

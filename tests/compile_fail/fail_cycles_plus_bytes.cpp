@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: latency and traffic live in different dimensions.
+#include "common/units.hpp"
+
+int main() {
+  const airch::Cycles c{10};
+  const airch::Bytes b{64};
+  auto wrong = c + b;  // no operator+(Cycles, Bytes)
+  (void)wrong;
+  return 0;
+}

@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: cycles-squared is not a dimension any cost model
+// uses; only declared cross products exist.
+#include "common/units.hpp"
+
+int main() {
+  const airch::Cycles c{10};
+  auto wrong = c * c;  // no operator*(Cycles, Cycles)
+  (void)wrong;
+  return 0;
+}

@@ -1,0 +1,12 @@
+// MUST NOT COMPILE: bare magnitudes must be wrapped explicitly, so a
+// unitless constant can never silently enter the typed world.
+#include "common/units.hpp"
+
+airch::Picojoules leak() {
+  return 42.0;  // requires explicit Picojoules{42.0}
+}
+
+int main() {
+  (void)leak();
+  return 0;
+}

@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: leaving the typed world requires an explicit
+// .value() call at a sanctioned boundary, never an implicit decay.
+#include "common/units.hpp"
+
+int main() {
+  const airch::Cycles c{10};
+  long long raw = c;  // requires c.value()
+  (void)raw;
+  return 0;
+}

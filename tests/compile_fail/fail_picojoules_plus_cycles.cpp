@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: energy plus latency is dimensionally meaningless
+// (the exact bug class the EDP objective is prone to).
+#include "common/units.hpp"
+
+int main() {
+  const airch::Picojoules e{1.5};
+  const airch::Cycles c{10};
+  auto wrong = e + c;  // no operator+(Picojoules, Cycles)
+  (void)wrong;
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Positive control: valid dimensional arithmetic under the exact flags
+// the fail_* snippets use. If this fails to compile, the harness is
+// broken (bad include path / flags), not the guarantees.
+#include "common/units.hpp"
+
+int main() {
+  using namespace airch;
+  const Cycles c = Cycles{10} + Cycles{28};
+  const Bytes b = Bytes{64} * 2;
+  const Picojoules e = MacCount{1000} * EnergyPerMac{0.2} + b * EnergyPerByte{1.0};
+  const Cycles beats = ceil_div(b, BytesPerCycle{10});
+  const double ratio = c / beats;
+  return (e.value() > 0.0 && ratio > 0.0) ? 0 : 1;
+}

@@ -33,14 +33,14 @@ TEST(ComputeLatency, SingleFoldOsFormula) {
   const ComputeResult r = compute_latency({8, 8, 16}, {8, 8, Dataflow::kOutputStationary});
   EXPECT_EQ(r.folds, 1);
   // (rows-1) + K + (rows+cols-1) = 7 + 16 + 15 = 38
-  EXPECT_EQ(r.cycles, 38);
+  EXPECT_EQ(r.cycles, Cycles{38});
 }
 
 TEST(ComputeLatency, SingleFoldWsFormula) {
   const ComputeResult r = compute_latency({16, 8, 8}, {8, 8, Dataflow::kWeightStationary});
   EXPECT_EQ(r.folds, 1);
   // rows + M + (rows+cols-2) = 8 + 16 + 14 = 38
-  EXPECT_EQ(r.cycles, 38);
+  EXPECT_EQ(r.cycles, Cycles{38});
 }
 
 TEST(ComputeLatency, FoldCount) {
@@ -61,8 +61,8 @@ TEST(ComputeLatency, UtilizationNeverExceedsOne) {
   for (const auto& w : workloads) {
     for (const auto& a : arrays) {
       const ComputeResult r = compute_latency(w, a);
-      EXPECT_GT(r.utilization, 0.0) << w.to_string() << " " << a.to_string();
-      EXPECT_LE(r.utilization, 1.0) << w.to_string() << " " << a.to_string();
+      EXPECT_GT(r.utilization, Utilization{0.0}) << w.to_string() << " " << a.to_string();
+      EXPECT_LE(r.utilization, Utilization{1.0}) << w.to_string() << " " << a.to_string();
     }
   }
 }
@@ -70,7 +70,7 @@ TEST(ComputeLatency, UtilizationNeverExceedsOne) {
 TEST(ComputeLatency, PerfectlyMatchedShapeHasHighUtilization) {
   // Large K amortizes fill/drain for OS.
   const ComputeResult r = compute_latency({32, 32, 100000}, {32, 32, Dataflow::kOutputStationary});
-  EXPECT_GT(r.utilization, 0.99);
+  EXPECT_GT(r.utilization, Utilization{0.99});
 }
 
 // Property sweep: latency is monotonically non-decreasing in each GEMM dim.
@@ -85,7 +85,7 @@ TEST_P(LatencyMonotonicity, NonDecreasingInEachDim) {
   const auto p = GetParam();
   const ArrayConfig a{p.rows, p.cols, p.dataflow};
   const GemmWorkload base{37, 53, 71};
-  const std::int64_t base_cycles = compute_latency(base, a).cycles;
+  const Cycles base_cycles = compute_latency(base, a).cycles;
   for (std::int64_t scale : {2, 5, 16}) {
     GemmWorkload wm = base, wn = base, wk = base;
     wm.m *= scale;
@@ -110,20 +110,20 @@ TEST(ComputeLatency, DataflowMatchesReuseStructure) {
   // Huge K, small M: WS/IS pay K-folds; OS streams K temporally in one
   // fold — OS must win.
   const GemmWorkload deep{16, 16, 1 << 14};
-  const std::int64_t os =
+  const Cycles os =
       compute_latency(deep, {16, 16, Dataflow::kOutputStationary}).cycles;
-  const std::int64_t ws =
+  const Cycles ws =
       compute_latency(deep, {16, 16, Dataflow::kWeightStationary}).cycles;
-  const std::int64_t is =
+  const Cycles is =
       compute_latency(deep, {16, 16, Dataflow::kInputStationary}).cycles;
   EXPECT_LT(os, ws);
   EXPECT_LT(os, is);
 
   // Huge M, modest K/N: WS holds weights and streams M temporally.
   const GemmWorkload tall{1 << 14, 16, 16};
-  const std::int64_t os2 =
+  const Cycles os2 =
       compute_latency(tall, {16, 16, Dataflow::kOutputStationary}).cycles;
-  const std::int64_t ws2 =
+  const Cycles ws2 =
       compute_latency(tall, {16, 16, Dataflow::kWeightStationary}).cycles;
   EXPECT_LT(ws2, os2);
 }
@@ -141,7 +141,7 @@ TEST(ComputeLatency, UnitWorkloadUnitArray) {
   for (Dataflow d : kAllDataflows) {
     const ComputeResult r = compute_latency({1, 1, 1}, {1, 1, d});
     EXPECT_EQ(r.folds, 1);
-    EXPECT_GE(r.cycles, 1);
+    EXPECT_GE(r.cycles, Cycles{1});
   }
 }
 

@@ -159,7 +159,7 @@ TEST(TransformerZoo, AttentionShapesAreSeqDependent) {
 TEST(TransformerZoo, SeqLenScalesAttention) {
   const auto short_seq = make_bert_base(64).gemms();
   const auto long_seq = make_bert_base(512).gemms();
-  std::int64_t short_macs = 0, long_macs = 0;
+  MacCount short_macs, long_macs;
   for (const auto& g : short_seq) short_macs += g.macs();
   for (const auto& g : long_seq) long_macs += g.macs();
   EXPECT_GT(long_macs, 4 * short_macs);  // superlinear due to attention

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
 #include "sim/energy_model.hpp"
 #include "sim/simulator.hpp"
+#include "workload/sampler.hpp"
 
 namespace airch {
 namespace {
@@ -9,26 +11,53 @@ namespace {
 TEST(EnergyModel, ArithmeticMatchesCounts) {
   const GemmWorkload w{10, 10, 10};
   MemoryResult mem;
-  mem.dram_ifmap_bytes = 100;
-  mem.dram_filter_bytes = 50;
-  mem.dram_ofmap_bytes = 25;
-  mem.sram_bytes = 1000;
+  mem.dram_ifmap_bytes = Bytes{100};
+  mem.dram_filter_bytes = Bytes{50};
+  mem.dram_ofmap_bytes = Bytes{25};
+  mem.sram_bytes = Bytes{1000};
   EnergyParams p;
-  p.mac_pj = 1.0;
-  p.sram_pj = 2.0;
-  p.dram_pj = 10.0;
+  p.mac_per_op = EnergyPerMac{1.0};
+  p.sram_per_byte = EnergyPerByte{2.0};
+  p.dram_per_byte = EnergyPerByte{10.0};
   const EnergyResult e = energy_cost(w, mem, p);
-  EXPECT_DOUBLE_EQ(e.compute_pj, 1000.0);
-  EXPECT_DOUBLE_EQ(e.sram_pj, 2000.0);
-  EXPECT_DOUBLE_EQ(e.dram_pj, 1750.0);
-  EXPECT_DOUBLE_EQ(e.total_pj(), 4750.0);
+  EXPECT_EQ(e.compute_total, Picojoules{1000.0});
+  EXPECT_EQ(e.sram_total, Picojoules{2000.0});
+  EXPECT_EQ(e.dram_total, Picojoules{1750.0});
+  EXPECT_EQ(e.total(), Picojoules{4750.0});
+}
+
+TEST(EnergyModel, ComponentsSumToTotalProperty) {
+  // Across 1000 random (workload, array, memory) triples the typed energy
+  // pipeline must satisfy total == compute + sram + dram exactly, and each
+  // component must re-derive from the typed counts via the declared
+  // dimension products (MACs x pJ/MAC, B x pJ/B) — no hidden unit slips.
+  Rng rng(2024);
+  const LogUniformGemmSampler sampler;
+  const Simulator sim;
+  for (int trial = 0; trial < 1000; ++trial) {
+    const GemmWorkload w = sampler.sample(rng);
+    const int row_exp = static_cast<int>(rng.uniform_int(1, 6));
+    const int col_exp = static_cast<int>(rng.uniform_int(1, 6));
+    const ArrayConfig a{pow2(row_exp), pow2(col_exp),
+                        dataflow_from_index(static_cast<int>(rng.uniform_int(0, 2)))};
+    const MemoryConfig m{rng.uniform_int(1, 500), rng.uniform_int(1, 500),
+                         rng.uniform_int(1, 500), rng.uniform_int(1, 50)};
+    const SimResult r = sim.simulate(w, a, m);
+    const EnergyParams& p = sim.energy_params();
+    EXPECT_EQ(r.energy.total(),
+              r.energy.compute_total + r.energy.sram_total + r.energy.dram_total);
+    EXPECT_EQ(r.energy.compute_total, w.macs() * p.mac_per_op);
+    EXPECT_EQ(r.energy.sram_total, r.memory.sram_bytes * p.sram_per_byte);
+    EXPECT_EQ(r.energy.dram_total, r.memory.dram_total_bytes() * p.dram_per_byte);
+    EXPECT_GE(r.energy.total(), Picojoules{0.0});
+  }
 }
 
 TEST(EnergyModel, DramDominatesByDefault) {
   // Default constants keep the DRAM:SRAM per-byte ratio >> 1 (the design
   // pressure that makes buffer sizing matter).
   const EnergyParams p;
-  EXPECT_GT(p.dram_pj / p.sram_pj, 50.0);
+  EXPECT_GT(p.dram_per_byte / p.sram_per_byte, 50.0);
 }
 
 TEST(Simulator, TotalIsComputePlusStalls) {
@@ -38,7 +67,7 @@ TEST(Simulator, TotalIsComputePlusStalls) {
   const MemoryConfig m{200, 200, 200, 5};
   const SimResult r = sim.simulate(w, a, m);
   EXPECT_EQ(r.total_cycles(), r.compute.cycles + r.memory.stall_cycles);
-  EXPECT_GT(r.energy.total_pj(), 0.0);
+  EXPECT_GT(r.energy.total(), Picojoules{0.0});
 }
 
 TEST(Simulator, ComputeCyclesMatchesComputeModel) {
@@ -52,7 +81,7 @@ TEST(Simulator, MoreBandwidthNeverSlower) {
   const Simulator sim;
   const GemmWorkload w{512, 256, 1024};
   const ArrayConfig a{32, 32, Dataflow::kInputStationary};
-  std::int64_t prev = std::numeric_limits<std::int64_t>::max();
+  Cycles prev{std::numeric_limits<std::int64_t>::max()};
   for (std::int64_t bw : {1, 4, 16, 64}) {
     const MemoryConfig m{300, 300, 300, bw};
     const auto total = sim.simulate(w, a, m).total_cycles();
@@ -65,8 +94,8 @@ TEST(Simulator, EnergyScalesWithWorkload) {
   const Simulator sim;
   const ArrayConfig a{16, 16, Dataflow::kOutputStationary};
   const MemoryConfig m{500, 500, 500, 10};
-  const double small = sim.simulate({64, 64, 64}, a, m).energy.total_pj();
-  const double big = sim.simulate({256, 256, 256}, a, m).energy.total_pj();
+  const Picojoules small = sim.simulate({64, 64, 64}, a, m).energy.total();
+  const Picojoules big = sim.simulate({256, 256, 256}, a, m).energy.total();
   EXPECT_GT(big, small);
 }
 
@@ -86,7 +115,7 @@ TEST(Dataflow, IndexRoundTrip) {
 
 TEST(ArrayConfig, MacsAndValidity) {
   const ArrayConfig a{8, 16, Dataflow::kOutputStationary};
-  EXPECT_EQ(a.macs(), 128);
+  EXPECT_EQ(a.macs(), MacCount{128});
   EXPECT_TRUE(a.valid());
   EXPECT_FALSE((ArrayConfig{0, 4, Dataflow::kOutputStationary}).valid());
   EXPECT_EQ(a.to_string(), "8x16/OS");
@@ -94,7 +123,7 @@ TEST(ArrayConfig, MacsAndValidity) {
 
 TEST(MemoryConfig, CapacityConversions) {
   const MemoryConfig m{100, 200, 300, 10};
-  EXPECT_EQ(m.ifmap_bytes(), 100 * 1024);
+  EXPECT_EQ(m.ifmap_bytes(), Bytes{100 * 1024});
   EXPECT_EQ(m.total_kb(), 600);
   EXPECT_TRUE(m.valid());
   EXPECT_FALSE((MemoryConfig{0, 1, 1, 1}).valid());

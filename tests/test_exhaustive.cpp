@@ -42,13 +42,13 @@ TEST_F(Case1SearchTest, RespectsBudget) {
   for (int budget_exp = 2; budget_exp <= 12; ++budget_exp) {
     const GemmWorkload w = sampler.sample(rng);
     const auto best = search_.best(w, budget_exp);
-    EXPECT_LE(space_.config(best.label).macs(), pow2(budget_exp));
+    EXPECT_LE(space_.config(best.label).macs(), MacCount{pow2(budget_exp)});
   }
 }
 
 TEST_F(Case1SearchTest, SmallerBudgetNeverFaster) {
   const GemmWorkload w{500, 300, 800};
-  std::int64_t prev = std::numeric_limits<std::int64_t>::max();
+  Cycles prev{std::numeric_limits<std::int64_t>::max()};
   for (int budget_exp = 2; budget_exp <= 12; ++budget_exp) {
     const auto best = search_.best(w, budget_exp);
     EXPECT_LE(best.cycles, prev);
@@ -112,7 +112,7 @@ TEST_F(Case2SearchTest, RespectsTotalCapacityLimit) {
 TEST_F(Case2SearchTest, LooserLimitNeverWorse) {
   const GemmWorkload w{4096, 1024, 4096};
   const ArrayConfig a{32, 32, Dataflow::kInputStationary};
-  std::int64_t prev = std::numeric_limits<std::int64_t>::max();
+  Cycles prev{std::numeric_limits<std::int64_t>::max()};
   for (std::int64_t limit : {300, 600, 1200, 2100, 3000}) {
     const auto best = search_.best(w, a, 4, limit);
     EXPECT_LE(best.stall_cycles, prev);
@@ -153,7 +153,7 @@ TEST_F(Case3SearchTest, EvaluateConsistentWithBest) {
   const auto best = search_.best(workloads);
   const auto re = search_.evaluate(workloads, best.label);
   EXPECT_EQ(re.makespan_cycles, best.makespan_cycles);
-  EXPECT_NEAR(re.energy_pj, best.energy_pj, best.energy_pj * 1e-9);
+  EXPECT_NEAR(re.energy_pj.value(), best.energy_pj.value(), best.energy_pj.value() * 1e-9);
 }
 
 TEST_F(Case3SearchTest, ArityMismatchThrows) {

@@ -101,9 +101,9 @@ TEST_F(GeneratorTest, Case2SchemaAndConstraints) {
     // Array dims are powers of two within the configured MAC range.
     EXPECT_TRUE(is_pow2(f.array.rows));
     EXPECT_TRUE(is_pow2(f.array.cols));
-    const auto macs = f.array.macs();
-    EXPECT_GE(macs, pow2(cfg.array_macs_min_exp));
-    EXPECT_LE(macs, pow2(cfg.array_macs_max_exp));
+    const MacCount macs = f.array.macs();
+    EXPECT_GE(macs, MacCount{pow2(cfg.array_macs_min_exp)});
+    EXPECT_LE(macs, MacCount{pow2(cfg.array_macs_max_exp)});
   }
 }
 

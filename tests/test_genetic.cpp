@@ -27,8 +27,7 @@ TEST_F(GaCase1Test, FindsNearOptimalSolutions) {
     options.seed = static_cast<std::uint64_t>(trial) + 1;
     const auto ga = ga_.best(w, 12, options);
     // GA should be within 25% of the exhaustive optimum on this small space.
-    EXPECT_LE(static_cast<double>(ga.cycles),
-              1.25 * static_cast<double>(opt.cycles))
+    EXPECT_LE(ga.cycles / opt.cycles, 1.25)
         << w.to_string();
     // And never better than it (the optimum is a true minimum).
     EXPECT_GE(ga.cycles, opt.cycles);
@@ -41,7 +40,7 @@ TEST_F(GaCase1Test, RespectsBudget) {
   for (int budget = 4; budget <= 12; budget += 2) {
     const GemmWorkload w = sampler.sample(rng);
     const auto r = ga_.best(w, budget);
-    EXPECT_LE(space_.config(r.label).macs(), pow2(budget));
+    EXPECT_LE(space_.config(r.label).macs(), MacCount{pow2(budget)});
   }
 }
 
@@ -93,8 +92,7 @@ TEST_F(GaCase3Test, FindsNearOptimalSchedules) {
     GaOptions options;
     options.seed = static_cast<std::uint64_t>(trial) + 1;
     const auto ga = ga_.best(workloads, options);
-    EXPECT_LE(static_cast<double>(ga.makespan_cycles),
-              1.2 * static_cast<double>(opt.makespan_cycles));
+    EXPECT_LE(ga.makespan_cycles / opt.makespan_cycles, 1.2);
     EXPECT_GE(ga.makespan_cycles, opt.makespan_cycles);
   }
 }

@@ -71,10 +71,10 @@ TEST_F(WorkflowTest, FullOfflineOnlineLoop) {
     const int budget = static_cast<int>(qrng.uniform_int(5, 10));
     const ArrayConfig pred = loaded.recommend_array(w, budget);
     const auto best = search.best(w, budget);
-    std::int64_t cycles = study.simulator().compute_cycles(w, pred);
-    if (pred.macs() > pow2(budget)) cycles *= ceil_div(pred.macs(), pow2(budget));
-    achieved.push_back(std::min(
-        1.0, static_cast<double>(best.cycles) / static_cast<double>(cycles)));
+    Cycles cycles = study.simulator().compute_cycles(w, pred);
+    const MacCount budget_macs{pow2(budget)};
+    if (pred.macs() > budget_macs) cycles *= ceil_div(pred.macs(), budget_macs);
+    achieved.push_back(std::min(1.0, best.cycles / cycles));
   }
   EXPECT_GT(geomean(achieved), 0.5);
 }
@@ -113,7 +113,7 @@ TEST(SimulatorCrossValidation, TraceMatchesAnalyticalOnRandomShapes) {
           ASSERT_EQ(tr.output.at(i, j), expected.at(i, j));
         }
       }
-      ASSERT_EQ(tr.macs, m * n * k);
+      ASSERT_EQ(tr.macs, MacCount{m * n * k});
       // Latency agreement.
       const ComputeResult an = compute_latency({m, n, k}, array);
       if (exact_fit) {
@@ -151,8 +151,7 @@ TEST(SimulatorCrossValidation, SearchOptimaRankConsistently) {
       const auto alt_trace = trace.run(a, b, space.config(label)).cycles;
       // Allow a fold-rounding margin: the analytical model charges full
       // per-fold latency for ragged folds, the trace does not.
-      EXPECT_LE(static_cast<double>(best_trace), 1.35 * static_cast<double>(alt_trace))
-          << GemmWorkload{m, n, k}.to_string();
+      EXPECT_LE(best_trace / alt_trace, 1.35) << GemmWorkload{m, n, k}.to_string();
     }
   }
 }

@@ -15,9 +15,9 @@ TEST(MemoryModel, FullReuseTrafficOs) {
   const ArrayConfig a{16, 16, Dataflow::kOutputStationary};
   const MemoryConfig m{1000, 1000, 1000, 10};
   const MemoryResult r = run(w, a, m);
-  EXPECT_EQ(r.dram_ifmap_bytes, w.ifmap_elems());
-  EXPECT_EQ(r.dram_filter_bytes, w.filter_elems());
-  EXPECT_EQ(r.dram_ofmap_bytes, w.ofmap_elems());
+  EXPECT_EQ(r.dram_ifmap_bytes, Bytes{w.ifmap_elems()});
+  EXPECT_EQ(r.dram_filter_bytes, Bytes{w.filter_elems()});
+  EXPECT_EQ(r.dram_ofmap_bytes, Bytes{w.ofmap_elems()});
 }
 
 TEST(MemoryModel, FullReuseTrafficWs) {
@@ -25,9 +25,9 @@ TEST(MemoryModel, FullReuseTrafficWs) {
   const ArrayConfig a{16, 16, Dataflow::kWeightStationary};
   const MemoryConfig m{1000, 1000, 1000, 10};
   const MemoryResult r = run(w, a, m);
-  EXPECT_EQ(r.dram_filter_bytes, w.filter_elems());  // stationary: exactly once
-  EXPECT_EQ(r.dram_ifmap_bytes, w.ifmap_elems());
-  EXPECT_EQ(r.dram_ofmap_bytes, w.ofmap_elems());
+  EXPECT_EQ(r.dram_filter_bytes, Bytes{w.filter_elems()});  // stationary: exactly once
+  EXPECT_EQ(r.dram_ifmap_bytes, Bytes{w.ifmap_elems()});
+  EXPECT_EQ(r.dram_ofmap_bytes, Bytes{w.ofmap_elems()});
 }
 
 TEST(MemoryModel, FullReuseTrafficIs) {
@@ -35,7 +35,7 @@ TEST(MemoryModel, FullReuseTrafficIs) {
   const ArrayConfig a{16, 16, Dataflow::kInputStationary};
   const MemoryConfig m{1000, 1000, 1000, 10};
   const MemoryResult r = run(w, a, m);
-  EXPECT_EQ(r.dram_ifmap_bytes, w.ifmap_elems());  // stationary operand
+  EXPECT_EQ(r.dram_ifmap_bytes, Bytes{w.ifmap_elems()});  // stationary operand
 }
 
 TEST(MemoryModel, TinyIfmapBufferCausesRefetchOs) {
@@ -55,7 +55,7 @@ TEST(MemoryModel, WsStationaryFilterImmuneToFilterBuffer) {
   const GemmWorkload w{512, 512, 512};
   const ArrayConfig a{16, 16, Dataflow::kWeightStationary};
   const MemoryConfig small{500, 1, 500, 10};
-  EXPECT_EQ(run(w, a, small).dram_filter_bytes, w.filter_elems());
+  EXPECT_EQ(run(w, a, small).dram_filter_bytes, Bytes{w.filter_elems()});
 }
 
 TEST(MemoryModel, IsStationaryIfmapImmuneToIfmapBuffer) {
@@ -63,7 +63,7 @@ TEST(MemoryModel, IsStationaryIfmapImmuneToIfmapBuffer) {
   const GemmWorkload w{512, 512, 512};
   const ArrayConfig a{16, 16, Dataflow::kInputStationary};
   const MemoryConfig small{1, 500, 500, 10};
-  EXPECT_EQ(run(w, a, small).dram_ifmap_bytes, w.ifmap_elems());
+  EXPECT_EQ(run(w, a, small).dram_ifmap_bytes, Bytes{w.ifmap_elems()});
 }
 
 TEST(MemoryModel, PsumSpillWhenOfmapBufferTiny) {
@@ -77,7 +77,7 @@ TEST(MemoryModel, PsumSpillWhenOfmapBufferTiny) {
   const auto held = run(w, a, big).dram_ofmap_bytes;
   // A 1000 KB buffer holds the M x cols partial-sum stripe (32 KB): every
   // output written exactly once.
-  EXPECT_EQ(held, w.ofmap_elems());
+  EXPECT_EQ(held, Bytes{w.ofmap_elems()});
   EXPECT_GT(spilled, held);
   // Partial retention: the 1 KB buffer keeps 1024 bytes of each 32768-byte
   // stripe; the rest pays read+write per extra reduction fold per stripe.
@@ -86,7 +86,7 @@ TEST(MemoryModel, PsumSpillWhenOfmapBufferTiny) {
   const std::int64_t stripe = w.m * a.cols;
   const std::int64_t expected =
       w.ofmap_elems() + 2 * (red_folds - 1) * col_folds * (stripe - 1024);
-  EXPECT_EQ(spilled, expected);
+  EXPECT_EQ(spilled, Bytes{expected});
 }
 
 TEST(MemoryModel, PartialRetentionInterpolates) {
@@ -94,7 +94,7 @@ TEST(MemoryModel, PartialRetentionInterpolates) {
   // must reduce traffic strictly and continuously (no step function).
   const GemmWorkload w{256, 2048, 4096};  // OS ifmap stripe = 16 * 4096 = 64 KB
   const ArrayConfig a{16, 16, Dataflow::kOutputStationary};
-  std::int64_t prev = std::numeric_limits<std::int64_t>::max();
+  Bytes prev{std::numeric_limits<std::int64_t>::max()};
   for (std::int64_t kb : {1, 16, 32, 48, 64}) {
     const MemoryConfig m{kb, 1000, 1000, 10};
     const auto traffic = run(w, a, m).dram_ifmap_bytes;
@@ -102,7 +102,7 @@ TEST(MemoryModel, PartialRetentionInterpolates) {
     prev = traffic;
   }
   // At 64 KB the stripe fits: minimum traffic, each element fetched once.
-  EXPECT_EQ(prev, w.ifmap_elems());
+  EXPECT_EQ(prev, Bytes{w.ifmap_elems()});
 }
 
 TEST(MemoryModel, OsNeverSpillsPsums) {
@@ -111,7 +111,7 @@ TEST(MemoryModel, OsNeverSpillsPsums) {
   const GemmWorkload w{2048, 2048, 8192};
   const ArrayConfig a{8, 8, Dataflow::kOutputStationary};
   const MemoryConfig m{1, 1, 1, 10};
-  EXPECT_EQ(run(w, a, m).dram_ofmap_bytes, w.ofmap_elems());
+  EXPECT_EQ(run(w, a, m).dram_ofmap_bytes, Bytes{w.ofmap_elems()});
 }
 
 // Property: stalls are monotone non-increasing in bandwidth.
@@ -121,7 +121,7 @@ TEST_P(StallBandwidth, MoreBandwidthNeverMoreStalls) {
   const auto df = dataflow_from_index(GetParam());
   const GemmWorkload w{300, 500, 700};
   const ArrayConfig a{32, 16, df};
-  std::int64_t prev = std::numeric_limits<std::int64_t>::max();
+  Cycles prev{std::numeric_limits<std::int64_t>::max()};
   for (std::int64_t bw : {1, 2, 5, 10, 20, 50, 100}) {
     const MemoryConfig m{200, 200, 200, bw};
     const auto stalls = run(w, a, m).stall_cycles;
@@ -140,7 +140,7 @@ TEST_P(BufferMonotonicity, BiggerBuffersNeverMoreTraffic) {
   const GemmWorkload w{777, 333, 1555};
   const ArrayConfig a{16, 32, df};
   for (int which = 0; which < 3; ++which) {
-    std::int64_t prev_traffic = std::numeric_limits<std::int64_t>::max();
+    Bytes prev_traffic{std::numeric_limits<std::int64_t>::max()};
     for (std::int64_t kb : {1, 10, 100, 400, 1000}) {
       MemoryConfig m{100, 100, 100, 10};
       if (which == 0) m.ifmap_kb = kb;
@@ -161,7 +161,7 @@ TEST(MemoryModel, StallsIncludeFirstFill) {
   const GemmWorkload w{16, 16, 16};
   const ArrayConfig a{16, 16, Dataflow::kOutputStationary};
   const MemoryConfig m{100, 100, 100, 1};
-  EXPECT_GT(run(w, a, m).stall_cycles, 0);
+  EXPECT_GT(run(w, a, m).stall_cycles, Cycles{0});
 }
 
 TEST(MemoryModel, SramTrafficAtLeastDramTraffic) {
@@ -173,8 +173,8 @@ TEST(MemoryModel, SramTrafficAtLeastDramTraffic) {
     const ArrayConfig a{16, 16, d};
     const MemoryConfig m{300, 300, 300, 10};
     const auto r = run(w, a, m);
-    EXPECT_GE(r.sram_bytes, w.ifmap_elems());
-    EXPECT_GE(r.sram_bytes, w.filter_elems());
+    EXPECT_GE(r.sram_bytes, Bytes{w.ifmap_elems()});
+    EXPECT_GE(r.sram_bytes, Bytes{w.filter_elems()});
   }
 }
 

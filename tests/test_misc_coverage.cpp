@@ -18,7 +18,7 @@ TEST(TraceSramCounts, WeightStationarySingleFold) {
   const TraceSimulator sim;
   const TraceResult r = sim.run(a, b, {8, 8, Dataflow::kWeightStationary});
   EXPECT_EQ(r.folds, 1);
-  EXPECT_EQ(r.sram_reads, 8 * 8 + 8 * 8);
+  EXPECT_EQ(r.sram_reads, Bytes{8 * 8 + 8 * 8});
 }
 
 TEST(TraceSramCounts, InputStationarySingleFold) {
@@ -29,7 +29,7 @@ TEST(TraceSramCounts, InputStationarySingleFold) {
   const TraceResult r = sim.run(a, b, {8, 8, Dataflow::kInputStationary});
   EXPECT_EQ(r.folds, 1);
   // Stationary A tile (8*8) + streamed B (8*8).
-  EXPECT_EQ(r.sram_reads, 8 * 8 + 8 * 8);
+  EXPECT_EQ(r.sram_reads, Bytes{8 * 8 + 8 * 8});
 }
 
 TEST(TraceSramCounts, FoldedWsRefetchesActivations) {
@@ -41,7 +41,7 @@ TEST(TraceSramCounts, FoldedWsRefetchesActivations) {
   const TraceResult r = sim.run(a, b, {8, 8, Dataflow::kWeightStationary});
   EXPECT_EQ(r.folds, 2);
   // Weights: 16*8 once. A: each fold streams its 8x8 K-slice.
-  EXPECT_EQ(r.sram_reads, 16 * 8 + 2 * 8 * 8);
+  EXPECT_EQ(r.sram_reads, Bytes{16 * 8 + 2 * 8 * 8});
 }
 
 TEST(DatasetSplit, HeadIsPrefix) {

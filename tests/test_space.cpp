@@ -33,7 +33,7 @@ TEST(ArrayDataflowSpace, AllConfigsUniqueAndWithinBudget) {
     EXPECT_TRUE(is_pow2(c.cols));
     EXPECT_GE(c.rows, 2);
     EXPECT_GE(c.cols, 2);
-    EXPECT_LE(c.macs(), pow2(18));
+    EXPECT_LE(c.macs(), MacCount{pow2(18)});
     EXPECT_TRUE(seen.insert(c.to_string()).second) << c.to_string();
   }
 }
@@ -52,7 +52,7 @@ TEST(ArrayDataflowSpace, BudgetFilter) {
   const ArrayDataflowSpace space(18);
   const auto labels = space.labels_within_budget(6);
   for (int l : labels) {
-    EXPECT_LE(space.config(l).macs(), pow2(6));
+    EXPECT_LE(space.config(l).macs(), MacCount{pow2(6)});
   }
   // Shapes with 2^a x 2^b, a,b>=1, a+b<=6: (a,b) pairs = 1+2+3+4+5 = 15...
   // enumerated: a+b in [2,6]: for s=2..6 -> s-1 pairs -> 1+2+3+4+5 = 15 shapes.

@@ -32,7 +32,7 @@ TEST_P(SpaceScaling, EveryConfigWithinBudget) {
   const int max_exp = GetParam();
   const ArrayDataflowSpace space(max_exp);
   for (int label = 0; label < space.size(); ++label) {
-    ASSERT_LE(space.config(label).macs(), pow2(max_exp));
+    ASSERT_LE(space.config(label).macs(), MacCount{pow2(max_exp)});
   }
 }
 

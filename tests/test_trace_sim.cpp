@@ -62,9 +62,9 @@ TEST_P(TraceFunctional, AllDataflowsComputeCorrectProduct) {
     const TraceResult r = sim.run(a, b, array);
     SCOPED_TRACE(array.to_string());
     expect_equal(r.output, expected);
-    EXPECT_EQ(r.macs, p.m * p.n * p.k);
-    EXPECT_GT(r.cycles, 0);
-    EXPECT_GT(r.sram_reads, 0);
+    EXPECT_EQ(r.macs, MacCount{p.m * p.n * p.k});
+    EXPECT_GT(r.cycles, Cycles{0});
+    EXPECT_GT(r.sram_reads, Bytes{0});
   }
 }
 
@@ -110,8 +110,7 @@ TEST(TraceVsAnalytical, CloseForRaggedTiles) {
     const TraceResult trace = sim.run(a, b, array);
     const ComputeResult analytical = compute_latency(w, array);
     EXPECT_LE(trace.cycles, analytical.cycles) << to_string(d);
-    EXPECT_GE(static_cast<double>(trace.cycles),
-              0.5 * static_cast<double>(analytical.cycles))
+    EXPECT_GE(trace.cycles / analytical.cycles, 0.5)
         << to_string(d);
   }
 }
@@ -125,7 +124,7 @@ TEST(TraceSim, SramReadCounts) {
   const TraceSimulator sim;
   const TraceResult r = sim.run(a, b, {8, 8, Dataflow::kOutputStationary});
   // Single fold: A reads = 8*16, B reads = 16*8.
-  EXPECT_EQ(r.sram_reads, 8 * 16 + 16 * 8);
+  EXPECT_EQ(r.sram_reads, Bytes{8 * 16 + 16 * 8});
 }
 
 TEST(TraceSim, ShapeMismatchThrows) {

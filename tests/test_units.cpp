@@ -1,0 +1,130 @@
+// Unit tests for the strong quantity types (common/units.hpp): arithmetic
+// that must work, the declared cross-dimension products, zero-overhead
+// guarantees, and the two dimensional-analysis properties the cost models
+// rely on (energy components sum to total; units survive the CSV boundary).
+//
+// The operations that must NOT compile live in tests/compile_fail/ and are
+// exercised by the `compile_fail_*` CTest entries, not here.
+
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "dataset/generator.hpp"
+#include "search/exhaustive.hpp"
+#include "sim/simulator.hpp"
+
+namespace airch {
+namespace {
+
+TEST(Units, SameDimensionArithmetic) {
+  constexpr Cycles a{100};
+  constexpr Cycles b{38};
+  static_assert((a + b).value() == 138);
+  static_assert((a - b).value() == 62);
+  static_assert((-b).value() == -38);
+  Cycles acc{5};
+  acc += Cycles{7};
+  EXPECT_EQ(acc, Cycles{12});
+  acc -= Cycles{2};
+  EXPECT_EQ(acc, Cycles{10});
+  ++acc;
+  EXPECT_EQ(acc, Cycles{11});
+}
+
+TEST(Units, ScalarScaling) {
+  constexpr Bytes b{64};
+  static_assert((b * 3).value() == 192);
+  static_assert((3 * b).value() == 192);
+  static_assert((b / 4).value() == 16);
+  Bytes acc{10};
+  acc *= 5;
+  EXPECT_EQ(acc, Bytes{50});
+}
+
+TEST(Units, RatioIsDimensionlessDouble) {
+  constexpr Cycles fast{100};
+  constexpr Cycles slow{400};
+  static_assert(fast / slow == 0.25);
+  // Double-backed quantities divide the same way.
+  EXPECT_DOUBLE_EQ(Picojoules{3.0} / Picojoules{12.0}, 0.25);
+}
+
+TEST(Units, ComparisonsAndOrdering) {
+  EXPECT_LT(Cycles{1}, Cycles{2});
+  EXPECT_GE(Cycles{2}, Cycles{2});
+  EXPECT_EQ(MacCount{7}, MacCount{7});
+  EXPECT_NE(Bytes{1}, Bytes{2});
+}
+
+TEST(Units, DeclaredCrossProducts) {
+  static_assert((MacCount{1000} * EnergyPerMac{0.2}).value() == 200.0);
+  static_assert((EnergyPerMac{0.2} * MacCount{1000}).value() == 200.0);
+  static_assert((Bytes{100} * EnergyPerByte{1.5}).value() == 150.0);
+  static_assert((EnergyPerByte{1.5} * Bytes{100}).value() == 150.0);
+}
+
+TEST(Units, CeilDivBytesOverBandwidthIsCycles) {
+  // A partially filled beat still occupies the bus for a full cycle.
+  static_assert(ceil_div(Bytes{100}, BytesPerCycle{10}) == Cycles{10});
+  static_assert(ceil_div(Bytes{101}, BytesPerCycle{10}) == Cycles{11});
+  static_assert(ceil_div(Bytes{0}, BytesPerCycle{10}) == Cycles{0});
+}
+
+TEST(Units, CeilDivSameTagIsDimensionlessCount) {
+  static_assert(ceil_div(MacCount{1024}, MacCount{1000}) == 2);
+  static_assert(ceil_div(MacCount{1000}, MacCount{1000}) == 1);
+}
+
+TEST(Units, StreamingAppendsUnitSuffix) {
+  std::ostringstream os;
+  os << Cycles{38} << " / " << Picojoules{1.5} << " / " << Utilization{0.5};
+  EXPECT_EQ(os.str(), "38 cyc / 1.5 pJ / 0.5");
+}
+
+TEST(Units, ZeroOverheadLayout) {
+  // The static_asserts in units.hpp are the real gate; restate the core
+  // claims here so a failure shows up in test output too.
+  EXPECT_EQ(sizeof(Cycles), sizeof(std::int64_t));
+  EXPECT_EQ(sizeof(Picojoules), sizeof(double));
+  EXPECT_TRUE(std::is_trivially_copyable_v<Bytes>);
+}
+
+// ------------------------------------------------------ dimensional props
+// (The 1k-workload energy-sum property lives with the other energy-model
+// coverage in tests/test_energy_sim.cpp.)
+
+TEST(UnitsProperty, QuantitiesRoundTripThroughCsvBoundary) {
+  // The only sanctioned way out of the type system is the serialization
+  // boundary. Generate a labelled dataset, push it through CSV and back,
+  // and check that re-entering the typed world reproduces the identical
+  // typed costs — i.e. nothing is lost or rescaled at the boundary.
+  const ArrayDataflowSpace space(10);
+  const Simulator sim;
+  Case1Config cfg;
+  cfg.budget_min_exp = 4;
+  cfg.budget_max_exp = space.max_macs_exp();
+  const Dataset ds = generate_case1(40, space, sim, cfg, 7);
+
+  const std::string path = ::testing::TempDir() + "units_roundtrip.csv";
+  ds.save_csv(path);
+  const Dataset loaded = Dataset::load_csv(path, space.size());
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.size(), ds.size());
+  const ArrayDataflowSearch search(space, sim);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    ASSERT_EQ(loaded[i].features, ds[i].features);
+    ASSERT_EQ(loaded[i].label, ds[i].label);
+    const Case1Features f = decode_case1(loaded[i].features);
+    const Cycles before = search.cycles_of(decode_case1(ds[i].features).workload, ds[i].label);
+    const Cycles after = search.cycles_of(f.workload, loaded[i].label);
+    EXPECT_EQ(before, after);
+  }
+}
+
+}  // namespace
+}  // namespace airch

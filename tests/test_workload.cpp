@@ -10,7 +10,7 @@ namespace {
 
 TEST(Gemm, OperationCounts) {
   const GemmWorkload w{8, 16, 32};
-  EXPECT_EQ(w.macs(), 8 * 16 * 32);
+  EXPECT_EQ(w.macs(), MacCount{8 * 16 * 32});
   EXPECT_EQ(w.ifmap_elems(), 8 * 32);
   EXPECT_EQ(w.filter_elems(), 32 * 16);
   EXPECT_EQ(w.ofmap_elems(), 8 * 16);

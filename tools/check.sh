@@ -5,7 +5,13 @@
 #
 #   tools/check.sh             # everything (slow: three full builds)
 #   tools/check.sh default     # just the Release build + full test suite
-#   tools/check.sh asan tsan   # any subset of: default asan tsan
+#   tools/check.sh asan tsan   # any subset of: default asan tsan tidy
+#
+# The `tidy` stage (not in the default set: it is a fourth full build)
+# rebuilds the library with clang-tidy attached to every src/ compile
+# (.clang-tidy, AIRCH_CLANG_TIDY=ON). It requires clang-tidy on PATH and
+# is skipped with a notice when the binary is missing — no tooling beyond
+# the stock container is ever required locally; CI installs it and gates.
 #
 # TSan runs only the `tsan`-labelled concurrency suite (the full suite under
 # TSan is prohibitively slow); ASan+UBSan runs the full suite. AIRCH_THREADS
@@ -40,8 +46,18 @@ for stage in "${STAGES[@]}"; do
       TSAN_OPTIONS=halt_on_error=1 AIRCH_THREADS=4 \
         run ctest --test-dir build-tsan -L tsan --output-on-failure
       ;;
+    tidy)
+      if ! command -v clang-tidy >/dev/null 2>&1; then
+        echo "check.sh: clang-tidy not installed — skipping tidy stage" >&2
+        continue
+      fi
+      run cmake --preset tidy
+      run cmake --build build-tidy -j "$JOBS" --target \
+        airch_common airch_workload airch_sim airch_search airch_dataset \
+        airch_ml airch_models airch_core
+      ;;
     *)
-      echo "unknown stage: $stage (want: default asan tsan)" >&2
+      echo "unknown stage: $stage (want: default asan tsan tidy)" >&2
       exit 2
       ;;
   esac

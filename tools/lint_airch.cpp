@@ -8,6 +8,13 @@
 //   pragma-once  every header starts its life with #pragma once
 //   cout         no std::cout in library code (src/); printing belongs to
 //                tools, benches, examples and tests
+//   unit-field   no raw arithmetic struct fields named *_pj / *_cycles /
+//                *_bytes in library code — use the strong quantity types
+//                from common/units.hpp (which itself is exempt)
+//   value-escape no .value() unwrapping in library code outside the
+//                sanctioned serialization/ML boundary (src/dataset/,
+//                src/ml/, src/common/csv.*) — quantities leave the typed
+//                world only where scalars are the contract
 //
 // A violation on one line can be waived with a trailing comment:
 //     code;  // airch-lint: allow(rule)
@@ -129,6 +136,9 @@ const std::regex kRandRe(R"((^|[^A-Za-z0-9_])(srand|rand)\s*\()");
 const std::regex kCastRe(R"(\(\s*(float|double)\s*\)\s*([A-Za-z_][A-Za-z0-9_]*|\(|[0-9][0-9a-fA-FxX.']*))");
 const std::regex kNewDeleteRe(R"((^|[^A-Za-z0-9_])(new|delete)($|[^A-Za-z0-9_]))");
 const std::regex kCoutRe(R"(std\s*::\s*cout)");
+const std::regex kUnitFieldRe(
+    R"(^\s*(?:std\s*::\s*)?(?:double|float|u?int(?:8|16|32|64)?_t|int|long|unsigned|std::size_t|size_t)(?:\s+(?:long|int))*\s+([A-Za-z0-9_]*_(?:pj|cycles|bytes))\s*(?:[;={]|$))");
+const std::regex kValueEscapeRe(R"(\.\s*value\s*\(\s*\))");
 
 // Tokens that legally follow a parenthesized type in a declaration, e.g.
 // `double f(double) const;` — not casts.
@@ -137,7 +147,15 @@ bool is_decl_suffix(const std::string& tok) {
          tok == "throw" || tok == "delete" || tok == "default";
 }
 
-void lint_file(const fs::path& path, bool is_library_code, std::vector<Finding>& findings) {
+/// Per-file lint context derived from the repo-relative path.
+struct FileContext {
+  bool is_library_code = false;  ///< under src/ — stricter rules apply
+  bool units_header = false;     ///< src/common/units.hpp — defines the types
+  bool boundary_code = false;    ///< sanctioned scalar boundary (dataset/ml/csv)
+};
+
+void lint_file(const fs::path& path, const FileContext& ctx, std::vector<Finding>& findings) {
+  const bool is_library_code = ctx.is_library_code;
   std::ifstream in(path);
   if (!in) {
     findings.push_back({path.string(), 0, "io", "cannot open file"});
@@ -184,6 +202,18 @@ void lint_file(const fs::path& path, bool is_library_code, std::vector<Finding>&
       findings.push_back({path.string(), lineno, "cout",
                           "std::cout in library code — return data or take an std::ostream&"});
     }
+    if (is_library_code && !ctx.units_header && !allow.count("unit-field") &&
+        std::regex_search(code, m, kUnitFieldRe)) {
+      findings.push_back({path.string(), lineno, "unit-field",
+                          "raw arithmetic field '" + m[1].str() +
+                              "' — use the strong type from common/units.hpp"});
+    }
+    if (is_library_code && !ctx.units_header && !ctx.boundary_code &&
+        !allow.count("value-escape") && std::regex_search(code, m, kValueEscapeRe)) {
+      findings.push_back({path.string(), lineno, "value-escape",
+                          ".value() outside the serialization/ML boundary — keep the "
+                          "quantity typed or justify with an allow comment"});
+    }
   }
   if (is_header && !saw_pragma_once && !pragma_once_waived) {
     findings.push_back({path.string(), 1, "pragma-once", "header is missing #pragma once"});
@@ -212,7 +242,13 @@ int main(int argc, char** argv) {
       // Never lint generated trees (in-source build leftovers).
       if (entry.path().string().find("CMakeFiles") != std::string::npos) continue;
       ++files;
-      lint_file(entry.path(), dir == "src", findings);
+      const std::string rel = fs::relative(entry.path(), root).generic_string();
+      FileContext ctx;
+      ctx.is_library_code = dir == "src";
+      ctx.units_header = rel == "src/common/units.hpp";
+      ctx.boundary_code = rel.rfind("src/dataset/", 0) == 0 || rel.rfind("src/ml/", 0) == 0 ||
+                          rel.rfind("src/common/csv", 0) == 0;
+      lint_file(entry.path(), ctx, findings);
     }
   }
 
