@@ -1,8 +1,10 @@
 #include "common/parallel.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <exception>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -15,6 +17,11 @@ namespace {
 // Below this trip count the auto-sized overload runs inline: thread spawn
 // cost dwarfs the work.
 constexpr std::size_t kInlineThreshold = 256;
+
+// Dynamic scheduling aims for this many chunks per worker: enough
+// granularity to absorb an order-of-magnitude per-item cost skew, few
+// enough that the atomic fetch_add stays invisible next to the work.
+constexpr std::size_t kChunksPerWorker = 8;
 
 }  // namespace
 
@@ -37,7 +44,49 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size
     fn(0, n);
     return;
   }
-  parallel_for(n, workers, fn);
+  const std::size_t chunk = std::max<std::size_t>(1, n / (workers * kChunksPerWorker));
+  const std::size_t num_chunks = (n + chunk - 1) / chunk;
+  const auto lanes =
+      static_cast<unsigned>(std::min<std::size_t>(workers, num_chunks));
+  std::atomic<std::size_t> next{0};
+  // One error slot per lane, tagged with the chunk begin that threw.
+  // Chunk begins are claimed in ascending order and a lane stops at its
+  // first exception, so the globally lowest throwing chunk is always
+  // executed (by a lane that has not thrown yet) and recorded — the
+  // rethrow below is deterministic even under dynamic scheduling.
+  struct WorkerError {
+    std::size_t begin = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error;
+  };
+  std::vector<WorkerError> errors(lanes);
+  const auto run_lane = [&fn, &errors, &next, n, chunk](unsigned lane) {
+    for (;;) {
+      const std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) break;
+      try {
+        fn(begin, std::min(n, begin + chunk));
+      } catch (...) {
+        errors[lane] = {begin, std::current_exception()};
+        break;
+      }
+    }
+  };
+  // The calling thread is lane 0 and drains chunks alongside the spawned
+  // lanes: it would otherwise idle in join() while having paid for a full
+  // worker's spawn — on short regions the spawn/join overhead is a
+  // measurable slice of the whole pass.
+  std::vector<std::thread> threads;
+  threads.reserve(lanes - 1);
+  for (unsigned w = 1; w < lanes; ++w) {
+    threads.emplace_back([&run_lane, w] { run_lane(w); });
+  }
+  run_lane(0);
+  for (auto& t : threads) t.join();
+  const WorkerError* first = nullptr;
+  for (const auto& e : errors) {
+    if (e.error && (first == nullptr || e.begin < first->begin)) first = &e;
+  }
+  if (first != nullptr) std::rethrow_exception(first->error);
 }
 
 void parallel_for(std::size_t n, unsigned workers,

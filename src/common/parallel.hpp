@@ -1,7 +1,12 @@
 #pragma once
-// Minimal fork-join helper: statically partitions [0, n) across worker
-// threads. Dataset generation and exhaustive search are embarrassingly
-// parallel; this keeps them fast without pulling in a task framework.
+// Minimal fork-join helpers. Dataset generation and exhaustive search are
+// embarrassingly parallel; this keeps them fast without pulling in a task
+// framework. The auto-sized overload hands out chunks dynamically from an
+// atomic counter — labelling cost per item is wildly non-uniform once
+// budget filtering and sweep caching are in play (src/search/sweep_cache),
+// and static partitioning would leave workers idle behind the unluckiest
+// chunk. The explicit-worker overload keeps static disjoint partitioning:
+// the TSan stress suite relies on its deterministic chunk shapes.
 
 #include <cstddef>
 #include <functional>
@@ -16,14 +21,21 @@ unsigned hardware_threads();
 
 /// Invokes fn(begin, end) on disjoint chunks covering [0, n), concurrently.
 /// fn must be thread-safe across chunks. Runs inline when n is small.
-/// If any worker throws, the first exception (lowest chunk index) is
-/// rethrown on the calling thread after all workers have joined.
+/// Chunks are claimed dynamically from an atomic counter, so uneven
+/// per-item costs self-balance; chunk begins are handed out in ascending
+/// order. The calling thread drains chunks as one of the workers instead
+/// of idling in join(). If any worker throws, the exception of the
+/// lowest-begin throwing chunk is rethrown on the calling thread after
+/// all workers have joined.
 void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
 
-/// Same, but with an explicit worker count (>= 1). Always forks `workers`
-/// threads (capped at n), even for tiny n — concurrency stress tests rely
-/// on this to exercise real thread interleavings regardless of core count.
-/// Nesting is allowed: an inner parallel_for simply spawns its own workers.
+/// Static variant with an explicit worker count (>= 1): worker w gets the
+/// single contiguous chunk [w * ceil(n/workers), ...). Always forks
+/// `workers` threads (capped at n), even for tiny n — concurrency stress
+/// tests rely on this to exercise real thread interleavings regardless of
+/// core count, and on the deterministic chunk shapes. Nesting is allowed:
+/// an inner parallel_for simply spawns its own workers. If any worker
+/// throws, the lowest chunk's exception is rethrown after all join.
 void parallel_for(std::size_t n, unsigned workers,
                   const std::function<void(std::size_t, std::size_t)>& fn);
 

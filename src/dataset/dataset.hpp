@@ -34,6 +34,9 @@ class Dataset {
   /// Appends a point; feature arity and label range are validated.
   void add(DataPoint p);
 
+  /// Pre-allocates capacity for `n` points (bulk fills in the generators).
+  void reserve(std::size_t n) { points_.reserve(n); }
+
   void shuffle(Rng& rng) { rng.shuffle(points_); }
 
   /// Splits off the first `fraction` of points (call shuffle first).

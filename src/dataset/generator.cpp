@@ -4,19 +4,37 @@
 
 #include "common/math_utils.hpp"
 #include "common/parallel.hpp"
+#include "search/sweep_cache.hpp"
 
 namespace airch {
 
 namespace {
 /// Sampled inputs are drawn serially (cheap, keeps determinism independent
 /// of thread count); the expensive search labelling runs in parallel.
+/// Labelling goes through the sweep caches (search/sweep_cache.hpp) —
+/// bit-identical to the naive exhaustive searches, property-tested in
+/// tests/test_sweep_cache.cpp — so duplicate sampled workloads cost one
+/// sweep per generation run and case-1/2 sweeps run factored. The dynamic
+/// parallel_for balances the resulting non-uniform per-point cost.
+template <typename Input, typename LabelFn, typename WarmFn>
+void label_parallel(std::vector<Input>& inputs, std::vector<std::int32_t>& labels,
+                    const LabelFn& fn, const WarmFn& warm) {
+  // Issue the cache prefetch a few points ahead so the probe's memory
+  // latency overlaps the current point's sweep.
+  constexpr std::size_t kLookahead = 8;
+  labels.resize(inputs.size());
+  parallel_for(inputs.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (i + kLookahead < end) warm(inputs[i + kLookahead]);
+      labels[i] = fn(inputs[i]);
+    }
+  });
+}
+
 template <typename Input, typename LabelFn>
 void label_parallel(std::vector<Input>& inputs, std::vector<std::int32_t>& labels,
                     const LabelFn& fn) {
-  labels.resize(inputs.size());
-  parallel_for(inputs.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) labels[i] = fn(inputs[i]);
-  });
+  label_parallel(inputs, labels, fn, [](const Input&) {});
 }
 }  // namespace
 
@@ -37,13 +55,17 @@ Dataset generate_case1(std::size_t n, const ArrayDataflowSpace& space, const Sim
     in.workload = sampler.sample(rng);
   }
 
-  ArrayDataflowSearch search(space, sim);
+  Case1SweepCache cache(space, sim, n);
   std::vector<std::int32_t> labels;
-  label_parallel(inputs, labels, [&](const Case1Features& in) {
-    return static_cast<std::int32_t>(search.best(in.workload, in.budget_exp).label);
-  });
+  label_parallel(
+      inputs, labels,
+      [&](const Case1Features& in) {
+        return static_cast<std::int32_t>(cache.best(in.workload, in.budget_exp).label);
+      },
+      [&](const Case1Features& in) { cache.prefetch(in.workload); });
 
   Dataset ds({"budget_exp", "M", "N", "K"}, space.size());
+  ds.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     ds.add({{inputs[i].budget_exp, inputs[i].workload.m, inputs[i].workload.n,
              inputs[i].workload.k},
@@ -84,14 +106,15 @@ Dataset generate_case2(std::size_t n, const BufferSizeSpace& space, const Simula
     in.limit_kb = rng.uniform_int(steps_min, steps_max) * space.step_kb();
   }
 
-  BufferSearch search(space, sim);
+  Case2SweepCache cache(space, sim);
   std::vector<std::int32_t> labels;
   label_parallel(inputs, labels, [&](const Case2Features& in) {
     return static_cast<std::int32_t>(
-        search.best(in.workload, in.array, in.bandwidth, in.limit_kb).label);
+        cache.best(in.workload, in.array, in.bandwidth, in.limit_kb).label);
   });
 
   Dataset ds({"limit_kb", "M", "N", "K", "rows", "cols", "dataflow", "bandwidth"}, space.size());
+  ds.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     const auto& in = inputs[i];
     ds.add({{in.limit_kb, in.workload.m, in.workload.n, in.workload.k, in.array.rows,
@@ -126,9 +149,10 @@ Dataset generate_case3(std::size_t n, const ScheduleSpace& space,
   for (auto& in : inputs) in = sampler.sample_many(rng, static_cast<std::size_t>(w));
 
   ScheduleSearch search(space, arrays, sim);
+  Case3SweepCache cache(search);
   std::vector<std::int32_t> labels;
   label_parallel(inputs, labels, [&](const std::vector<GemmWorkload>& wls) {
-    return static_cast<std::int32_t>(search.best(wls).label);
+    return static_cast<std::int32_t>(cache.best(wls).label);
   });
 
   std::vector<std::string> names;
@@ -143,6 +167,7 @@ Dataset generate_case3(std::size_t n, const ScheduleSpace& space,
     }
   }
   Dataset ds(names, space.size());
+  ds.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     DataPoint p;
     for (const auto& wl : inputs[i]) {

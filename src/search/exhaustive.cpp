@@ -14,16 +14,18 @@ ArrayDataflowSearch::Result ArrayDataflowSearch::best(const GemmWorkload& w,
                                                       int budget_exp) const {
   AIRCH_ASSERT(w.valid());
   Result best{-1, Cycles{std::numeric_limits<std::int64_t>::max()}};
+  MacCount best_macs{std::numeric_limits<std::int64_t>::max()};
   const MacCount budget{pow2(std::min(budget_exp, 62))};
   for (int label = 0; label < space_->size(); ++label) {
     const ArrayConfig& c = space_->config(label);
-    if (c.macs() > budget) continue;
+    const MacCount macs = c.macs();
+    if (macs > budget) continue;
     const Cycles cycles = sim_->compute_cycles(w, c);
     // Ties prefer the smaller array (fewer MACs), then the lower label.
     if (cycles < best.cycles ||
-        (cycles == best.cycles && best.label >= 0 &&
-         c.macs() < space_->config(best.label).macs())) {
+        (cycles == best.cycles && best.label >= 0 && macs < best_macs)) {
       best = {label, cycles};
+      best_macs = macs;
     }
   }
   if (best.label < 0) throw std::invalid_argument("MAC budget below smallest array in space");
@@ -116,8 +118,11 @@ ScheduleSearch::Result ScheduleSearch::best(const std::vector<GemmWorkload>& wor
 
   Result best{-1, Cycles{std::numeric_limits<std::int64_t>::max()},
               Picojoules{std::numeric_limits<double>::max()}};
+  // The Schedule (two vectors) is hoisted out of the 1944-iteration sweep;
+  // config_into reuses its capacity, so the loop body allocates nothing.
+  ScheduleSpace::Schedule s;
   for (int label = 0; label < space_->size(); ++label) {
-    const ScheduleSpace::Schedule s = space_->config(label);
+    space_->config_into(label, s);
     Cycles makespan;
     Picojoules total_energy;
     for (int a = 0; a < n; ++a) {

@@ -124,6 +124,12 @@ ScheduleSpace::ScheduleSpace(int num_arrays) : num_arrays_(num_arrays) {
 }
 
 ScheduleSpace::Schedule ScheduleSpace::config(int label) const {
+  Schedule s;
+  config_into(label, s);
+  return s;
+}
+
+void ScheduleSpace::config_into(int label, Schedule& out) const {
   if (label < 0 || label >= size_) throw std::out_of_range("schedule label out of range");
   std::int64_t df_combos = 1;
   for (int i = 0; i < num_arrays_; ++i) df_combos *= kNumDataflows;
@@ -132,15 +138,14 @@ ScheduleSpace::Schedule ScheduleSpace::config(int label) const {
   AIRCH_DCHECK(perm_idx >= 0 && static_cast<std::size_t>(perm_idx) < permutations_.size(),
                "schedule label decoded to an out-of-range permutation");
 
-  Schedule s;
-  s.workload_of = permutations_[static_cast<std::size_t>(perm_idx)];
-  s.dataflow_of.resize(static_cast<std::size_t>(num_arrays_));
+  out.workload_of = permutations_[static_cast<std::size_t>(perm_idx)];
+  out.dataflow_of.resize(static_cast<std::size_t>(num_arrays_));
   // Base-3 decode, last array least significant.
   for (int a = num_arrays_ - 1; a >= 0; --a) {
-    s.dataflow_of[static_cast<std::size_t>(a)] = dataflow_from_index(static_cast<int>(df_code % 3));
+    out.dataflow_of[static_cast<std::size_t>(a)] =
+        dataflow_from_index(static_cast<int>(df_code % 3));
     df_code /= 3;
   }
-  return s;
 }
 
 int ScheduleSpace::label_of(const Schedule& s) const {

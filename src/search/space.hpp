@@ -28,6 +28,7 @@ class ArrayDataflowSpace {
   /// Inverse of config(); throws std::out_of_range if not in the space.
   int label_of(const ArrayConfig& c) const;
   int max_macs_exp() const { return max_macs_exp_; }
+  int min_exp() const { return min_exp_; }
 
   /// Labels whose array fits a MAC budget of 2^budget_exp.
   std::vector<int> labels_within_budget(int budget_exp) const;
@@ -88,6 +89,10 @@ class ScheduleSpace {
   int num_arrays() const { return num_arrays_; }
   int size() const { return size_; }
   Schedule config(int label) const;
+  /// Allocation-free config(): decodes into `out`, reusing its vectors.
+  /// The 1944-iteration sweep in ScheduleSearch::best hoists its Schedule
+  /// out of the loop and decodes through this overload.
+  void config_into(int label, Schedule& out) const;
   int label_of(const Schedule& s) const;
 
   /// Closed-form size of an x-array scheduling space: 3^x * x! (Fig. 7(b)).

@@ -1,0 +1,388 @@
+#include "search/sweep_cache.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "common/math_utils.hpp"
+#include "sim/compute_model.hpp"
+#include "sim/memory_model.hpp"
+
+namespace airch {
+
+// --------------------------------------------------------------- case 1
+
+namespace {
+
+/// Initial open-addressed capacity per shard; sized so a typical
+/// generation run grows each shard a handful of times at most.
+constexpr std::size_t kInitialSlots = 64;
+
+/// ceil(x / 2^e) without a division, overflow-safe for any x >= 1 (matches
+/// ceil_div's (x - 1) / d + 1 form bit-for-bit for power-of-two divisors).
+inline std::int64_t ceil_shr(std::int64_t x, int e) { return ((x - 1) >> e) + 1; }
+
+/// Dedicated case-1 key hash: position-tagged product mix plus one
+/// avalanche — half the multiplies of the chained I64SeqHash, and this
+/// hash runs twice per query (prefetch + best). Low bits index the probe
+/// slot, top bits pick the shard, so the two never correlate.
+inline std::uint64_t case1_key_hash(const std::array<std::int64_t, 3>& key) {
+  return detail::mix_u64(static_cast<std::uint64_t>(key[0]) * 0x9E3779B97F4A7C15ULL ^
+                         static_cast<std::uint64_t>(key[1]) * 0xC2B2AE3D27D4EB4FULL ^
+                         static_cast<std::uint64_t>(key[2]));
+}
+
+}  // namespace
+
+Case1SweepCache::Case1SweepCache(const ArrayDataflowSpace& space, const Simulator& sim,
+                                 std::size_t expected_workloads)
+    : space_(&space),
+      sim_(&sim),
+      span_cap_(space.max_macs_exp() - 2 * space.min_exp() + 1),
+      shards_(64) {
+  AIRCH_ASSERT(span_cap_ >= 1);
+  // The shard count is baked into the `hash >> 58` shard picks below.
+  AIRCH_ASSERT(shards_.size() == 64);
+  if (expected_workloads == 0) return;
+  // Pre-size each shard for its share of the expected keys plus 25% slack
+  // (key-to-shard assignment is hash-random, so shard counts fluctuate).
+  // Writing the buffers now also faults their pages in, so the hot
+  // labelling loop performs no rehash, no reallocation and no first-touch
+  // page fault; the on-demand growth paths below remain as backstop.
+  const std::size_t per_shard =
+      expected_workloads / shards_.size() + expected_workloads / (shards_.size() * 4) + 1;
+  std::size_t cap = kInitialSlots;
+  while (cap < 2 * per_shard) cap <<= 1;  // keep load factor <= 50%
+  for (Shard& shard : shards_) {
+    shard.slots.resize(cap);
+    shard.pf_base.store(shard.slots.data(), std::memory_order_release);
+    shard.pf_mask.store(cap - 1, std::memory_order_release);
+    // resize-then-clear: touches every page, keeps the capacity.
+    shard.spans.resize(per_shard * static_cast<std::size_t>(span_cap_));
+    shard.spans.clear();
+  }
+}
+
+Case1SweepCache::Slot& Case1SweepCache::find_or_insert(Shard& shard, const Key& key,
+                                                       std::uint64_t hash) const {
+  if (shard.slots.empty()) {
+    shard.slots.resize(kInitialSlots);
+    shard.pf_base.store(shard.slots.data(), std::memory_order_release);
+    shard.pf_mask.store(shard.slots.size() - 1, std::memory_order_release);
+  }
+  std::size_t mask = shard.slots.size() - 1;
+  std::size_t i = hash & mask;
+  while (shard.slots[i].key[0] != 0) {
+    if (shard.slots[i].key == key) return shard.slots[i];
+    i = (i + 1) & mask;
+  }
+  if (2 * (shard.used + 1) > shard.slots.size()) {
+    // Grow at 50% load; rehashing moves 32-byte headers only, spans stay
+    // where they are in the shard's span vector.
+    std::vector<Slot> bigger(shard.slots.size() * 2);
+    mask = bigger.size() - 1;
+    for (const Slot& s : shard.slots) {
+      if (s.key[0] == 0) continue;
+      std::size_t j = case1_key_hash(s.key) & mask;
+      while (bigger[j].key[0] != 0) j = (j + 1) & mask;
+      bigger[j] = s;
+    }
+    shard.slots.swap(bigger);
+    shard.pf_base.store(shard.slots.data(), std::memory_order_release);
+    shard.pf_mask.store(shard.slots.size() - 1, std::memory_order_release);
+    i = hash & mask;
+    while (shard.slots[i].key[0] != 0) i = (i + 1) & mask;
+  }
+  Slot& slot = shard.slots[i];
+  slot.key = key;
+  slot.max_exp = -1;
+  slot.span = static_cast<std::uint32_t>(shard.spans.size() / static_cast<std::size_t>(span_cap_));
+  shard.spans.resize(shard.spans.size() + static_cast<std::size_t>(span_cap_));
+  ++shard.used;
+  return slot;
+}
+
+void Case1SweepCache::extend_table(const GemmWorkload& w, int up_to_exp, int built_exp,
+                                   Result* best) const {
+  const int min_e = space_->min_exp();
+  const int lo = 2 * min_e;  // smallest MAC exponent in the space
+  const int max_a = up_to_exp - min_e;
+  const int start = built_exp >= lo ? built_exp + 1 : lo;
+
+  // Factored compute model (compute_model.hpp): for a shape (2^a x 2^b),
+  //   cycles = fold_cycles(a, b, dataflow) * row_folds(a) * col_folds(b)
+  // where the fold counts depend on one exponent each. Hoisting the
+  // ceil-divisions to one shift pass per exponent turns the per-label
+  // sweep into a few multiply-compares. All scratch below is fixed-size
+  // (exponents are < 63 by the pow2 contract): no allocation anywhere.
+  std::array<std::int64_t, 63> folds_m;
+  std::array<std::int64_t, 63> folds_n;
+  std::array<std::int64_t, 63> folds_k;
+  // Label of the first (lowest-b) shape for each row exponent, in the FULL
+  // space enumeration (labels are ids in the whole space regardless of how
+  // far this table is built): shapes are ordered by (a, b) with 3 dataflow
+  // labels each, and row exponent a owns (max_s - a - min_e + 1) shapes.
+  std::array<int, 63> label_base;
+  {
+    const int max_s = space_->max_macs_exp();
+    int base = 0;
+    for (int a = min_e; a <= max_a; ++a) {
+      const auto ia = static_cast<std::size_t>(a);
+      folds_m[ia] = ceil_shr(w.m, a);
+      folds_n[ia] = ceil_shr(w.n, a);
+      folds_k[ia] = ceil_shr(w.k, a);
+      label_base[ia] = base;
+      base += 3 * (max_s - a - min_e + 1);
+    }
+  }
+
+  // Phase 1: per-diagonal argmin. All shapes with a + b = s share
+  // macs = 2^s; iterating column-major (a outer, b inner) touches a
+  // *different* accumulator slot on every inner step, so the sweep has no
+  // loop-carried dependency and the multiplies pipeline freely. Within a
+  // diagonal the visit order is still ascending a — ascending label — and
+  // within a shape OS/WS/IS are compared in dataflow-index order, both
+  // with strict '<', so equal-cycle ties resolve to the lowest label
+  // exactly like the naive scan (strict-'<' argmin over a fixed visit
+  // order is fold-shape independent).
+  std::array<std::int64_t, 61> acc_cyc;
+  std::array<int, 61> acc_lab;
+  for (int s = start; s <= up_to_exp; ++s) {
+    acc_cyc[static_cast<std::size_t>(s - lo)] = std::numeric_limits<std::int64_t>::max();
+  }
+  for (int a = min_e; a <= max_a; ++a) {
+    const auto ia = static_cast<std::size_t>(a);
+    const std::int64_t fm_a = folds_m[ia];
+    const std::int64_t fk_a = folds_k[ia];
+    // Fill/drain term shared by the three dataflows: OS pays
+    // (rows-1) + (rows+cols-1), WS/IS pay rows + (rows+cols-2) — the
+    // same 2*rows + cols - 2. Only the streamed dimension differs.
+    const std::int64_t overhead_a = (std::int64_t{2} << a) - 2;
+    // Streamed-dimension terms with the row part of the overhead folded in;
+    // the inner loop only adds the column term 2^b.
+    const std::int64_t oh_k = overhead_a + w.k;
+    const std::int64_t oh_m = overhead_a + w.m;
+    const std::int64_t oh_n = overhead_a + w.n;
+    const int label_a = label_base[ia];
+    const int b_lo = std::max(min_e, start - a);  // only diagonals >= start
+    const int b_hi = up_to_exp - a;
+    for (int b = b_lo; b <= b_hi; ++b) {
+      const auto ib = static_cast<std::size_t>(b);
+      const std::int64_t col = std::int64_t{1} << b;
+      const std::int64_t os = (oh_k + col) * (fm_a * folds_n[ib]);
+      const std::int64_t ws = (oh_m + col) * (fk_a * folds_n[ib]);
+      const std::int64_t is = (oh_n + col) * (fk_a * folds_m[ib]);
+      const int label = label_a + 3 * (b - min_e);
+      // Branchless tournament + accumulator update: near-random argmin
+      // outcomes make these compares mispredict constantly as branches, so
+      // keep them as conditional moves (ternary + unconditional store).
+      std::int64_t top_cyc = os;
+      int top_lab = label;
+      const bool ws_lt = ws < top_cyc;
+      top_cyc = ws_lt ? ws : top_cyc;
+      top_lab = ws_lt ? label + 1 : top_lab;
+      const bool is_lt = is < top_cyc;
+      top_cyc = is_lt ? is : top_cyc;
+      top_lab = is_lt ? label + 2 : top_lab;
+      const auto slot = static_cast<std::size_t>(a + b - lo);
+      const bool acc_lt = top_cyc < acc_cyc[slot];
+      acc_cyc[slot] = acc_lt ? top_cyc : acc_cyc[slot];
+      acc_lab[slot] = acc_lt ? top_lab : acc_lab[slot];
+    }
+  }
+
+  // Phase 2: prefix merge across ascending MAC exponents, seeded from the
+  // already-built prefix when extending; strict '<' preserves the
+  // equal-cycles -> fewer-MACs tie-break.
+  int run_label = -1;
+  std::int64_t run_cyc = std::numeric_limits<std::int64_t>::max();
+  if (start > lo) {
+    const Result& prev = best[start - 1 - lo];
+    run_label = prev.label;
+    // Unwrapped on purpose: the merge loop runs on raw int64 so the
+    // compare-and-select compiles to conditional moves.
+    run_cyc = prev.cycles.value();  // airch-lint: allow(value-escape)
+  }
+  for (int s = start; s <= up_to_exp; ++s) {
+    const auto i = static_cast<std::size_t>(s - lo);
+    const bool lt = acc_cyc[i] < run_cyc;
+    run_cyc = lt ? acc_cyc[i] : run_cyc;
+    run_label = lt ? acc_lab[i] : run_label;
+    AIRCH_DCHECK(run_label >= 0, "every MAC-exponent diagonal holds at least one shape");
+    best[i] = {run_label, Cycles{run_cyc}};
+  }
+}
+
+ArrayDataflowSearch::Result Case1SweepCache::best(const GemmWorkload& w, int budget_exp) const {
+  AIRCH_ASSERT(w.valid());
+  const int lo = 2 * space_->min_exp();
+  const int e = std::min(budget_exp, 62);  // naive path clamps identically
+  if (e < lo) throw std::invalid_argument("MAC budget below smallest array in space");
+  const int e_cap = std::min(e, space_->max_macs_exp());
+
+  const Key key{w.m, w.n, w.k};
+  const std::uint64_t hash = case1_key_hash(key);
+  // Top hash bits pick the shard (64 shards): independent of the low
+  // probe-index bits with no second avalanche.
+  Shard& shard = shards_[hash >> 58];
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  Slot& slot = find_or_insert(shard, key, hash);
+  // Pointer computed after find_or_insert: inserting may reallocate spans.
+  Result* const best = shard.spans.data() +
+                       static_cast<std::size_t>(slot.span) * static_cast<std::size_t>(span_cap_);
+  if (slot.max_exp >= e_cap) {
+    ++shard.hits;
+  } else {
+    ++shard.misses;
+    extend_table(w, e_cap, slot.max_exp, best);
+    slot.max_exp = e_cap;
+  }
+  return best[e_cap - lo];
+}
+
+void Case1SweepCache::prefetch(const GemmWorkload& w) const {
+  const Key key{w.m, w.n, w.k};
+  const std::uint64_t hash = case1_key_hash(key);
+  const Shard& shard = shards_[hash >> 58];
+  // Mask before base (see Shard): the index is always in range for the
+  // loaded base. A concurrently retired base may point at a stale array;
+  // the hint then warms a dead line, which is merely wasted work.
+  const std::size_t mask = shard.pf_mask.load(std::memory_order_acquire);
+  const Slot* base = shard.pf_base.load(std::memory_order_acquire);
+  if (base == nullptr) return;
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(base + (hash & mask));
+#endif
+}
+
+CacheStats Case1SweepCache::stats() const {
+  CacheStats s;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    s.hits += shard.hits;
+    s.misses += shard.misses;
+    s.entries += shard.used;
+  }
+  return s;
+}
+
+// --------------------------------------------------------------- case 2
+
+Case2SweepCache::Case2SweepCache(const BufferSizeSpace& space, const Simulator& sim)
+    : space_(&space), sim_(&sim) {}
+
+Case2SweepCache::Table Case2SweepCache::build_table(const GemmWorkload& w,
+                                                    const ArrayConfig& array,
+                                                    std::int64_t bandwidth) const {
+  const int levels = space_->levels();
+  const auto nlevels = static_cast<std::size_t>(levels);
+  const std::int64_t step = space_->step_kb();
+  const ComputeResult compute = compute_latency(w, array);
+  const BytesPerCycle bw{bandwidth};
+
+  const auto probe = [&](std::int64_t if_kb, std::int64_t fil_kb, std::int64_t of_kb) {
+    MemoryConfig mem;
+    mem.ifmap_kb = if_kb;
+    mem.filter_kb = fil_kb;
+    mem.ofmap_kb = of_kb;
+    mem.bandwidth = bandwidth;
+    return memory_behavior(w, array, mem, compute);
+  };
+
+  // The traffic model is separable per buffer (memory_model.hpp): each
+  // operand's DRAM traffic depends on its own capacity only, and the
+  // first-fill is an (ifmap term) + (filter term) sum. Probing one buffer
+  // per call at the others' floor recovers every component exactly:
+  //   first_fill(i, f) = probe_if(i).ff + probe_fil(f).ff - base.ff.
+  const MemoryResult base = probe(step, step, step);
+  std::vector<Bytes> traffic_if(nlevels), traffic_fil(nlevels), traffic_of(nlevels);
+  std::vector<Bytes> fill_if(nlevels), fill_fil(nlevels);
+  for (int l = 0; l < levels; ++l) {
+    const std::int64_t kb = (l + 1) * step;
+    const auto il = static_cast<std::size_t>(l);
+    const MemoryResult pi = probe(kb, step, step);
+    traffic_if[il] = pi.dram_ifmap_bytes;
+    fill_if[il] = pi.first_fill_bytes;
+    const MemoryResult pf = probe(step, kb, step);
+    traffic_fil[il] = pf.dram_filter_bytes;
+    fill_fil[il] = pf.first_fill_bytes - base.first_fill_bytes;
+    traffic_of[il] = probe(step, step, kb).dram_ofmap_bytes;
+  }
+
+  // Combine the 1000 labels with pure integer arithmetic, bucketed by
+  // total capacity so a shared-budget query is a prefix lookup.
+  struct Bucket {
+    int label = -1;
+    Cycles stalls{std::numeric_limits<std::int64_t>::max()};
+  };
+  std::vector<Bucket> buckets(static_cast<std::size_t>(3 * (levels - 1)) + 1);
+  int label = 0;
+  for (int i = 0; i < levels; ++i) {
+    for (int f = 0; f < levels; ++f) {
+      const Bytes traffic_two = traffic_if[static_cast<std::size_t>(i)] +
+                                traffic_fil[static_cast<std::size_t>(f)];
+      const Cycles fill_cycles = ceil_div(
+          fill_if[static_cast<std::size_t>(i)] + fill_fil[static_cast<std::size_t>(f)], bw);
+      for (int o = 0; o < levels; ++o, ++label) {
+        const Cycles transfer_cycles =
+            ceil_div(traffic_two + traffic_of[static_cast<std::size_t>(o)], bw);
+        const Cycles stalls =
+            fill_cycles + std::max(Cycles{0}, transfer_cycles - compute.cycles);
+        Bucket& bk = buckets[static_cast<std::size_t>(i + f + o)];
+        if (stalls < bk.stalls) bk = {label, stalls};
+      }
+    }
+  }
+  AIRCH_DCHECK(label == space_->size(), "buffer combine must visit every label exactly once");
+
+  // Prefix-argmin over ascending total capacity; strict '<' preserves the
+  // naive tie-break (equal stalls -> smaller total capacity).
+  Table t;
+  t.best_by_total.resize(buckets.size());
+  BufferSearch::Result run{-1, Cycles{std::numeric_limits<std::int64_t>::max()},
+                           std::numeric_limits<std::int64_t>::max()};
+  for (std::size_t u = 0; u < buckets.size(); ++u) {
+    const Bucket& bk = buckets[u];
+    AIRCH_DCHECK(bk.label >= 0, "every total-capacity bucket holds at least one label");
+    if (bk.stalls < run.stall_cycles) {
+      run = {bk.label, bk.stalls, (static_cast<std::int64_t>(u) + 3) * step};
+    }
+    t.best_by_total[u] = run;
+  }
+  return t;
+}
+
+BufferSearch::Result Case2SweepCache::best(const GemmWorkload& w, const ArrayConfig& array,
+                                           std::int64_t bandwidth,
+                                           std::int64_t limit_kb) const {
+  AIRCH_ASSERT(w.valid() && array.valid());
+  const std::int64_t step = space_->step_kb();
+  const std::int64_t limit_steps = limit_kb >= 0 ? limit_kb / step : 0;
+  if (limit_steps < 3) {
+    throw std::invalid_argument("buffer limit below smallest size in space");
+  }
+  const Table& table = memo_.get_or_compute(
+      Key{w.m, w.n, w.k, array.rows, array.cols, dataflow_index(array.dataflow), bandwidth},
+      [&] { return build_table(w, array, bandwidth); });
+  const std::int64_t idx =
+      std::min<std::int64_t>(limit_steps, 3 * space_->levels()) - 3;
+  return table.best_by_total[static_cast<std::size_t>(idx)];
+}
+
+// --------------------------------------------------------------- case 3
+
+Case3SweepCache::Case3SweepCache(const ScheduleSearch& search) : search_(&search) {}
+
+ScheduleSearch::Result Case3SweepCache::best(const std::vector<GemmWorkload>& workloads) const {
+  Key key;
+  key.reserve(workloads.size() * 3);
+  for (const GemmWorkload& w : workloads) {
+    key.push_back(w.m);
+    key.push_back(w.n);
+    key.push_back(w.k);
+  }
+  return memo_.get_or_compute(key, [&] { return search_->best(workloads); });
+}
+
+}  // namespace airch

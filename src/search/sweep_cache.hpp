@@ -1,0 +1,293 @@
+#pragma once
+// Search acceleration layer for dataset labelling (docs/performance.md).
+//
+// Dataset generation is the repo's hottest path: every labelled point runs
+// a full exhaustive sweep of the case study's output space (459 sims for
+// case 1, 1000 for case 2, 16*3 sims + 1944 combinations for case 3) —
+// exactly the simulate-per-config loop the paper amortizes away with a
+// learned recommender. This layer amortizes it *before* learning, without
+// changing a single label:
+//
+//   * Case 1: the per-label cycle counts are independent of the MAC
+//     budget, and the compute model factors per label into
+//     fold_cycles(a, b) * row_folds(a) * col_folds(b) over shape exponents
+//     (a, b). One cheap factored pass per unique workload builds a
+//     prefix-argmin table indexed by budget exponent (labels grouped by
+//     MAC count ascending), after which any covered `budget_exp` query is
+//     O(1). Tables are stored in a sharded open-addressed slot table with
+//     arena-backed spans and are built *in place* under the shard lock,
+//     lazily up to the highest budget queried so far (monotone coverage):
+//     a fresh workload costs no more than the naive path's own
+//     budget-filtered scan and zero per-query heap allocations, and a
+//     later larger budget extends the existing prefix incrementally.
+//   * Case 2: DRAM traffic is separable per buffer (memory_model.hpp), so
+//     3 * levels probe simulations recover every per-level traffic and
+//     first-fill component; the 1000 label costs are then cheap integer
+//     combines, folded into a prefix-argmin table indexed by the quantized
+//     shared-capacity limit. Any `limit_kb` query is O(1).
+//   * Case 3: the full ScheduleSearch::best result is memoized per
+//     canonicalized workload vector.
+//
+// All three caches are sharded, mutex-striped concurrent memo tables
+// (cases 2/3 share the node-based ShardedMemoCache; case 1 uses the
+// open-addressed variant above), so the log-uniform sampler's duplicate
+// workloads hit cache across a whole generation run from any worker
+// thread. Correctness bar: labels (and costs) are bit-identical to the
+// naive exhaustive path — enforced by the property tests in
+// tests/test_sweep_cache.cpp.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "search/exhaustive.hpp"
+#include "search/space.hpp"
+#include "sim/simulator.hpp"
+#include "workload/gemm.hpp"
+
+namespace airch {
+
+/// Hit/miss counters and live entry count of a memo table. Hits and misses
+/// are tallied with relaxed atomics: exact totals, no ordering guarantees.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t entries = 0;
+};
+
+namespace detail {
+
+/// SplitMix64-style avalanche; good enough to spread near-identical keys
+/// (small GEMM dims differ in few low bits) across shards and buckets.
+constexpr std::uint64_t mix_u64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  return mix_u64(h ^ (v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2)));
+}
+
+/// Hash over any container of int64 (fixed keys and workload vectors).
+struct I64SeqHash {
+  template <typename Seq>
+  std::size_t operator()(const Seq& seq) const {
+    std::uint64_t h = 0x243F6A8885A308D3ULL;
+    for (const std::int64_t v : seq) h = hash_combine(h, static_cast<std::uint64_t>(v));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace detail
+
+/// Sharded, mutex-striped concurrent memoization table. Lookups take one
+/// shard lock; values are computed *outside* any lock, so a miss never
+/// blocks other shards (or even other keys of the same shard for long).
+/// Two threads racing on the same fresh key may both compute; the first
+/// insert wins and both observe the same (deterministic) value — callers
+/// must therefore pass pure compute functions. Values live directly in the
+/// (node-based) map, so the returned reference stays valid for the cache's
+/// lifetime; entries are never evicted.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedMemoCache {
+ public:
+  /// shard_count is rounded up to a power of two; 0 picks the default (64,
+  /// comfortably above any parallel_for worker count this repo deploys).
+  explicit ShardedMemoCache(std::size_t shard_count = 0)
+      : shards_(pow2_at_least(shard_count == 0 ? 64 : shard_count)) {}
+
+  template <typename Fn>
+  const Value& get_or_compute(const Key& key, const Fn& compute) {
+    Shard& shard = shards_[shard_index(key)];
+    {
+      const std::lock_guard<std::mutex> lock(shard.mu);
+      const auto it = shard.map.find(key);
+      if (it != shard.map.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    Value value = compute();
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.map.emplace(key, std::move(value)).first->second;
+  }
+
+  CacheStats stats() const {
+    CacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    for (const Shard& shard : shards_) {
+      const std::lock_guard<std::mutex> lock(shard.mu);
+      s.entries += shard.map.size();
+    }
+    return s;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Value, Hash> map;
+  };
+
+  static std::size_t pow2_at_least(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  std::size_t shard_index(const Key& key) const {
+    // Re-avalanche the map hash so shard index and bucket index do not
+    // correlate (both would otherwise use the same low bits).
+    return detail::mix_u64(static_cast<std::uint64_t>(Hash{}(key))) & (shards_.size() - 1);
+  }
+
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+// --------------------------------------------------------------- case 1
+
+/// Constant-amortized drop-in for ArrayDataflowSearch::best. Thread-safe;
+/// share one instance across all labelling workers of a generation run.
+///
+/// Storage is an open-addressed slot table per shard (power-of-two size,
+/// linear probing, grown at 50% load) whose 32-byte slots index fixed-size
+/// spans in one contiguous per-shard vector:
+/// best[e - min_sum_exp] = argmin over labels with MAC exponent <= e, with
+/// equal-cycle ties resolving to fewer MACs then lower label exactly like
+/// the naive label-order scan. A span is built lazily — and *in place*,
+/// under the shard lock — up to the highest budget exponent queried so far
+/// for its workload, so a fresh query does work proportional to its own
+/// budget (like the naive filtered scan), a later larger budget continues
+/// the prefix scan from the stored bound, and steady-state queries perform
+/// no heap allocation. Builds are sub-microsecond, so holding the shard
+/// lock across them is cheaper than the allocate-outside-and-merge dance
+/// it replaces; probing, building, and copying the answer out all happen
+/// under that one lock. Entries are never evicted.
+class Case1SweepCache {
+ public:
+  /// `expected_workloads` pre-sizes the shard tables for that many unique
+  /// workloads (plus slack): the labelling loop then sees no slot rehash,
+  /// no span reallocation and no first-touch page fault — that cost all
+  /// lands here in the constructor, before any worker starts. 0 starts
+  /// minimal and grows on demand.
+  Case1SweepCache(const ArrayDataflowSpace& space, const Simulator& sim,
+                  std::size_t expected_workloads = 0);
+
+  /// Bit-identical to ArrayDataflowSearch::best(w, budget_exp), including
+  /// the fewer-MACs / lower-label tie-break and the infeasible-budget
+  /// std::invalid_argument. O(1) after the first covering query for a
+  /// workload.
+  ArrayDataflowSearch::Result best(const GemmWorkload& w, int budget_exp) const;
+
+  /// Hint that best(w, ...) is coming soon: issues a prefetch for w's home
+  /// probe slot without taking the shard lock (reads no slot contents, so
+  /// the race-free guarantee is untouched). Bulk labelling loops call this
+  /// a few queries ahead to hide the probe's cache miss.
+  void prefetch(const GemmWorkload& w) const;
+
+  CacheStats stats() const;
+
+ private:
+  using Result = ArrayDataflowSearch::Result;
+  using Key = std::array<std::int64_t, 3>;
+
+  /// 32-byte probe header; the span itself lives in the shard's `spans`
+  /// vector at index `span * span_cap_`, computable from the header alone
+  /// (no pointer chase). key[0] == 0 marks an empty slot — valid workloads
+  /// have m >= 1.
+  struct Slot {
+    Key key{};
+    std::int32_t max_exp = -1;  // highest MAC exponent built so far
+    std::uint32_t span = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Slot> slots;  // pow2 size, linear probing, <= 50% load
+    std::size_t used = 0;
+    std::vector<Result> spans;  // span i occupies [i*span_cap, +span_cap)
+    // Plain counters: every touch happens under `mu`, no atomics needed.
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    // Lock-free snapshot of (slots.data(), size-1) for prefetch(). Writers
+    // publish base before mask; readers load mask before base, so a
+    // reader's base is always at least as new as its mask and the computed
+    // address stays inside the base's allocation.
+    std::atomic<const Slot*> pf_base{nullptr};
+    std::atomic<std::size_t> pf_mask{0};
+  };
+
+  Slot& find_or_insert(Shard& shard, const Key& key, std::uint64_t hash) const;
+
+  /// Continue the prefix-argmin scan of `best` from `built_exp` (-1 for a
+  /// fresh span) up to `up_to_exp`. Pure integer arithmetic; never throws.
+  void extend_table(const GemmWorkload& w, int up_to_exp, int built_exp, Result* best) const;
+
+  const ArrayDataflowSpace* space_;
+  const Simulator* sim_;
+  int span_cap_;  // entries per span: max_macs_exp - 2*min_exp + 1
+  mutable std::vector<Shard> shards_;
+};
+
+// --------------------------------------------------------------- case 2
+
+/// Constant-amortized drop-in for BufferSearch::best: per unique
+/// (workload, array, bandwidth) the separable traffic model is probed once
+/// per buffer level and folded into a limit-indexed prefix-argmin table.
+class Case2SweepCache {
+ public:
+  Case2SweepCache(const BufferSizeSpace& space, const Simulator& sim);
+
+  /// Bit-identical to BufferSearch::best(w, array, bandwidth, limit_kb).
+  BufferSearch::Result best(const GemmWorkload& w, const ArrayConfig& array,
+                            std::int64_t bandwidth, std::int64_t limit_kb) const;
+
+  CacheStats stats() const { return memo_.stats(); }
+
+ private:
+  /// best_by_total[t - 3] = argmin over labels with total capacity
+  /// <= t * step_kb, for t in [3, 3 * levels].
+  struct Table {
+    std::vector<BufferSearch::Result> best_by_total;
+  };
+
+  Table build_table(const GemmWorkload& w, const ArrayConfig& array,
+                    std::int64_t bandwidth) const;
+
+  using Key = std::array<std::int64_t, 7>;
+  const BufferSizeSpace* space_;
+  const Simulator* sim_;
+  mutable ShardedMemoCache<Key, Table, detail::I64SeqHash> memo_;
+};
+
+// --------------------------------------------------------------- case 3
+
+/// Memoized ScheduleSearch::best keyed on the canonicalized workload
+/// vector. The sweep itself stays in ScheduleSearch (which hoists its
+/// per-label allocations); this cache removes repeat sweeps entirely.
+class Case3SweepCache {
+ public:
+  explicit Case3SweepCache(const ScheduleSearch& search);
+
+  /// Bit-identical to ScheduleSearch::best(workloads).
+  ScheduleSearch::Result best(const std::vector<GemmWorkload>& workloads) const;
+
+  CacheStats stats() const { return memo_.stats(); }
+
+ private:
+  using Key = std::vector<std::int64_t>;
+  const ScheduleSearch* search_;
+  mutable ShardedMemoCache<Key, ScheduleSearch::Result, detail::I64SeqHash> memo_;
+};
+
+}  // namespace airch

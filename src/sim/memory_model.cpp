@@ -113,6 +113,7 @@ MemoryResult memory_behavior(const GemmWorkload& w, const ArrayConfig& array,
   r.dram_filter_bytes = t.filter;
   r.dram_ofmap_bytes = t.ofmap;
   r.sram_bytes = t.sram;
+  r.first_fill_bytes = t.first_fill;
 
   // Traffic components are counts of fetched bytes: a negative value means
   // a reuse formula above went wrong (e.g. retained > stripe) or overflowed.

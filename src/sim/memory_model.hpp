@@ -38,6 +38,7 @@ struct MemoryResult {
   Bytes dram_filter_bytes;
   Bytes dram_ofmap_bytes;  ///< includes partial-sum spill traffic
   Bytes sram_bytes;        ///< operand bytes streamed through SRAM
+  Bytes first_fill_bytes;  ///< un-hideable first-tile fill (ifmap + filter terms)
   Cycles stall_cycles;
 
   Bytes dram_total_bytes() const {

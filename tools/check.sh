@@ -5,7 +5,12 @@
 #
 #   tools/check.sh             # everything (slow: three full builds)
 #   tools/check.sh default     # just the Release build + full test suite
-#   tools/check.sh asan tsan   # any subset of: default asan tsan tidy
+#   tools/check.sh asan tsan   # any subset of: default bench asan tsan tidy
+#
+# The `bench` stage (in the default set; needs the default stage's build)
+# runs a tiny-points smoke of bench_dataset_throughput — which asserts
+# cached and naive labels are identical before reporting — and validates
+# that the emitted JSON parses when python3 is available.
 #
 # The `tidy` stage (not in the default set: it is a fourth full build)
 # rebuilds the library with clang-tidy attached to every src/ compile
@@ -21,7 +26,7 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 STAGES=("$@")
-if [ ${#STAGES[@]} -eq 0 ]; then STAGES=(default asan tsan); fi
+if [ ${#STAGES[@]} -eq 0 ]; then STAGES=(default bench asan tsan); fi
 
 run() { echo "+ $*" >&2; "$@"; }
 
@@ -31,6 +36,17 @@ for stage in "${STAGES[@]}"; do
       run cmake --preset checked
       run cmake --build build-checked -j "$JOBS"
       run ctest --test-dir build-checked --output-on-failure -j "$JOBS"
+      ;;
+    bench)
+      run cmake --preset checked
+      run cmake --build build-checked -j "$JOBS" --target bench_dataset_throughput
+      run ./build-checked/bench/bench_dataset_throughput \
+        --points=300 --reps=1 --out=build-checked/BENCH_dataset_smoke.json >/dev/null
+      if command -v python3 >/dev/null 2>&1; then
+        run python3 -c "import json,sys; d=json.load(open('build-checked/BENCH_dataset_smoke.json')); sys.exit(0 if d['bench']=='dataset_throughput' and len(d['results'])==6 and 'case1' in d['speedup'] else 1)"
+      else
+        echo "check.sh: python3 not installed — skipping bench JSON validation" >&2
+      fi
       ;;
     asan)
       run cmake --preset asan
@@ -42,7 +58,7 @@ for stage in "${STAGES[@]}"; do
     tsan)
       run cmake --preset tsan
       run cmake --build build-tsan -j "$JOBS" --target \
-        test_parallel test_sanitizer_stress lint_airch
+        test_parallel test_sanitizer_stress test_sweep_cache lint_airch
       TSAN_OPTIONS=halt_on_error=1 AIRCH_THREADS=4 \
         run ctest --test-dir build-tsan -L tsan --output-on-failure
       ;;
@@ -57,7 +73,7 @@ for stage in "${STAGES[@]}"; do
         airch_ml airch_models airch_core
       ;;
     *)
-      echo "unknown stage: $stage (want: default asan tsan tidy)" >&2
+      echo "unknown stage: $stage (want: default bench asan tsan tidy)" >&2
       exit 2
       ;;
   esac
