@@ -11,10 +11,18 @@
 // the timed region, exactly as in dataset/generator.cpp — so the reported
 // number is always a cold, full labelling pass, never a warm re-query.
 //
+// The input mix is a mixed-duplicate stream: with probability --dup each
+// point's cache-key features are resampled from a small pool (64 entries,
+// the same shape the property tests use), mirroring the log-uniform
+// sampler's natural collision rate at dataset scale. Both modes label the
+// identical inputs, so the naive baseline is unaffected; the cached path's
+// hit rate is what the duplicates exercise.
+//
 // Emits machine-readable JSON (default BENCH_dataset.json); each record:
 //   {"case", "mode", "points", "seconds", "points_per_sec", "threads"}
-// with a "speedup" summary per case. tools/check.sh runs a tiny-points
-// smoke of this binary and validates the JSON parses.
+// with a "speedup" summary per case and the "dup_fraction" used.
+// tools/check.sh runs a tiny-points smoke of this binary and validates the
+// JSON parses.
 
 #include <chrono>
 #include <cstdlib>
@@ -96,11 +104,26 @@ std::string json_escape_free_number(double v) {
   return os.str();
 }
 
+/// Duplicate-aware sampling: with probability `dup` re-draw from `pool`;
+/// otherwise take `fresh()` and (pool-capacity permitting) remember it.
+/// Matches the draw_workload mix in tests/test_sweep_cache.cpp.
+template <typename T, typename FreshFn>
+T draw_mixed(Rng& rng, double dup, std::vector<T>& pool, const FreshFn& fresh) {
+  if (!pool.empty() && rng.uniform() < dup) {
+    return pool[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+  }
+  T v = fresh();
+  if (pool.size() < 64) pool.push_back(v);
+  return v;
+}
+
 void emit_json(const std::string& path, const std::vector<Record>& records,
-               std::int64_t threads, std::int64_t reps) {
+               std::int64_t threads, std::int64_t reps, double dup) {
   std::ostringstream os;
   os << "{\n  \"bench\": \"dataset_throughput\",\n  \"threads\": " << threads
-     << ",\n  \"reps\": " << reps << ",\n  \"results\": [\n";
+     << ",\n  \"reps\": " << reps
+     << ",\n  \"dup_fraction\": " << json_escape_free_number(dup) << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const Record& r = records[i];
     os << "    {\"case\": \"" << r.case_name << "\", \"mode\": \"" << r.mode
@@ -132,6 +155,7 @@ int main(int argc, char** argv) {
   args.flag_i64("points", 10000, "points to label per case study");
   args.flag_i64("threads", 4, "worker threads (pins AIRCH_THREADS)");
   args.flag_i64("reps", 3, "timed passes per mode; the fastest is reported");
+  args.flag_f64("dup", 0.3, "probability a point's cache-key features repeat from a 64-entry pool");
   args.flag_i64("seed", 42, "RNG seed for input sampling");
   args.flag_str("out", "BENCH_dataset.json", "output JSON path");
   args.parse(argc, argv);
@@ -140,6 +164,7 @@ int main(int argc, char** argv) {
   const std::int64_t reps = std::max<std::int64_t>(1, args.i64("reps"));
   const std::int64_t threads = args.i64("threads");
   const auto workers = static_cast<unsigned>(threads);
+  const double dup = args.f64("dup");
   const auto seed = static_cast<std::uint64_t>(args.i64("seed"));
   // Pin the auto-sized parallel_for to the requested width so "cached" and
   // "naive" modes use the same number of workers.
@@ -155,9 +180,10 @@ int main(int argc, char** argv) {
     Rng rng(seed);
     LogUniformGemmSampler sampler(cfg.dims);
     std::vector<Case1Features> inputs(n);
+    std::vector<GemmWorkload> pool;  // case-1 cache key: the workload
     for (auto& in : inputs) {
       in.budget_exp = static_cast<int>(rng.uniform_int(cfg.budget_min_exp, cfg.budget_max_exp));
-      in.workload = sampler.sample(rng);
+      in.workload = draw_mixed(rng, dup, pool, [&] { return sampler.sample(rng); });
     }
 
     std::vector<int> naive_labels(n), cached_labels(n);
@@ -176,8 +202,9 @@ int main(int argc, char** argv) {
       return [&, cache] {
         parallel_for(n, [&, cache](std::size_t b, std::size_t e) {
           for (std::size_t i = b; i < e; ++i) {
-            // Same lookahead prefetch the dataset generator uses.
-            if (i + 8 < e) cache->prefetch(inputs[i + 8].workload);
+            // Same lookahead prefetch (and global-count clamp) the dataset
+            // generator uses.
+            if (i + 8 < n) cache->prefetch(inputs[i + 8].workload);
             cached_labels[i] = cache->best(inputs[i].workload, inputs[i].budget_exp).label;
           }
         });
@@ -193,15 +220,24 @@ int main(int argc, char** argv) {
     Rng rng(seed);
     LogUniformGemmSampler sampler(cfg.dims);
     std::vector<Case2Features> inputs(n);
+    // The case-2 cache key is (workload, array, bandwidth); the duplicate
+    // pool carries that whole tuple. The capacity limit is NOT part of the
+    // key — a repeated tuple with a fresh limit still hits the same table,
+    // which is exactly the reuse the prefix-argmin layout exists for.
+    std::vector<Case2Features> pool;
     for (auto& in : inputs) {
-      in.workload = sampler.sample(rng);
-      const int macs_exp =
-          static_cast<int>(rng.uniform_int(cfg.array_macs_min_exp, cfg.array_macs_max_exp));
-      const int row_exp = static_cast<int>(rng.uniform_int(1, macs_exp - 1));
-      in.array.rows = std::int64_t{1} << row_exp;
-      in.array.cols = std::int64_t{1} << (macs_exp - row_exp);
-      in.array.dataflow = dataflow_from_index(static_cast<int>(rng.uniform_int(0, 2)));
-      in.bandwidth = rng.uniform_int(cfg.bw_min, cfg.bw_max);
+      in = draw_mixed(rng, dup, pool, [&] {
+        Case2Features f;
+        f.workload = sampler.sample(rng);
+        const int macs_exp =
+            static_cast<int>(rng.uniform_int(cfg.array_macs_min_exp, cfg.array_macs_max_exp));
+        const int row_exp = static_cast<int>(rng.uniform_int(1, macs_exp - 1));
+        f.array.rows = std::int64_t{1} << row_exp;
+        f.array.cols = std::int64_t{1} << (macs_exp - row_exp);
+        f.array.dataflow = dataflow_from_index(static_cast<int>(rng.uniform_int(0, 2)));
+        f.bandwidth = rng.uniform_int(cfg.bw_min, cfg.bw_max);
+        return f;
+      });
       const std::int64_t steps_min = cfg.limit_min_kb / space.step_kb();
       const std::int64_t steps_max = cfg.limit_max_kb / space.step_kb();
       in.limit_kb = rng.uniform_int(steps_min, steps_max) * space.step_kb();
@@ -241,8 +277,19 @@ int main(int argc, char** argv) {
     Rng rng(seed);
     LogUniformGemmSampler sampler(cfg.dims);
     std::vector<std::vector<GemmWorkload>> inputs(n);
+    // Two duplicate granularities, matching the cache's two memo levels:
+    // whole vectors repeat (level-2 memo hits) and, within fresh vectors,
+    // individual workloads repeat (level-1 per-workload simulation hits).
+    std::vector<std::vector<GemmWorkload>> vec_pool;
+    std::vector<GemmWorkload> wl_pool;
     for (auto& in : inputs) {
-      in = sampler.sample_many(rng, static_cast<std::size_t>(space.num_arrays()));
+      in = draw_mixed(rng, dup, vec_pool, [&] {
+        std::vector<GemmWorkload> wls;
+        for (int a = 0; a < space.num_arrays(); ++a) {
+          wls.push_back(draw_mixed(rng, dup, wl_pool, [&] { return sampler.sample(rng); }));
+        }
+        return wls;
+      });
     }
 
     std::vector<int> naive_labels(n), cached_labels(n);
@@ -265,6 +312,6 @@ int main(int argc, char** argv) {
     require_equal_labels("case3", naive_labels, cached_labels);
   }
 
-  emit_json(args.str("out"), records, threads, reps);
+  emit_json(args.str("out"), records, threads, reps, dup);
   return 0;
 }

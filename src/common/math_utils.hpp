@@ -41,6 +41,55 @@ constexpr std::int64_t pow2(int e) {
   return std::int64_t{1} << e;
 }
 
+/// Division by a loop-invariant positive divisor, precomputed once and then
+/// answered with one widening multiply plus a single upward correction
+/// (Granlund–Montgomery reciprocal). The sweep-cache combine loops divide
+/// thousands of traffic sums by the same DRAM bandwidth per table build;
+/// hardware 64-bit division there costs more than the rest of the loop
+/// body. floor_div(x) == x / d and ceil_div(x) == airch::ceil_div(x, d)
+/// bit-for-bit for all 0 <= x < 2^62 (proof sketch: the truncated
+/// reciprocal underestimates 2^64/d by less than d/2^64, so the computed
+/// quotient trails floor(x/d) by at most one; the remainder test restores
+/// it, and it never overshoots).
+class InvariantDiv {
+ public:
+  explicit InvariantDiv(std::int64_t d) : d_(static_cast<std::uint64_t>(d)) {
+    AIRCH_ASSERT(d > 0);
+    if ((d_ & (d_ - 1)) == 0) {
+      shift_ = log2_floor(d);
+    } else {
+#if defined(__SIZEOF_INT128__)
+      magic_ = static_cast<std::uint64_t>(
+          (static_cast<unsigned __int128>(1) << 64) / d_);
+#endif
+    }
+  }
+
+  std::int64_t floor_div(std::int64_t x) const {
+    AIRCH_DCHECK(x >= 0, "InvariantDiv domain is non-negative dividends");
+    const auto ux = static_cast<std::uint64_t>(x);
+    if (magic_ == 0) return static_cast<std::int64_t>(ux >> shift_);
+#if defined(__SIZEOF_INT128__)
+    auto q = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(ux) * magic_) >> 64);
+    if (ux - q * d_ >= d_) ++q;  // reciprocal truncation: at most one short
+    return static_cast<std::int64_t>(q);
+#else
+    return static_cast<std::int64_t>(ux / d_);
+#endif
+  }
+
+  /// Matches airch::ceil_div(x, d) for x >= 0.
+  std::int64_t ceil_div(std::int64_t x) const {
+    return floor_div(x + static_cast<std::int64_t>(d_) - 1);
+  }
+
+ private:
+  std::uint64_t d_;
+  std::uint64_t magic_ = 0;  // 0 selects the power-of-two shift path
+  int shift_ = 0;
+};
+
 /// Geometric mean of strictly positive values; returns 0 for empty input.
 double geomean(const std::vector<double>& xs);
 

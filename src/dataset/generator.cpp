@@ -20,12 +20,17 @@ template <typename Input, typename LabelFn, typename WarmFn>
 void label_parallel(std::vector<Input>& inputs, std::vector<std::int32_t>& labels,
                     const LabelFn& fn, const WarmFn& warm) {
   // Issue the cache prefetch a few points ahead so the probe's memory
-  // latency overlaps the current point's sweep.
+  // latency overlaps the current point's sweep. The lookahead clamps
+  // against the *global* input count, not the chunk end: the dynamic
+  // parallel_for hands out small chunks, and clamping at the chunk end
+  // left the last kLookahead points of every chunk — a sizeable share of
+  // all points — unwarmed. The caches are shared, so warming a point that
+  // another worker ends up labelling still helps.
   constexpr std::size_t kLookahead = 8;
   labels.resize(inputs.size());
   parallel_for(inputs.size(), [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
-      if (i + kLookahead < end) warm(inputs[i + kLookahead]);
+      if (i + kLookahead < inputs.size()) warm(inputs[i + kLookahead]);
       labels[i] = fn(inputs[i]);
     }
   });

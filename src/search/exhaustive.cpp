@@ -104,14 +104,11 @@ ScheduleSearch::Result ScheduleSearch::best(const std::vector<GemmWorkload>& wor
   std::vector<Picojoules> energy(static_cast<std::size_t>(n * n * 3));
   for (int a = 0; a < n; ++a) {
     for (int wl = 0; wl < n; ++wl) {
+      const DataflowCosts c = dataflow_costs(a, workloads[static_cast<std::size_t>(wl)]);
       for (int d = 0; d < 3; ++d) {
-        ArrayConfig cfg = arrays_[static_cast<std::size_t>(a)].array;
-        cfg.dataflow = dataflow_from_index(d);
-        const SimResult sr = sim_->simulate(workloads[static_cast<std::size_t>(wl)], cfg,
-                                            arrays_[static_cast<std::size_t>(a)].memory);
         const auto idx = static_cast<std::size_t>((a * n + wl) * 3 + d);
-        cycles[idx] = sr.total_cycles();
-        energy[idx] = sr.energy.total();
+        cycles[idx] = c.cycles[static_cast<std::size_t>(d)];
+        energy[idx] = c.energy[static_cast<std::size_t>(d)];
       }
     }
   }
@@ -138,6 +135,21 @@ ScheduleSearch::Result ScheduleSearch::best(const std::vector<GemmWorkload>& wor
     }
   }
   return best;
+}
+
+ScheduleSearch::DataflowCosts ScheduleSearch::dataflow_costs(int array_idx,
+                                                             const GemmWorkload& w) const {
+  AIRCH_ASSERT(array_idx >= 0 && array_idx < static_cast<int>(arrays_.size()));
+  DataflowCosts c;
+  for (int d = 0; d < 3; ++d) {
+    ArrayConfig cfg = arrays_[static_cast<std::size_t>(array_idx)].array;
+    cfg.dataflow = dataflow_from_index(d);
+    const SimResult sr =
+        sim_->simulate(w, cfg, arrays_[static_cast<std::size_t>(array_idx)].memory);
+    c.cycles[static_cast<std::size_t>(d)] = sr.total_cycles();
+    c.energy[static_cast<std::size_t>(d)] = sr.energy.total();
+  }
+  return c;
 }
 
 ScheduleSearch::Result ScheduleSearch::evaluate(const std::vector<GemmWorkload>& workloads,

@@ -6,6 +6,7 @@
 // are stable across runs: best cost, then the case-study-specific
 // secondary objective, then the lowest label id.
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -103,7 +104,18 @@ class ScheduleSearch {
   /// Cost of one schedule label (used to score predictions).
   Result evaluate(const std::vector<GemmWorkload>& workloads, int label) const;
 
+  /// Per-dataflow cost of running `w` on array `array_idx` — exactly the
+  /// simulations best() folds over, exposed as a unit so the sweep cache
+  /// (search/sweep_cache) can memoize them per (array, workload) and share
+  /// them across distinct workload vectors.
+  struct DataflowCosts {
+    std::array<Cycles, 3> cycles;
+    std::array<Picojoules, 3> energy;
+  };
+  DataflowCosts dataflow_costs(int array_idx, const GemmWorkload& w) const;
+
   const std::vector<ScheduledArray>& arrays() const { return arrays_; }
+  const ScheduleSpace& space() const { return *space_; }
 
  private:
   const ScheduleSpace* space_;

@@ -123,6 +123,13 @@ ScheduleSpace::ScheduleSpace(int num_arrays) : num_arrays_(num_arrays) {
   size_ = static_cast<int>(static_cast<std::int64_t>(permutations_.size()) * df_combos);
 }
 
+const std::vector<int>& ScheduleSpace::permutation(int perm_index) const {
+  if (perm_index < 0 || static_cast<std::size_t>(perm_index) >= permutations_.size()) {
+    throw std::out_of_range("permutation index out of range");
+  }
+  return permutations_[static_cast<std::size_t>(perm_index)];
+}
+
 ScheduleSpace::Schedule ScheduleSpace::config(int label) const {
   Schedule s;
   config_into(label, s);

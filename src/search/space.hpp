@@ -88,6 +88,13 @@ class ScheduleSpace {
 
   int num_arrays() const { return num_arrays_; }
   int size() const { return size_; }
+  /// Number of workload-to-array assignments (num_arrays! permutations).
+  int num_permutations() const { return static_cast<int>(permutations_.size()); }
+  /// Permutations in lexicographic order — the label-major axis:
+  /// label = perm_index * 3^num_arrays + dataflow_code. The factored
+  /// schedule fold in search/sweep_cache walks them directly instead of
+  /// decoding every label through config_into.
+  const std::vector<int>& permutation(int perm_index) const;
   Schedule config(int label) const;
   /// Allocation-free config(): decodes into `out`, reusing its vectors.
   /// The 1944-iteration sweep in ScheduleSearch::best hoists its Schedule

@@ -21,20 +21,30 @@
 //     budget-filtered scan and zero per-query heap allocations, and a
 //     later larger budget extends the existing prefix incrementally.
 //   * Case 2: DRAM traffic is separable per buffer (memory_model.hpp), so
-//     3 * levels probe simulations recover every per-level traffic and
-//     first-fill component; the 1000 label costs are then cheap integer
-//     combines, folded into a prefix-argmin table indexed by the quantized
-//     shared-capacity limit. Any `limit_kb` query is O(1).
-//   * Case 3: the full ScheduleSearch::best result is memoized per
-//     canonicalized workload vector.
+//     one traffic_factors() call recovers every per-level traffic and
+//     first-fill component without a single probe simulation; the 1000
+//     label costs are then pure integer combines (division by the fixed
+//     bandwidth strength-reduced through InvariantDiv), folded into a
+//     prefix-argmin table indexed by the quantized shared-capacity limit.
+//     Any `limit_kb` query is O(1).
+//   * Case 3: two memo levels. Per-workload, the 3 * num_arrays
+//     simulations (every array x dataflow) are cached once and shared
+//     across every workload *vector* that contains the workload. Per
+//     vector, the full argmin is memoized; a fresh vector runs a factored
+//     fold — permutations walked directly in label order, dataflow
+//     assignments explored as a depth-first base-3 tree pruned on the
+//     partial makespan — instead of decoding all 1944 labels.
 //
 // All three caches are sharded, mutex-striped concurrent memo tables
 // (cases 2/3 share the node-based ShardedMemoCache; case 1 uses the
 // open-addressed variant above), so the log-uniform sampler's duplicate
 // workloads hit cache across a whole generation run from any worker
-// thread. Correctness bar: labels (and costs) are bit-identical to the
-// naive exhaustive path — enforced by the property tests in
-// tests/test_sweep_cache.cpp.
+// thread. Each cache is unbounded by default and takes a capacity knob;
+// bounded instances evict with a per-shard second-chance (CLOCK) policy,
+// and re-admitted keys rebuild deterministically, so labels stay exact.
+// Correctness bar: labels (and costs) are bit-identical to the naive
+// exhaustive path — enforced by the property tests in
+// tests/test_sweep_cache.cpp, including under forced eviction.
 
 #include <array>
 #include <atomic>
@@ -44,6 +54,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/check.hpp"
 #include "search/exhaustive.hpp"
 #include "search/space.hpp"
 #include "sim/simulator.hpp"
@@ -51,12 +62,26 @@
 
 namespace airch {
 
-/// Hit/miss counters and live entry count of a memo table. Hits and misses
-/// are tallied with relaxed atomics: exact totals, no ordering guarantees.
+/// Counters and occupancy of a memo table, snapshotted shard by shard
+/// under each shard's lock — stats() is safe to call concurrently with
+/// queries and returns internally consistent per-shard slices.
+///
+/// Every query tallies exactly one of hits / misses / races:
+///   hits      — key present on first probe.
+///   misses    — key absent; this query computed and inserted the value.
+///   races     — key absent on first probe but present on re-lock: another
+///               thread inserted while this one computed. The work was
+///               duplicated (deterministically — same value), but the
+///               table was *not* cold for the key, so the race is tallied
+///               apart from true misses.
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  std::uint64_t races = 0;
+  std::uint64_t evictions = 0;
   std::size_t entries = 0;
+  /// Maximum resident entries (summed per-shard caps); 0 = unbounded.
+  std::size_t capacity = 0;
 };
 
 namespace detail {
@@ -92,50 +117,140 @@ struct I64SeqHash {
 /// blocks other shards (or even other keys of the same shard for long).
 /// Two threads racing on the same fresh key may both compute; the first
 /// insert wins and both observe the same (deterministic) value — callers
-/// must therefore pass pure compute functions. Values live directly in the
-/// (node-based) map, so the returned reference stays valid for the cache's
-/// lifetime; entries are never evicted.
+/// must therefore pass pure compute functions.
+///
+/// With max_entries == 0 the table grows without bound. A non-zero
+/// max_entries is split evenly across shards (rounded up, so the
+/// effective capacity() may slightly exceed the request) and each shard
+/// evicts with the CLOCK second-chance policy: every access sets the
+/// entry's reference bit, the shard's clock hand sweeps its ring of
+/// entries clearing bits, and the first unreferenced entry makes way.
+/// Because eviction can drop any entry at any insert, values are handed
+/// out by copy (get_or_compute) or through a projection that runs under
+/// the shard lock (get_or_use) — never by reference.
 template <typename Key, typename Value, typename Hash = std::hash<Key>>
 class ShardedMemoCache {
  public:
   /// shard_count is rounded up to a power of two; 0 picks the default (64,
   /// comfortably above any parallel_for worker count this repo deploys).
-  explicit ShardedMemoCache(std::size_t shard_count = 0)
-      : shards_(pow2_at_least(shard_count == 0 ? 64 : shard_count)) {}
+  /// max_entries bounds total residency as described above; 0 = unbounded.
+  explicit ShardedMemoCache(std::size_t shard_count = 0, std::size_t max_entries = 0)
+      : shards_(pow2_at_least(shard_count == 0 ? 64 : shard_count)) {
+    if (max_entries != 0) {
+      per_shard_cap_ = (max_entries + shards_.size() - 1) / shards_.size();
+    }
+  }
 
+  /// Copy of the cached (or freshly computed) value for `key`.
   template <typename Fn>
-  const Value& get_or_compute(const Key& key, const Fn& compute) {
+  Value get_or_compute(const Key& key, const Fn& compute) {
+    return get_or_use(key, compute, [](const Value& v) { return v; });
+  }
+
+  /// Core lookup: applies `use` to the cached value *under the shard lock*
+  /// and returns use's result by value. This is how callers extract a
+  /// small projection of a large cached table without copying the table
+  /// and without holding a reference that an eviction could invalidate.
+  /// `use` must be cheap and must not re-enter this cache (deadlock).
+  template <typename Fn, typename Use>
+  auto get_or_use(const Key& key, const Fn& compute, const Use& use) {
     Shard& shard = shards_[shard_index(key)];
     {
       const std::lock_guard<std::mutex> lock(shard.mu);
       const auto it = shard.map.find(key);
       if (it != shard.map.end()) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
-        return it->second;
+        ++shard.hits;
+        it->second.ref = true;
+        return use(it->second.value);
       }
     }
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    Value value = compute();
+    Value value = compute();  // outside any lock: misses don't serialize
     const std::lock_guard<std::mutex> lock(shard.mu);
-    return shard.map.emplace(key, std::move(value)).first->second;
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      // Lost the insert race: another thread published while this one
+      // computed. Serve the winner's (identical) value; the duplicated
+      // compute is tallied as a race, not a miss — the table held the key.
+      ++shard.races;
+      it->second.ref = true;
+      return use(it->second.value);
+    }
+    ++shard.misses;
+    if (per_shard_cap_ != 0 && shard.map.size() >= per_shard_cap_) {
+      evict_one(shard);
+      const auto ins = shard.map.emplace(key, Node{std::move(value), true}).first;
+      shard.ring[shard.hand] = ins;  // new entry takes the victim's ring slot
+      shard.hand = (shard.hand + 1) % shard.ring.size();
+      return use(ins->second.value);
+    }
+    const auto ins = shard.map.emplace(key, Node{std::move(value), true}).first;
+    if (per_shard_cap_ != 0) shard.ring.push_back(ins);  // unbounded: no ring upkeep
+    return use(ins->second.value);
+  }
+
+  /// Total resident-entry bound (0 = unbounded). Per-shard caps round up,
+  /// so this may slightly exceed the constructor's max_entries.
+  std::size_t capacity() const {
+    return per_shard_cap_ == 0 ? 0 : per_shard_cap_ * shards_.size();
   }
 
   CacheStats stats() const {
     CacheStats s;
-    s.hits = hits_.load(std::memory_order_relaxed);
-    s.misses = misses_.load(std::memory_order_relaxed);
+    s.capacity = capacity();
     for (const Shard& shard : shards_) {
       const std::lock_guard<std::mutex> lock(shard.mu);
+      s.hits += shard.hits;
+      s.misses += shard.misses;
+      s.races += shard.races;
+      s.evictions += shard.evictions;
       s.entries += shard.map.size();
     }
     return s;
   }
 
  private:
+  struct Node {
+    Value value;
+    bool ref = true;  // CLOCK reference bit; set on every access
+  };
+  using Map = std::unordered_map<Key, Node, Hash>;
+
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<Key, Value, Hash> map;
+    Map map;
+    // CLOCK state (bounded shards only): `ring` holds an iterator to every
+    // resident entry (unordered_map iterators stay valid until their entry
+    // is erased), `hand` is the sweep position.
+    std::vector<typename Map::iterator> ring;
+    std::size_t hand = 0;
+    // Plain counters: every touch happens under `mu`, no atomics needed —
+    // which is also what makes stats() TSan-clean.
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t races = 0;
+    std::uint64_t evictions = 0;
   };
+
+  /// Sweep the clock hand to the first entry whose reference bit is clear
+  /// (clearing set bits along the way) and erase it. The hand then points
+  /// at the freed ring slot. Terminates: bits are only cleared, so a full
+  /// lap forces a victim on the next.
+  void evict_one(Shard& shard) {
+    AIRCH_DCHECK(!shard.ring.empty(), "bounded shard must have residents to evict");
+    for (std::size_t spins = 0;; ++spins) {
+      AIRCH_DCHECK(spins <= 2 * shard.ring.size(), "clock sweep must find a victim");
+      if (shard.hand >= shard.ring.size()) shard.hand = 0;
+      const auto victim = shard.ring[shard.hand];
+      if (victim->second.ref) {
+        victim->second.ref = false;
+        ++shard.hand;
+        continue;
+      }
+      shard.map.erase(victim);
+      ++shard.evictions;
+      return;
+    }
+  }
 
   static std::size_t pow2_at_least(std::size_t n) {
     std::size_t p = 1;
@@ -150,8 +265,7 @@ class ShardedMemoCache {
   }
 
   std::vector<Shard> shards_;
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
+  std::size_t per_shard_cap_ = 0;  // 0 = unbounded
 };
 
 // --------------------------------------------------------------- case 1
@@ -172,16 +286,25 @@ class ShardedMemoCache {
 /// no heap allocation. Builds are sub-microsecond, so holding the shard
 /// lock across them is cheaper than the allocate-outside-and-merge dance
 /// it replaces; probing, building, and copying the answer out all happen
-/// under that one lock. Entries are never evicted.
+/// under that one lock.
+///
+/// Unbounded by default; with max_workloads != 0 each shard caps its
+/// resident workloads and evicts second-chance (the CLOCK reference bit
+/// rides in the top bit of the slot's span index, keeping slots at 32
+/// bytes). Deletion is backward-shift — no tombstones, probe chains stay
+/// exact — and the victim's span storage is handed to the incoming key, so
+/// a bounded cache performs zero span allocation at steady state.
 class Case1SweepCache {
  public:
   /// `expected_workloads` pre-sizes the shard tables for that many unique
   /// workloads (plus slack): the labelling loop then sees no slot rehash,
   /// no span reallocation and no first-touch page fault — that cost all
   /// lands here in the constructor, before any worker starts. 0 starts
-  /// minimal and grows on demand.
+  /// minimal and grows on demand. `max_workloads` bounds residency
+  /// (0 = unbounded); the bound is split across the 64 shards rounded up,
+  /// so stats().capacity may slightly exceed it.
   Case1SweepCache(const ArrayDataflowSpace& space, const Simulator& sim,
-                  std::size_t expected_workloads = 0);
+                  std::size_t expected_workloads = 0, std::size_t max_workloads = 0);
 
   /// Bit-identical to ArrayDataflowSearch::best(w, budget_exp), including
   /// the fewer-MACs / lower-label tie-break and the infeasible-budget
@@ -201,10 +324,15 @@ class Case1SweepCache {
   using Result = ArrayDataflowSearch::Result;
   using Key = std::array<std::int64_t, 3>;
 
+  /// Top bit of Slot::span is the CLOCK reference bit (set on access,
+  /// cleared by a passing clock hand); the low 31 bits are the span index.
+  static constexpr std::uint32_t kRefBit = 0x80000000u;
+  static constexpr std::uint32_t kSpanMask = ~kRefBit;
+
   /// 32-byte probe header; the span itself lives in the shard's `spans`
-  /// vector at index `span * span_cap_`, computable from the header alone
-  /// (no pointer chase). key[0] == 0 marks an empty slot — valid workloads
-  /// have m >= 1.
+  /// vector at index `(span & kSpanMask) * span_cap_`, computable from the
+  /// header alone (no pointer chase). key[0] == 0 marks an empty slot —
+  /// valid workloads have m >= 1.
   struct Slot {
     Key key{};
     std::int32_t max_exp = -1;  // highest MAC exponent built so far
@@ -216,9 +344,11 @@ class Case1SweepCache {
     std::vector<Slot> slots;  // pow2 size, linear probing, <= 50% load
     std::size_t used = 0;
     std::vector<Result> spans;  // span i occupies [i*span_cap, +span_cap)
+    std::size_t hand = 0;       // CLOCK sweep position (bounded mode)
     // Plain counters: every touch happens under `mu`, no atomics needed.
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
     // Lock-free snapshot of (slots.data(), size-1) for prefetch(). Writers
     // publish base before mask; readers load mask before base, so a
     // reader's base is always at least as new as its mask and the computed
@@ -229,6 +359,10 @@ class Case1SweepCache {
 
   Slot& find_or_insert(Shard& shard, const Key& key, std::uint64_t hash) const;
 
+  /// Second-chance victim selection + backward-shift deletion; returns the
+  /// victim's span index for the incoming key to reuse.
+  std::uint32_t evict_one(Shard& shard) const;
+
   /// Continue the prefix-argmin scan of `best` from `built_exp` (-1 for a
   /// fresh span) up to `up_to_exp`. Pure integer arithmetic; never throws.
   void extend_table(const GemmWorkload& w, int up_to_exp, int built_exp, Result* best) const;
@@ -236,17 +370,23 @@ class Case1SweepCache {
   const ArrayDataflowSpace* space_;
   const Simulator* sim_;
   int span_cap_;  // entries per span: max_macs_exp - 2*min_exp + 1
+  std::size_t per_shard_cap_ = 0;  // resident workloads per shard; 0 = unbounded
   mutable std::vector<Shard> shards_;
 };
 
 // --------------------------------------------------------------- case 2
 
 /// Constant-amortized drop-in for BufferSearch::best: per unique
-/// (workload, array, bandwidth) the separable traffic model is probed once
-/// per buffer level and folded into a limit-indexed prefix-argmin table.
+/// (workload, array, bandwidth) the separable traffic model is factored
+/// once — no probe simulations — and folded into a limit-indexed
+/// prefix-argmin table. Queries project one table entry under the shard
+/// lock, so bounded instances stay safe under concurrent eviction.
 class Case2SweepCache {
  public:
-  Case2SweepCache(const BufferSizeSpace& space, const Simulator& sim);
+  /// max_entries bounds resident (workload, array, bandwidth) tables;
+  /// 0 = unbounded.
+  Case2SweepCache(const BufferSizeSpace& space, const Simulator& sim,
+                  std::size_t max_entries = 0);
 
   /// Bit-identical to BufferSearch::best(w, array, bandwidth, limit_kb).
   BufferSearch::Result best(const GemmWorkload& w, const ArrayConfig& array,
@@ -272,22 +412,43 @@ class Case2SweepCache {
 
 // --------------------------------------------------------------- case 3
 
-/// Memoized ScheduleSearch::best keyed on the canonicalized workload
-/// vector. The sweep itself stays in ScheduleSearch (which hoists its
-/// per-label allocations); this cache removes repeat sweeps entirely.
+/// Two-level memo over ScheduleSearch::best. Level 1 (array_memo_): per
+/// unique workload, the 3 * num_arrays simulations behind
+/// ScheduleSearch::dataflow_costs, shared across every workload vector the
+/// workload appears in. Level 2 (memo_): the full argmin per canonicalized
+/// workload vector. A fresh vector therefore costs only its *new*
+/// workloads' simulations plus one factored fold: permutations are walked
+/// directly in label order and the 3^n dataflow assignments explored
+/// depth-first, pruning any subtree whose partial makespan already
+/// exceeds the incumbent — exact, because makespan is a max (monotone in
+/// the remaining arrays) and the tie-break comparator carries the label.
 class Case3SweepCache {
  public:
-  explicit Case3SweepCache(const ScheduleSearch& search);
+  /// max_entries bounds each memo level independently (0 = unbounded).
+  explicit Case3SweepCache(const ScheduleSearch& search, std::size_t max_entries = 0);
 
   /// Bit-identical to ScheduleSearch::best(workloads).
   ScheduleSearch::Result best(const std::vector<GemmWorkload>& workloads) const;
 
+  /// Level-2 (workload-vector) memo counters.
   CacheStats stats() const { return memo_.stats(); }
+  /// Level-1 (per-workload simulation) memo counters.
+  CacheStats array_stats() const { return array_memo_.stats(); }
 
  private:
+  /// ScheduleSpace supports at most 8 arrays; fixed-size cost blocks keep
+  /// the fold allocation-free.
+  static constexpr int kMaxArrays = 8;
   using Key = std::vector<std::int64_t>;
+  using WorkloadKey = std::array<std::int64_t, 3>;
+  /// dataflow_costs for one workload on every array (index = array).
+  using ArrayCosts = std::array<ScheduleSearch::DataflowCosts, kMaxArrays>;
+
+  ScheduleSearch::Result factored_best(const std::vector<GemmWorkload>& workloads) const;
+
   const ScheduleSearch* search_;
   mutable ShardedMemoCache<Key, ScheduleSearch::Result, detail::I64SeqHash> memo_;
+  mutable ShardedMemoCache<WorkloadKey, ArrayCosts, detail::I64SeqHash> array_memo_;
 };
 
 }  // namespace airch

@@ -13,118 +13,115 @@ namespace {
 /// the start so the reuse formulas below cannot mix the two dimensions.
 constexpr Bytes bytes_of(std::int64_t elems) { return Bytes{elems * kBytesPerElement}; }
 
-/// Partial-retention reuse: a stripe of `stripe` bytes is fetched once and
-/// the buffer retains up to its capacity across the `reuses` subsequent
-/// passes; the non-retained remainder is re-fetched every pass.
-/// Boundary cases: capacity >= stripe -> stripe (fetched once);
-/// capacity = 0 -> stripe * (1 + reuses) (re-fetched every pass).
-Bytes stripe_traffic(Bytes stripe, Bytes capacity, std::int64_t reuses) {
-  const Bytes retained = std::min(stripe, capacity);
-  return stripe + reuses * (stripe - retained);
-}
+// Each dataflow's traffic factors. The per-capacity formulas the previous
+// revision evaluated inline are recovered exactly by operand_traffic():
+// stripe_traffic(stripe, cap, reuses) = stripe + reuses * (stripe - retained)
+// becomes {base = stripe, passes = reuses, stripe}, and a fold-scaled
+// stripe_traffic distributes the fold count into base and passes (exact in
+// int64).
 
-/// Per-dataflow traffic accounting.
-struct Traffic {
-  Bytes ifmap;
-  Bytes filter;
-  Bytes ofmap;
-  Bytes sram;
-  Bytes first_fill;  ///< bytes that must land before cycle 0
-};
-
-Traffic traffic_os(const GemmWorkload& w, const ArrayConfig& a, const MemoryConfig& mem) {
+TrafficFactors factors_os(const GemmWorkload& w, const ArrayConfig& a) {
   const std::int64_t row_folds = ceil_div(w.m, a.rows);
   const std::int64_t col_folds = ceil_div(w.n, a.cols);
   const Bytes ifmap_stripe = bytes_of(std::min(w.m, a.rows) * w.k);  // rows x K
   const Bytes filter_tile = bytes_of(w.k * std::min(w.n, a.cols));   // K x cols
+  const Bytes filter_total = bytes_of(w.filter_elems());
 
-  Traffic t;
+  TrafficFactors f;
   // IFMAP stripe is reused across the column folds of its row stripe.
-  t.ifmap = row_folds * stripe_traffic(ifmap_stripe, mem.ifmap_bytes(), col_folds - 1);
+  f.ifmap = {row_folds * ifmap_stripe, row_folds * (col_folds - 1), ifmap_stripe};
   // Filter is reused across row stripes only to the extent the whole
   // K x N operand fits.
-  t.filter = stripe_traffic(bytes_of(w.filter_elems()), mem.filter_bytes(), row_folds - 1);
-  t.ofmap = bytes_of(w.ofmap_elems());  // partial sums accumulate inside the PEs
+  f.filter = {filter_total, row_folds - 1, filter_total};
+  f.ofmap = {bytes_of(w.ofmap_elems()), 0, Bytes{0}};  // psums live in the PEs
   // SRAM streams every fold's operand tiles into the array regardless of
   // DRAM-side reuse, and the outputs out once.
-  t.sram = col_folds * bytes_of(w.ifmap_elems()) + row_folds * bytes_of(w.filter_elems()) +
+  f.sram = col_folds * bytes_of(w.ifmap_elems()) + row_folds * filter_total +
            bytes_of(w.ofmap_elems());
-  t.first_fill = std::min(ifmap_stripe, mem.ifmap_bytes()) +
-                 std::min(filter_tile, mem.filter_bytes());
-  return t;
+  f.fill_ifmap = ifmap_stripe;
+  f.fill_filter = filter_tile;
+  return f;
 }
 
-Traffic traffic_ws(const GemmWorkload& w, const ArrayConfig& a, const MemoryConfig& mem) {
+TrafficFactors factors_ws(const GemmWorkload& w, const ArrayConfig& a) {
   const std::int64_t red_folds = ceil_div(w.k, a.rows);  // reduction folds
   const std::int64_t col_folds = ceil_div(w.n, a.cols);
   const Bytes ifmap_slice = bytes_of(w.m * std::min(w.k, a.rows));  // M x rows
   const Bytes filter_tile = bytes_of(std::min(w.k, a.rows) * std::min(w.n, a.cols));
-
-  Traffic t;
-  t.filter = bytes_of(w.filter_elems());  // stationary: each weight fetched exactly once
-  // IFMAP K-slice is reused across the column folds of its reduction fold.
-  t.ifmap = red_folds * stripe_traffic(ifmap_slice, mem.ifmap_bytes(), col_folds - 1);
   // Partial sums: the retained part of the M x cols stripe accumulates in
   // the buffer across reduction folds; the spilled remainder pays a DRAM
   // read + write per extra fold.
   const Bytes psum_stripe = bytes_of(w.m * std::min(w.n, a.cols));  // M x cols
-  const Bytes spilled = psum_stripe - std::min(psum_stripe, mem.ofmap_bytes());
-  t.ofmap = bytes_of(w.ofmap_elems()) + 2 * (red_folds - 1) * col_folds * spilled;
-  t.sram = bytes_of(w.filter_elems()) + col_folds * bytes_of(w.ifmap_elems()) +
+
+  TrafficFactors f;
+  f.filter = {bytes_of(w.filter_elems()), 0, Bytes{0}};  // stationary: fetched once
+  // IFMAP K-slice is reused across the column folds of its reduction fold.
+  f.ifmap = {red_folds * ifmap_slice, red_folds * (col_folds - 1), ifmap_slice};
+  f.ofmap = {bytes_of(w.ofmap_elems()), 2 * (red_folds - 1) * col_folds, psum_stripe};
+  f.sram = bytes_of(w.filter_elems()) + col_folds * bytes_of(w.ifmap_elems()) +
            2 * red_folds * bytes_of(w.ofmap_elems());
-  t.first_fill = std::min(filter_tile, mem.filter_bytes()) +
-                 std::min(ifmap_slice, mem.ifmap_bytes());
-  return t;
+  f.fill_ifmap = ifmap_slice;
+  f.fill_filter = filter_tile;
+  return f;
 }
 
-Traffic traffic_is(const GemmWorkload& w, const ArrayConfig& a, const MemoryConfig& mem) {
+TrafficFactors factors_is(const GemmWorkload& w, const ArrayConfig& a) {
   const std::int64_t red_folds = ceil_div(w.k, a.rows);
   const std::int64_t col_folds = ceil_div(w.m, a.cols);
   const Bytes filter_slice = bytes_of(w.n * std::min(w.k, a.rows));  // N x rows
   const Bytes ifmap_tile = bytes_of(std::min(w.k, a.rows) * std::min(w.m, a.cols));
-
-  Traffic t;
-  t.ifmap = bytes_of(w.ifmap_elems());  // stationary operand
-  t.filter = red_folds * stripe_traffic(filter_slice, mem.filter_bytes(), col_folds - 1);
   const Bytes psum_stripe = bytes_of(w.n * std::min(w.m, a.cols));  // N x cols
-  const Bytes spilled = psum_stripe - std::min(psum_stripe, mem.ofmap_bytes());
-  t.ofmap = bytes_of(w.ofmap_elems()) + 2 * (red_folds - 1) * col_folds * spilled;
-  t.sram = bytes_of(w.ifmap_elems()) + col_folds * bytes_of(w.filter_elems()) +
+
+  TrafficFactors f;
+  f.ifmap = {bytes_of(w.ifmap_elems()), 0, Bytes{0}};  // stationary operand
+  f.filter = {red_folds * filter_slice, red_folds * (col_folds - 1), filter_slice};
+  f.ofmap = {bytes_of(w.ofmap_elems()), 2 * (red_folds - 1) * col_folds, psum_stripe};
+  f.sram = bytes_of(w.ifmap_elems()) + col_folds * bytes_of(w.filter_elems()) +
            2 * red_folds * bytes_of(w.ofmap_elems());
-  t.first_fill = std::min(ifmap_tile, mem.ifmap_bytes()) +
-                 std::min(filter_slice, mem.filter_bytes());
-  return t;
+  f.fill_ifmap = ifmap_tile;
+  f.fill_filter = filter_slice;
+  return f;
 }
 
 }  // namespace
 
-MemoryResult memory_behavior(const GemmWorkload& w, const ArrayConfig& array,
-                             const MemoryConfig& mem, const ComputeResult& compute) {
-  AIRCH_ASSERT(w.valid() && array.valid() && mem.valid());
-  Traffic t;
+TrafficFactors traffic_factors(const GemmWorkload& w, const ArrayConfig& array) {
+  AIRCH_ASSERT(w.valid() && array.valid());
   switch (array.dataflow) {
-    case Dataflow::kOutputStationary: t = traffic_os(w, array, mem); break;
-    case Dataflow::kWeightStationary: t = traffic_ws(w, array, mem); break;
-    case Dataflow::kInputStationary: t = traffic_is(w, array, mem); break;
+    case Dataflow::kWeightStationary: return factors_ws(w, array);
+    case Dataflow::kInputStationary: return factors_is(w, array);
+    case Dataflow::kOutputStationary: break;
   }
+  return factors_os(w, array);
+}
 
+MemoryResult memory_combine(const TrafficFactors& f, const MemoryConfig& mem,
+                            const ComputeResult& compute) {
   MemoryResult r;
-  r.dram_ifmap_bytes = t.ifmap;
-  r.dram_filter_bytes = t.filter;
-  r.dram_ofmap_bytes = t.ofmap;
-  r.sram_bytes = t.sram;
-  r.first_fill_bytes = t.first_fill;
+  r.dram_ifmap_bytes = operand_traffic(f.ifmap, mem.ifmap_bytes());
+  r.dram_filter_bytes = operand_traffic(f.filter, mem.filter_bytes());
+  r.dram_ofmap_bytes = operand_traffic(f.ofmap, mem.ofmap_bytes());
+  r.sram_bytes = f.sram;
+  r.first_fill_bytes = std::min(f.fill_ifmap, mem.ifmap_bytes()) +
+                       std::min(f.fill_filter, mem.filter_bytes());
 
   // Traffic components are counts of fetched bytes: a negative value means
   // a reuse formula above went wrong (e.g. retained > stripe) or overflowed.
-  AIRCH_DCHECK(t.ifmap >= Bytes{0} && t.filter >= Bytes{0} && t.ofmap >= Bytes{0} &&
-                   t.sram >= Bytes{0} && t.first_fill >= Bytes{0},
+  AIRCH_DCHECK(r.dram_ifmap_bytes >= Bytes{0} && r.dram_filter_bytes >= Bytes{0} &&
+                   r.dram_ofmap_bytes >= Bytes{0} && r.sram_bytes >= Bytes{0} &&
+                   r.first_fill_bytes >= Bytes{0},
                "negative traffic — reuse accounting bug or int64 overflow");
   const Cycles transfer_cycles = ceil_div(r.dram_total_bytes(), mem.bytes_per_cycle());
-  const Cycles fill_cycles = ceil_div(t.first_fill, mem.bytes_per_cycle());
+  const Cycles fill_cycles = ceil_div(r.first_fill_bytes, mem.bytes_per_cycle());
   r.stall_cycles = fill_cycles + std::max(Cycles{0}, transfer_cycles - compute.cycles);
   AIRCH_DCHECK(r.stall_cycles >= Cycles{0}, "stall cycles must be non-negative");
   return r;
+}
+
+MemoryResult memory_behavior(const GemmWorkload& w, const ArrayConfig& array,
+                             const MemoryConfig& mem, const ComputeResult& compute) {
+  AIRCH_ASSERT(w.valid() && array.valid() && mem.valid());
+  return memory_combine(traffic_factors(w, array), mem, compute);
 }
 
 }  // namespace airch

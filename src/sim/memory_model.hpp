@@ -24,6 +24,7 @@
 // un-hideable first-tile fill. Larger buffers reduce traffic and therefore
 // stalls monotonically — the property the buffer-sizing search relies on.
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/units.hpp"
@@ -51,5 +52,55 @@ struct MemoryResult {
 /// Preconditions: w.valid() && array.valid() && mem.valid().
 MemoryResult memory_behavior(const GemmWorkload& w, const ArrayConfig& array,
                              const MemoryConfig& mem, const ComputeResult& compute);
+
+// ------------------------------------------------- factored traffic model
+//
+// The traffic model above is separable per operand: each operand's DRAM
+// traffic depends on its own buffer capacity only, and only through the
+// retained prefix of one stripe. That lets the whole capacity dependence
+// be factored out of the per-(workload, array) work:
+//
+//   traffic(cap) = base + passes * (stripe - min(stripe, cap))
+//
+// with `base`, `passes`, and `stripe` capacity-independent. The buffer
+// sweep cache builds these factors once per unique (workload, array) and
+// then evaluates every buffer configuration as a closed-form integer
+// combine — no per-capacity model evaluations at all. memory_behavior()
+// itself is implemented as memory_combine(traffic_factors(...)), so the
+// factored path is bit-identical to the direct path by construction.
+
+/// One operand's capacity dependence (see formula above).
+struct OperandFactors {
+  Bytes base;                ///< capacity-independent fetched bytes
+  std::int64_t passes = 0;   ///< re-fetch passes over the spilled remainder
+  Bytes stripe;              ///< the retained unit (0 if capacity-independent)
+};
+
+/// All capacity-independent terms of the memory model for one
+/// (workload, array, dataflow).
+struct TrafficFactors {
+  OperandFactors ifmap;
+  OperandFactors filter;
+  OperandFactors ofmap;
+  Bytes sram;         ///< SRAM streaming traffic (capacity-independent)
+  Bytes fill_ifmap;   ///< IFMAP-buffer term of the first fill
+  Bytes fill_filter;  ///< Filter-buffer term of the first fill
+  // first_fill(mem) = min(fill_ifmap, ifmap cap) + min(fill_filter, filter cap)
+};
+
+/// Factors the traffic model for `w` on `array` (dataflow taken from the
+/// array config). Preconditions: w.valid() && array.valid().
+TrafficFactors traffic_factors(const GemmWorkload& w, const ArrayConfig& array);
+
+/// DRAM traffic of one operand at `capacity`, from its factors.
+constexpr Bytes operand_traffic(const OperandFactors& f, Bytes capacity) {
+  return f.base + f.passes * (f.stripe - std::min(f.stripe, capacity));
+}
+
+/// Recombines factored traffic with concrete buffer capacities; equals
+/// memory_behavior(w, array, mem, compute) bit-for-bit when `f` came from
+/// traffic_factors(w, array).
+MemoryResult memory_combine(const TrafficFactors& f, const MemoryConfig& mem,
+                            const ComputeResult& compute);
 
 }  // namespace airch

@@ -80,5 +80,32 @@ TEST(ClampI64, Bounds) {
   EXPECT_EQ(clamp_i64(15, 0, 10), 10);
 }
 
+// InvariantDiv must match plain / and ceil_div exactly for every
+// non-negative dividend; exercised over divisor classes (1, powers of
+// two, odd, even-composite, near-overflow) and boundary dividends.
+TEST(InvariantDiv, MatchesPlainDivision) {
+  const std::int64_t divisors[] = {1, 2, 3, 5, 7, 10, 64, 100, 127, 1000, 4096, 999999937};
+  const std::int64_t big = std::int64_t{1} << 62;
+  for (const std::int64_t d : divisors) {
+    const InvariantDiv div(d);
+    const std::int64_t xs[] = {0, 1, d - 1, d, d + 1, 2 * d - 1, 2 * d, 12345,
+                               big - 1, big, big + d - 1};
+    for (const std::int64_t x : xs) {
+      ASSERT_EQ(div.floor_div(x), x / d) << "x=" << x << " d=" << d;
+      ASSERT_EQ(div.ceil_div(x), ceil_div(x, d)) << "x=" << x << " d=" << d;
+    }
+  }
+}
+
+TEST(InvariantDiv, SweepSmallOperands) {
+  for (std::int64_t d = 1; d <= 40; ++d) {
+    const InvariantDiv div(d);
+    for (std::int64_t x = 0; x <= 500; ++x) {
+      ASSERT_EQ(div.floor_div(x), x / d) << "x=" << x << " d=" << d;
+      ASSERT_EQ(div.ceil_div(x), ceil_div(x, d)) << "x=" << x << " d=" << d;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace airch

@@ -178,5 +178,55 @@ TEST(MemoryModel, SramTrafficAtLeastDramTraffic) {
   }
 }
 
+// ------------------------------------------------ factored traffic API
+
+// The separability contract the case-2 sweep cache builds on: every
+// per-operand DRAM traffic and first-fill component of memory_behavior
+// must be recoverable from one traffic_factors() call via operand_traffic
+// and min, for every dataflow and capacity mix.
+TEST(TrafficFactors, ReassemblesMemoryBehaviorExactly) {
+  const GemmWorkload workloads[] = {{64, 64, 64}, {300, 7, 1023}, {1, 512, 9}, {2048, 33, 5}};
+  const std::int64_t caps_kb[] = {1, 3, 17, 100, 1000};
+  for (const GemmWorkload& w : workloads) {
+    for (Dataflow d : kAllDataflows) {
+      const ArrayConfig a{16, 8, d};
+      const ComputeResult compute = compute_latency(w, a);
+      const TrafficFactors f = traffic_factors(w, a);
+      for (const std::int64_t ik : caps_kb) {
+        for (const std::int64_t fk : caps_kb) {
+          for (const std::int64_t ok : caps_kb) {
+            const MemoryConfig m{ik, fk, ok, 10};
+            const MemoryResult r = memory_behavior(w, a, m, compute);
+            ASSERT_EQ(r.dram_ifmap_bytes, operand_traffic(f.ifmap, m.ifmap_bytes()));
+            ASSERT_EQ(r.dram_filter_bytes, operand_traffic(f.filter, m.filter_bytes()));
+            ASSERT_EQ(r.dram_ofmap_bytes, operand_traffic(f.ofmap, m.ofmap_bytes()));
+            ASSERT_EQ(r.first_fill_bytes, std::min(f.fill_ifmap, m.ifmap_bytes()) +
+                                              std::min(f.fill_filter, m.filter_bytes()));
+            ASSERT_EQ(r.sram_bytes, f.sram);  // capacity-independent
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TrafficFactors, OperandTrafficMonotoneInCapacity) {
+  // More capacity never costs traffic: operand_traffic is non-increasing
+  // in its own buffer size and saturates at `base` once the stripe fits.
+  const GemmWorkload w{300, 200, 100};
+  for (Dataflow d : kAllDataflows) {
+    const TrafficFactors f = traffic_factors(w, {8, 8, d});
+    for (const auto* op : {&f.ifmap, &f.filter, &f.ofmap}) {
+      Bytes prev = operand_traffic(*op, Bytes{0});
+      for (std::int64_t kb = 1; kb <= 600; kb += 7) {
+        const Bytes cur = operand_traffic(*op, Bytes{kb * 1024});
+        EXPECT_LE(cur, prev);
+        prev = cur;
+      }
+      EXPECT_EQ(operand_traffic(*op, op->stripe), op->base);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace airch

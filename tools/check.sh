@@ -43,7 +43,7 @@ for stage in "${STAGES[@]}"; do
       run ./build-checked/bench/bench_dataset_throughput \
         --points=300 --reps=1 --out=build-checked/BENCH_dataset_smoke.json >/dev/null
       if command -v python3 >/dev/null 2>&1; then
-        run python3 -c "import json,sys; d=json.load(open('build-checked/BENCH_dataset_smoke.json')); sys.exit(0 if d['bench']=='dataset_throughput' and len(d['results'])==6 and 'case1' in d['speedup'] else 1)"
+        run python3 -c "import json,sys; d=json.load(open('build-checked/BENCH_dataset_smoke.json')); sys.exit(0 if d['bench']=='dataset_throughput' and len(d['results'])==6 and all(c in d['speedup'] for c in ('case1','case2','case3')) and 0.0 <= d['dup_fraction'] <= 1.0 else 1)"
       else
         echo "check.sh: python3 not installed — skipping bench JSON validation" >&2
       fi
