@@ -96,6 +96,27 @@ void BM_InferCase1(benchmark::State& state) {
 }
 BENCHMARK(BM_InferCase1)->Arg(1)->Arg(2)->Arg(3);
 
+// Batched serving: recommend_batch answers N queries in ONE packed
+// forward pass. Per-query cost should fall sharply with batch size as the
+// matmul kernel amortizes packing and the per-call network overhead
+// (items_per_second is the comparable per-query rate).
+void BM_InferBatched(benchmark::State& state) {
+  const Recommender& rec = case1_recommender();
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  LogUniformGemmSampler sampler;
+  std::vector<std::vector<std::int64_t>> queries(batch);
+  for (auto& q : queries) {
+    const GemmWorkload w = sampler.sample(rng);
+    q = {18, w.m, w.n, w.k};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rec.recommend_batch(queries).front());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_InferBatched)->Arg(1)->Arg(16)->Arg(256);
+
 void BM_InferCase3(benchmark::State& state) {
   const Recommender& rec = case3_recommender();
   Rng rng(static_cast<std::uint64_t>(state.range(0)));

@@ -1,0 +1,217 @@
+// Training and serving throughput for the AIRCHITECT network: the naive
+// reference kernels (KernelMode::kNaive — the original single-threaded
+// loops) vs the blocked/packed/parallel kernel layer (kFast, the default;
+// docs/performance.md). Both modes run the IDENTICAL fit — same seed, same
+// data, same batch order — and the per-epoch loss/accuracy trajectories
+// are asserted exactly equal before any number is reported, so the bench
+// doubles as an end-to-end proof that the fast kernels are bit-identical.
+//
+// A second section measures serving: recommend_label called once per
+// query (one forward pass per row) vs recommend_batch (one packed forward
+// pass for the whole query set), with the label vectors asserted equal.
+//
+// Each timed mode runs --reps times and the fastest pass is reported (OS
+// scheduling only ever adds time). Default sizes mirror the paper's Fig-9
+// case-study-1 setup: 10k generated points, the AIrchitect embedding MLP.
+//
+// Emits machine-readable JSON (default BENCH_train.json):
+//   results[]        — per-mode wall seconds + epochs/sec + samples/sec
+//   train_speedup    — naive seconds / fast seconds
+//   trajectory_bit_identical — always true if the binary got as far as
+//                      writing the file (mismatch aborts)
+//   infer            — per-query microseconds, one-at-a-time vs batched
+// tools/check.sh runs a tiny-points smoke of this binary and validates
+// the JSON parses.
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "core/case_study.hpp"
+#include "core/recommender.hpp"
+#include "dataset/encoding.hpp"
+#include "ml/matrix.hpp"
+#include "models/neural.hpp"
+#include "workload/sampler.hpp"
+
+using namespace airch;
+
+namespace {
+
+struct FitResult {
+  double seconds = 0.0;
+  std::vector<EpochStats> history;
+};
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << std::setprecision(10) << v;
+  return os.str();
+}
+
+/// One full fit from scratch under the given kernel mode. A fresh model is
+/// built every pass, so reps are exact byte-for-byte reruns.
+FitResult timed_fit(ml::KernelMode mode, const Dataset& train, const Dataset& val,
+                    const FeatureEncoder& enc, std::uint64_t seed, int epochs) {
+  ml::set_kernel_mode(mode);
+  auto model = make_airchitect(seed, epochs);
+  const auto t0 = std::chrono::steady_clock::now();
+  FitResult r;
+  r.history = model->fit(train, val, enc);
+  const auto t1 = std::chrono::steady_clock::now();
+  r.seconds = std::max(std::chrono::duration<double>(t1 - t0).count(), 1e-9);
+  return r;
+}
+
+FitResult best_of_fits(ml::KernelMode mode, const Dataset& train, const Dataset& val,
+                       const FeatureEncoder& enc, std::uint64_t seed, int epochs,
+                       std::int64_t reps) {
+  FitResult best;
+  for (std::int64_t i = 0; i < reps; ++i) {
+    FitResult r = timed_fit(mode, train, val, enc, seed, epochs);
+    if (i == 0 || r.seconds < best.seconds) best = std::move(r);
+  }
+  return best;
+}
+
+void require_identical_trajectories(const std::vector<EpochStats>& naive,
+                                    const std::vector<EpochStats>& fast) {
+  if (naive.size() != fast.size()) {
+    std::cerr << "trajectory length mismatch: naive " << naive.size() << " epochs, fast "
+              << fast.size() << "\n";
+    std::exit(1);
+  }
+  for (std::size_t i = 0; i < naive.size(); ++i) {
+    // Exact double equality on purpose: the kernel contract is
+    // bit-identity, not closeness.
+    if (naive[i].train_loss != fast[i].train_loss ||
+        naive[i].train_accuracy != fast[i].train_accuracy ||
+        naive[i].val_accuracy != fast[i].val_accuracy) {
+      std::cerr << "trajectory diverged at epoch " << naive[i].epoch << ": naive loss "
+                << std::setprecision(17) << naive[i].train_loss << " fast loss "
+                << fast[i].train_loss << "\n";
+      std::exit(1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("bench_train_throughput",
+                 "epoch throughput, naive reference kernels vs blocked/parallel kernels");
+  args.flag_i64("points", 10000, "generated case-1 points (Fig-9 AIrchitect size)");
+  args.flag_i64("epochs", 5, "training epochs per timed fit");
+  args.flag_i64("threads", 4, "worker threads (pins AIRCH_THREADS)");
+  args.flag_i64("reps", 2, "timed fits per mode; the fastest is reported");
+  args.flag_i64("infer-queries", 2000, "queries for the serving comparison");
+  args.flag_i64("seed", 42, "dataset / model seed");
+  args.flag_str("out", "BENCH_train.json", "output JSON path");
+  args.parse(argc, argv);
+
+  const auto points = static_cast<std::size_t>(args.i64("points"));
+  const int epochs = static_cast<int>(args.i64("epochs"));
+  const std::int64_t threads = args.i64("threads");
+  const std::int64_t reps = std::max<std::int64_t>(1, args.i64("reps"));
+  const auto n_queries = static_cast<std::size_t>(args.i64("infer-queries"));
+  const auto seed = static_cast<std::uint64_t>(args.i64("seed"));
+  setenv("AIRCH_THREADS", std::to_string(threads).c_str(), 1);
+
+  // Shared data setup, identical to Recommender::train's pipeline.
+  const ArrayDataflowStudy study;
+  Dataset data = study.generate(points, seed);
+  Rng shuffle_rng(seed ^ 0xA5A5A5A5ULL);
+  data.shuffle(shuffle_rng);
+  auto [train, val] = data.split(0.9);
+  const FeatureEncoder enc(train);
+
+  const FitResult naive = best_of_fits(ml::KernelMode::kNaive, train, val, enc, seed, epochs, reps);
+  const FitResult fast = best_of_fits(ml::KernelMode::kFast, train, val, enc, seed, epochs, reps);
+  require_identical_trajectories(naive.history, fast.history);
+
+  const auto train_samples = static_cast<double>(train.size()) * epochs;
+  const double speedup = naive.seconds / fast.seconds;
+
+  // ----------------------------------------------------------- serving
+  // One trained recommender answers the same query stream one-at-a-time
+  // and batched; labels must agree (argmax of logits == argmax of
+  // softmax, so recommend_batch is exactly mapped recommend_label).
+  ml::set_kernel_mode(ml::KernelMode::kFast);
+  Recommender::TrainOptions ropts;
+  ropts.dataset_size = points;
+  ropts.epochs = epochs;
+  ropts.seed = seed;
+  const Recommender rec = Recommender::train(study, ropts);
+
+  const Case1Config cfg;
+  Rng qrng(seed + 1);
+  LogUniformGemmSampler sampler(cfg.dims);
+  std::vector<std::vector<std::int64_t>> queries(n_queries);
+  for (auto& q : queries) {
+    const auto budget = qrng.uniform_int(cfg.budget_min_exp, cfg.budget_max_exp);
+    const GemmWorkload w = sampler.sample(qrng);
+    q = {budget, w.m, w.n, w.k};
+  }
+
+  std::vector<std::int32_t> one_by_one(n_queries);
+  double seconds_single = 0.0;
+  std::vector<std::int32_t> batched;
+  double seconds_batched = 0.0;
+  for (std::int64_t r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < n_queries; ++i) one_by_one[i] = rec.recommend_label(queries[i]);
+    const auto t1 = std::chrono::steady_clock::now();
+    std::vector<std::int32_t> b = rec.recommend_batch(queries);
+    const auto t2 = std::chrono::steady_clock::now();
+    const double s1 = std::chrono::duration<double>(t1 - t0).count();
+    const double s2 = std::max(std::chrono::duration<double>(t2 - t1).count(), 1e-9);
+    if (r == 0 || s1 < seconds_single) seconds_single = s1;
+    if (r == 0 || s2 < seconds_batched) seconds_batched = s2;
+    batched = std::move(b);
+  }
+  for (std::size_t i = 0; i < n_queries; ++i) {
+    if (one_by_one[i] != batched[i]) {
+      std::cerr << "serving mismatch at query " << i << ": single " << one_by_one[i]
+                << ", batched " << batched[i] << "\n";
+      return 1;
+    }
+  }
+  const double us_single = 1e6 * seconds_single / static_cast<double>(n_queries);
+  const double us_batched = 1e6 * seconds_batched / static_cast<double>(n_queries);
+
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"train_throughput\",\n  \"threads\": " << threads
+     << ",\n  \"points\": " << points << ",\n  \"train_samples\": " << train.size()
+     << ",\n  \"epochs\": " << epochs << ",\n  \"reps\": " << reps << ",\n  \"results\": [\n";
+  const struct {
+    const char* mode;
+    const FitResult* r;
+  } rows[] = {{"naive", &naive}, {"fast", &fast}};
+  for (std::size_t i = 0; i < 2; ++i) {
+    os << "    {\"mode\": \"" << rows[i].mode << "\", \"seconds\": " << fmt(rows[i].r->seconds)
+       << ", \"epochs_per_sec\": " << fmt(epochs / rows[i].r->seconds)
+       << ", \"samples_per_sec\": " << fmt(train_samples / rows[i].r->seconds) << "}"
+       << (i == 0 ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"train_speedup\": " << fmt(speedup)
+     << ",\n  \"trajectory_bit_identical\": true,\n  \"final_train_loss\": "
+     << std::setprecision(17) << fast.history.back().train_loss
+     << ",\n  \"final_val_accuracy\": " << fast.history.back().val_accuracy
+     << ",\n  \"infer\": {\"queries\": " << n_queries
+     << ", \"one_at_a_time_us_per_query\": " << fmt(us_single)
+     << ", \"batched_us_per_query\": " << fmt(us_batched)
+     << ", \"batched_speedup\": " << fmt(us_single / us_batched) << "}\n}\n";
+  std::ofstream out(args.str("out"));
+  out << os.str();
+  std::cout << os.str();
+  return 0;
+}

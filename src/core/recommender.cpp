@@ -39,6 +39,11 @@ std::int32_t Recommender::recommend_label(const std::vector<std::int64_t>& featu
   return static_cast<std::int32_t>(best);
 }
 
+std::vector<std::int32_t> Recommender::recommend_batch(
+    const std::vector<std::vector<std::int64_t>>& queries) const {
+  return model_->predict_batch(queries, *encoder_);
+}
+
 std::vector<std::int32_t> Recommender::recommend_topk(
     const std::vector<std::int64_t>& features, int k) const {
   const auto proba = model_->predict_proba(features, *encoder_);

@@ -40,6 +40,13 @@ class Recommender {
   /// Raw constant-time query: feature vector -> output-space label.
   std::int32_t recommend_label(const std::vector<std::int64_t>& features) const;
 
+  /// Batched serving query: labels for N feature vectors via ONE packed
+  /// forward pass. Equivalent to mapping recommend_label over `queries`
+  /// but amortizes the per-call network overhead across the batch
+  /// (bench/bench_train_throughput.cpp measures the gap).
+  std::vector<std::int32_t> recommend_batch(
+      const std::vector<std::vector<std::int64_t>>& queries) const;
+
   /// Top-k labels by predicted probability, most likely first. Useful for
   /// the hybrid mode: recommend k candidates, re-rank them with k cheap
   /// simulations instead of a full search.

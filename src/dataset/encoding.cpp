@@ -134,6 +134,22 @@ ml::IntBatch FeatureEncoder::encode_int_gather(const Dataset& ds,
                                                const std::vector<std::size_t>& idx,
                                                std::size_t begin, std::size_t end) const {
   ml::IntBatch out;
+  encode_int_gather_into(ds, idx, begin, end, out);
+  return out;
+}
+
+ml::Matrix FeatureEncoder::encode_float_gather(const Dataset& ds,
+                                               const std::vector<std::size_t>& idx,
+                                               std::size_t begin, std::size_t end) const {
+  ml::Matrix out;
+  encode_float_gather_into(ds, idx, begin, end, out);
+  return out;
+}
+
+void FeatureEncoder::encode_int_gather_into(const Dataset& ds,
+                                            const std::vector<std::size_t>& idx,
+                                            std::size_t begin, std::size_t end,
+                                            ml::IntBatch& out) const {
   out.resize(end - begin, columns_.size());
   for (std::size_t i = begin; i < end; ++i) {
     const auto& p = ds[idx[i]];
@@ -141,20 +157,19 @@ ml::IntBatch FeatureEncoder::encode_int_gather(const Dataset& ds,
       out(i - begin, f) = columns_[f].bucket_of(p.features[f]);
     }
   }
-  return out;
 }
 
-ml::Matrix FeatureEncoder::encode_float_gather(const Dataset& ds,
-                                               const std::vector<std::size_t>& idx,
-                                               std::size_t begin, std::size_t end) const {
-  ml::Matrix out(end - begin, columns_.size());
+void FeatureEncoder::encode_float_gather_into(const Dataset& ds,
+                                              const std::vector<std::size_t>& idx,
+                                              std::size_t begin, std::size_t end,
+                                              ml::Matrix& out) const {
+  out.resize(end - begin, columns_.size());
   for (std::size_t i = begin; i < end; ++i) {
     const auto& p = ds[idx[i]];
     for (std::size_t f = 0; f < columns_.size(); ++f) {
       out(i - begin, f) = columns_[f].standardize(p.features[f]);
     }
   }
-  return out;
 }
 
 ml::IntBatch FeatureEncoder::encode_int(const std::vector<std::int64_t>& features) const {
@@ -170,6 +185,33 @@ ml::Matrix FeatureEncoder::encode_float(const std::vector<std::int64_t>& feature
   ml::Matrix out(1, columns_.size());
   for (std::size_t f = 0; f < columns_.size(); ++f) {
     out(0, f) = columns_[f].standardize(features[f]);
+  }
+  return out;
+}
+
+ml::IntBatch FeatureEncoder::encode_int_batch(
+    const std::vector<std::vector<std::int64_t>>& queries) const {
+  ml::IntBatch out;
+  out.resize(queries.size(), columns_.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    if (queries[q].size() != columns_.size())
+      throw std::invalid_argument("feature arity mismatch");
+    for (std::size_t f = 0; f < columns_.size(); ++f) {
+      out(q, f) = columns_[f].bucket_of(queries[q][f]);
+    }
+  }
+  return out;
+}
+
+ml::Matrix FeatureEncoder::encode_float_batch(
+    const std::vector<std::vector<std::int64_t>>& queries) const {
+  ml::Matrix out(queries.size(), columns_.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    if (queries[q].size() != columns_.size())
+      throw std::invalid_argument("feature arity mismatch");
+    for (std::size_t f = 0; f < columns_.size(); ++f) {
+      out(q, f) = columns_[f].standardize(queries[q][f]);
+    }
   }
   return out;
 }

@@ -50,9 +50,24 @@ class FeatureEncoder {
   ml::Matrix encode_float_gather(const Dataset& ds, const std::vector<std::size_t>& idx,
                                  std::size_t begin, std::size_t end) const;
 
+  /// In-place gather variants for hot loops: `out` is resized (a no-op
+  /// re-zeroing when the shape already matches) and filled, so a training
+  /// loop that reuses one buffer per epoch allocates nothing after the
+  /// first batch.
+  void encode_int_gather_into(const Dataset& ds, const std::vector<std::size_t>& idx,
+                              std::size_t begin, std::size_t end, ml::IntBatch& out) const;
+  void encode_float_gather_into(const Dataset& ds, const std::vector<std::size_t>& idx,
+                                std::size_t begin, std::size_t end, ml::Matrix& out) const;
+
   /// Single-point variants (inference path).
   ml::IntBatch encode_int(const std::vector<std::int64_t>& features) const;
   ml::Matrix encode_float(const std::vector<std::int64_t>& features) const;
+
+  /// Batched query variants (serving path): one packed batch for N
+  /// feature vectors, so the whole batch flows through a single forward
+  /// pass instead of N single-row ones.
+  ml::IntBatch encode_int_batch(const std::vector<std::vector<std::int64_t>>& queries) const;
+  ml::Matrix encode_float_batch(const std::vector<std::vector<std::int64_t>>& queries) const;
 
   /// Text serialization (used by Recommender::save/load).
   void save(std::ostream& os) const;

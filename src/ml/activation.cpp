@@ -6,19 +6,33 @@ namespace airch::ml {
 
 Matrix ReluLayer::forward(const Matrix& x, bool /*training*/) {
   Matrix y = x;
-  mask_.resize(x.rows(), x.cols());
-  for (std::size_t i = 0; i < y.size(); ++i) {
-    const bool pos = y.data()[i] > 0.0f;
-    mask_.data()[i] = pos ? 1.0f : 0.0f;
-    if (!pos) y.data()[i] = 0.0f;
-  }
+  // Skip the resize (which re-zeros) when the shape is unchanged — the
+  // mask is fully overwritten below, and steady-state batches all share
+  // one shape.
+  if (mask_.rows() != x.rows() || mask_.cols() != x.cols()) mask_.resize(x.rows(), x.cols());
+  float* yd = y.data();
+  float* md = mask_.data();
+  const std::size_t cols = x.cols();
+  // Pure elementwise op: row-partitioning is trivially deterministic.
+  parallel_rows(x.rows(), cols, [yd, md, cols](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0 * cols; i < r1 * cols; ++i) {
+      const bool pos = yd[i] > 0.0f;
+      md[i] = pos ? 1.0f : 0.0f;
+      if (!pos) yd[i] = 0.0f;
+    }
+  });
   return y;
 }
 
 Matrix ReluLayer::backward(const Matrix& grad_out) {
   AIRCH_ASSERT(grad_out.rows() == mask_.rows() && grad_out.cols() == mask_.cols());
   Matrix g = grad_out;
-  for (std::size_t i = 0; i < g.size(); ++i) g.data()[i] *= mask_.data()[i];
+  float* gd = g.data();
+  const float* md = mask_.data();
+  const std::size_t cols = g.cols();
+  parallel_rows(g.rows(), cols, [gd, md, cols](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0 * cols; i < r1 * cols; ++i) gd[i] *= md[i];
+  });
   return g;
 }
 

@@ -14,8 +14,13 @@ Matrix DropoutLayer::forward(const Matrix& x, bool training) {
   last_forward_training_ = training;
   if (!training || rate_ == 0.0) return x;
   const float keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
-  mask_.resize(x.rows(), x.cols());
+  // Fully overwritten below; avoid the re-zeroing resize when the batch
+  // shape is unchanged.
+  if (mask_.rows() != x.rows() || mask_.cols() != x.cols()) mask_.resize(x.rows(), x.cols());
   Matrix y = x;
+  // The mask draw MUST stay a single sequential loop: reproducibility of a
+  // training run pins the order in which rng_ is consumed, so only the
+  // mask *application* below is eligible for the parallel element loops.
   for (std::size_t i = 0; i < y.size(); ++i) {
     const bool keep = rng_.uniform() >= rate_;
     mask_.data()[i] = keep ? keep_scale : 0.0f;
@@ -28,7 +33,12 @@ Matrix DropoutLayer::backward(const Matrix& grad_out) {
   if (!last_forward_training_ || rate_ == 0.0) return grad_out;
   AIRCH_ASSERT(grad_out.rows() == mask_.rows() && grad_out.cols() == mask_.cols());
   Matrix g = grad_out;
-  for (std::size_t i = 0; i < g.size(); ++i) g.data()[i] *= mask_.data()[i];
+  float* gd = g.data();
+  const float* md = mask_.data();
+  const std::size_t cols = g.cols();
+  parallel_rows(g.rows(), cols, [gd, md, cols](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0 * cols; i < r1 * cols; ++i) gd[i] *= md[i];
+  });
   return g;
 }
 

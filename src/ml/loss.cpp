@@ -7,12 +7,75 @@
 
 namespace airch::ml {
 
+namespace {
+
+/// Fast path: rows are independent, so they are processed in parallel with
+/// per-row loss/correct written to scratch and folded sequentially
+/// afterwards (the double summation order of the naive loop is part of the
+/// bit-identity contract). Each exp() is computed once per element and
+/// reused for both the gradient and p_label — reusing the identical double
+/// changes nothing numerically but halves the exp cost, which dominates
+/// this function.
+void softmax_rows_fast(const Matrix& logits, const std::vector<std::int32_t>& labels,
+                       LossResult& r, std::vector<double>& row_loss,
+                       std::vector<unsigned char>& row_correct) {
+  const std::size_t batch = logits.rows();
+  const std::size_t classes = logits.cols();
+  row_loss.assign(batch, 0.0);
+  row_correct.assign(batch, 0);
+  parallel_rows(batch, classes * 16, [&](std::size_t b0, std::size_t b1) {
+    static thread_local std::vector<double> exps;
+    if (exps.size() < classes) exps.resize(classes);
+    for (std::size_t i = b0; i < b1; ++i) {
+      const float* row = logits.row(i);
+      float* grad_row = r.grad.row(i);
+      const float max_logit = *std::max_element(row, row + classes);
+
+      double denom = 0.0;
+      for (std::size_t j = 0; j < classes; ++j) {
+        exps[j] = std::exp(static_cast<double>(row[j] - max_logit));
+        denom += exps[j];
+      }
+
+      const auto label = static_cast<std::size_t>(labels[i]);
+      AIRCH_ASSERT(label < classes);
+
+      std::size_t argmax = 0;
+      for (std::size_t j = 0; j < classes; ++j) {
+        const double p = exps[j] / denom;
+        grad_row[j] = static_cast<float>(p / static_cast<double>(batch));
+        if (row[j] > row[argmax]) argmax = j;
+      }
+      grad_row[label] -= 1.0f / static_cast<float>(batch);
+
+      const double p_label = exps[label] / denom;
+      row_loss[i] = -std::log(std::max(p_label, 1e-12));
+      row_correct[i] = argmax == label ? 1 : 0;
+    }
+  });
+}
+
+}  // namespace
+
 LossResult softmax_cross_entropy(const Matrix& logits, const std::vector<std::int32_t>& labels) {
   AIRCH_ASSERT(logits.rows() == labels.size());
   const std::size_t batch = logits.rows();
   const std::size_t classes = logits.cols();
   LossResult r;
   r.grad.resize(batch, classes);
+
+  if (kernel_mode() == KernelMode::kFast) {
+    static thread_local std::vector<double> row_loss;
+    static thread_local std::vector<unsigned char> row_correct;
+    softmax_rows_fast(logits, labels, r, row_loss, row_correct);
+    double total_loss = 0.0;
+    for (std::size_t i = 0; i < batch; ++i) {
+      total_loss += row_loss[i];
+      r.correct += row_correct[i];
+    }
+    r.loss = total_loss / static_cast<double>(batch);
+    return r;
+  }
 
   double total_loss = 0.0;
   for (std::size_t i = 0; i < batch; ++i) {

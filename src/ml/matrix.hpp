@@ -1,9 +1,14 @@
 #pragma once
-// Dense row-major float32 matrix — the numeric workhorse of the NN stack.
-// Sized for classifier training (batches of a few hundred by a few hundred
-// features): a cache-friendly ikj GEMM is all the performance this needs.
+// Dense row-major float32 matrix — the numeric workhorse of the NN stack —
+// plus the training/inference kernel layer (docs/performance.md): a
+// cache-blocked, panel-packed, register-tiled matmul that parallelizes over
+// output-row blocks and dispatches to the widest SIMD level the CPU offers,
+// while staying bit-identical to the retained reference ikj loop (every C
+// element keeps its exact p-ascending float accumulation order, and the
+// zero-skip semantics for dropout/ReLU-zeroed activations are preserved).
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "common/check.hpp"
@@ -52,10 +57,45 @@ class Matrix {
   std::vector<float> data_;
 };
 
+/// Process-wide selector for the ML kernel paths. kFast (the default)
+/// routes matmul through the blocked/packed microkernel and enables the
+/// deterministic parallel element loops in the layer implementations;
+/// kNaive forces the original single-threaded reference paths everywhere.
+/// Both modes produce bit-identical results — the switch exists so
+/// benchmarks and tests can A/B the two paths on the same computation
+/// (bench/bench_train_throughput.cpp asserts trajectory equality).
+/// The flag is read atomically but is intended to be set once up front,
+/// not toggled mid-training.
+enum class KernelMode { kNaive, kFast };
+void set_kernel_mode(KernelMode mode);
+KernelMode kernel_mode();
+
 /// C = alpha * op(A) * op(B) + beta * C, where op is optional transpose.
-/// Shapes are checked with assert; callers size C beforehand.
+/// Shapes are checked with assert; callers size C beforehand. Dispatches
+/// to the blocked kernel or the reference loop per kernel_mode(); results
+/// are bit-identical either way (property-tested in
+/// tests/test_matmul_kernel.cpp).
 void matmul(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b, Matrix& c,
             float alpha = 1.0f, float beta = 0.0f);
+
+/// The original single-threaded ikj loop, retained verbatim as the
+/// reference implementation the blocked kernel is bit-compared against.
+/// Semantics contract: a term whose scaled A operand `alpha * op(A)(i,p)`
+/// equals zero is SKIPPED, not accumulated — a dropout- or ReLU-zeroed
+/// activation row contributes exactly +0.0f to C, never -0.0f and never a
+/// NaN from 0 * inf (pinned by the ZeroRow tests).
+void matmul_reference(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b, Matrix& c,
+                      float alpha = 1.0f, float beta = 0.0f);
+
+/// Deterministic helper for the per-batch element loops (embedding,
+/// activation, loss): invokes fn(begin, end) over disjoint static row
+/// chunks covering [0, rows). Splits across workers only when the kernel
+/// mode is kFast AND rows * work_per_row (an approximate scalar-op count)
+/// is large enough to amortize thread spawns; otherwise runs inline.
+/// Row-partitioning keeps every per-row computation on a single thread in
+/// its original order, so results are bit-identical to the serial loop.
+void parallel_rows(std::size_t rows, std::size_t work_per_row,
+                   const std::function<void(std::size_t, std::size_t)>& fn);
 
 /// y += row_vector broadcast over rows of y (bias add).
 void add_row_broadcast(Matrix& y, const std::vector<float>& row);

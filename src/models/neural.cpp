@@ -27,6 +27,12 @@ std::vector<EpochStats> NeuralClassifier::fit(const Dataset& train, const Datase
   double best_val = -1.0;
   int epochs_since_best = 0;
   const ml::ExponentialDecaySchedule lr_schedule{options_.learning_rate, options_.lr_decay};
+  // Per-batch input buffers are hoisted out of the epoch loop: every full
+  // batch has the same shape, so the gather encoders refill the same
+  // storage and steady-state epochs allocate nothing here.
+  ml::IntBatch int_batch;
+  ml::Matrix float_batch;
+  std::vector<std::int32_t> labels;
   for (int epoch = 1; epoch <= options_.epochs; ++epoch) {
     opt.set_learning_rate(lr_schedule(epoch));
     rng.shuffle(order);
@@ -35,13 +41,15 @@ std::vector<EpochStats> NeuralClassifier::fit(const Dataset& train, const Datase
     std::size_t seen = 0;
     for (std::size_t begin = 0; begin < train.size(); begin += options_.batch_size) {
       const std::size_t end = std::min(train.size(), begin + options_.batch_size);
-      std::vector<std::int32_t> labels(end - begin);
+      labels.resize(end - begin);
       for (std::size_t i = begin; i < end; ++i) labels[i - begin] = train[order[i]].label;
       ml::TrainStats stats;
       if (uses_embedding()) {
-        stats = net_->train_batch(enc.encode_int_gather(train, order, begin, end), labels, opt);
+        enc.encode_int_gather_into(train, order, begin, end, int_batch);
+        stats = net_->train_batch(int_batch, labels, opt);
       } else {
-        stats = net_->train_batch(enc.encode_float_gather(train, order, begin, end), labels, opt);
+        enc.encode_float_gather_into(train, order, begin, end, float_batch);
+        stats = net_->train_batch(float_batch, labels, opt);
       }
       loss_sum += stats.loss * static_cast<double>(stats.count);
       correct += stats.correct;
@@ -86,6 +94,16 @@ std::vector<std::int32_t> NeuralClassifier::predict(const Dataset& ds, const Fea
     out.insert(out.end(), chunk.begin(), chunk.end());
   }
   return out;
+}
+
+std::vector<std::int32_t> NeuralClassifier::predict_batch(
+    const std::vector<std::vector<std::int64_t>>& queries, const FeatureEncoder& enc) {
+  if (!net_) throw std::logic_error("predict before fit");
+  if (queries.empty()) return {};
+  // One packed forward for the whole query set: the matmul kernel works on
+  // a (N x input_dim) batch instead of N single-row products.
+  if (uses_embedding()) return net_->predict(enc.encode_int_batch(queries));
+  return net_->predict(enc.encode_float_batch(queries));
 }
 
 std::vector<float> NeuralClassifier::predict_proba(const std::vector<std::int64_t>& features,

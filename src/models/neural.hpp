@@ -36,6 +36,12 @@ class NeuralClassifier final : public Classifier {
                               const FeatureEncoder& enc) override;
   std::vector<std::int32_t> predict(const Dataset& ds, const FeatureEncoder& enc) override;
 
+  /// Batched inference over raw feature vectors: encodes all queries into
+  /// one packed batch and runs a single forward pass (serving path; see
+  /// Recommender::recommend_batch).
+  std::vector<std::int32_t> predict_batch(const std::vector<std::vector<std::int64_t>>& queries,
+                                          const FeatureEncoder& enc);
+
   /// Class-probability scores for one feature vector (inference path).
   std::vector<float> predict_proba(const std::vector<std::int64_t>& features,
                                    const FeatureEncoder& enc);

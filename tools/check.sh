@@ -8,9 +8,11 @@
 #   tools/check.sh asan tsan   # any subset of: default bench asan tsan tidy
 #
 # The `bench` stage (in the default set; needs the default stage's build)
-# runs a tiny-points smoke of bench_dataset_throughput — which asserts
-# cached and naive labels are identical before reporting — and validates
-# that the emitted JSON parses when python3 is available.
+# runs tiny-points smokes of bench_dataset_throughput — which asserts
+# cached and naive labels are identical before reporting — and of
+# bench_train_throughput — which asserts the naive and fast kernel paths
+# produce bit-identical loss trajectories — and validates that the
+# emitted JSON parses when python3 is available.
 #
 # The `tidy` stage (not in the default set: it is a fourth full build)
 # rebuilds the library with clang-tidy attached to every src/ compile
@@ -47,6 +49,15 @@ for stage in "${STAGES[@]}"; do
       else
         echo "check.sh: python3 not installed — skipping bench JSON validation" >&2
       fi
+      run cmake --build build-checked -j "$JOBS" --target bench_train_throughput
+      run ./build-checked/bench/bench_train_throughput \
+        --points=400 --epochs=1 --reps=1 --infer-queries=64 \
+        --out=build-checked/BENCH_train_smoke.json >/dev/null
+      if command -v python3 >/dev/null 2>&1; then
+        run python3 -c "import json,sys; d=json.load(open('build-checked/BENCH_train_smoke.json')); sys.exit(0 if d['bench']=='train_throughput' and d['trajectory_bit_identical'] is True and len(d['results'])==2 and d['train_speedup']>0 and d['infer']['queries']==64 else 1)"
+      else
+        echo "check.sh: python3 not installed — skipping train bench JSON validation" >&2
+      fi
       ;;
     asan)
       run cmake --preset asan
@@ -58,7 +69,7 @@ for stage in "${STAGES[@]}"; do
     tsan)
       run cmake --preset tsan
       run cmake --build build-tsan -j "$JOBS" --target \
-        test_parallel test_sanitizer_stress test_sweep_cache lint_airch
+        test_parallel test_sanitizer_stress test_sweep_cache test_matmul_kernel lint_airch
       TSAN_OPTIONS=halt_on_error=1 AIRCH_THREADS=4 \
         run ctest --test-dir build-tsan -L tsan --output-on-failure
       ;;

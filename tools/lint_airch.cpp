@@ -15,6 +15,10 @@
 //                sanctioned serialization/ML boundary (src/dataset/,
 //                src/ml/, src/common/csv.*) — quantities leave the typed
 //                world only where scalars are the contract
+//   raw-thread   no std::thread in library code outside common/parallel.*
+//                — concurrency goes through parallel_for/parallel_rows so
+//                worker counts honor AIRCH_THREADS, chunking stays
+//                deterministic, and exceptions propagate
 //
 // A violation on one line can be waived with a trailing comment:
 //     code;  // airch-lint: allow(rule)
@@ -139,6 +143,7 @@ const std::regex kCoutRe(R"(std\s*::\s*cout)");
 const std::regex kUnitFieldRe(
     R"(^\s*(?:std\s*::\s*)?(?:double|float|u?int(?:8|16|32|64)?_t|int|long|unsigned|std::size_t|size_t)(?:\s+(?:long|int))*\s+([A-Za-z0-9_]*_(?:pj|cycles|bytes))\s*(?:[;={]|$))");
 const std::regex kValueEscapeRe(R"(\.\s*value\s*\(\s*\))");
+const std::regex kRawThreadRe(R"(std\s*::\s*(thread|jthread)($|[^A-Za-z0-9_]))");
 
 // Tokens that legally follow a parenthesized type in a declaration, e.g.
 // `double f(double) const;` — not casts.
@@ -152,6 +157,7 @@ struct FileContext {
   bool is_library_code = false;  ///< under src/ — stricter rules apply
   bool units_header = false;     ///< src/common/units.hpp — defines the types
   bool boundary_code = false;    ///< sanctioned scalar boundary (dataset/ml/csv)
+  bool thread_impl = false;      ///< src/common/parallel.* — owns the threads
 };
 
 void lint_file(const fs::path& path, const FileContext& ctx, std::vector<Finding>& findings) {
@@ -214,6 +220,14 @@ void lint_file(const fs::path& path, const FileContext& ctx, std::vector<Finding
                           ".value() outside the serialization/ML boundary — keep the "
                           "quantity typed or justify with an allow comment"});
     }
+    if (is_library_code && !ctx.thread_impl && !allow.count("raw-thread") &&
+        std::regex_search(code, m, kRawThreadRe)) {
+      findings.push_back({path.string(), lineno, "raw-thread",
+                          "raw std::" + m[1].str() +
+                              " in library code — use parallel_for/parallel_rows "
+                              "(common/parallel.hpp) so AIRCH_THREADS and deterministic "
+                              "chunking apply"});
+    }
   }
   if (is_header && !saw_pragma_once && !pragma_once_waived) {
     findings.push_back({path.string(), 1, "pragma-once", "header is missing #pragma once"});
@@ -248,6 +262,7 @@ int main(int argc, char** argv) {
       ctx.units_header = rel == "src/common/units.hpp";
       ctx.boundary_code = rel.rfind("src/dataset/", 0) == 0 || rel.rfind("src/ml/", 0) == 0 ||
                           rel.rfind("src/common/csv", 0) == 0;
+      ctx.thread_impl = rel.rfind("src/common/parallel", 0) == 0;
       lint_file(entry.path(), ctx, findings);
     }
   }
