@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/sync.hpp"
 
 namespace airch {
 
@@ -22,6 +23,42 @@ constexpr std::size_t kInlineThreshold = 256;
 // granularity to absorb an order-of-magnitude per-item cost skew, few
 // enough that the atomic fetch_add stays invisible next to the work.
 constexpr std::size_t kChunksPerWorker = 8;
+
+// First-exception slot shared by every lane of a parallel_for region.
+// "First" means lowest chunk begin, not earliest in wall time: chunk
+// begins are claimed in ascending order and a lane stops at its first
+// exception, so the globally lowest throwing chunk is always executed by a
+// lane that has not thrown yet and offered here — the rethrow is
+// deterministic even under dynamic scheduling.
+//
+// The mutex ranks at lock_rank::kParallelError: a lane only touches the
+// slot after its user callback has unwound, so no user-level lock can
+// still be held and the acquisition is always rank-clean. Both methods are
+// EXCLUDES(mu_) — callers never hold the slot lock.
+class ErrorSlot {
+ public:
+  void offer(std::size_t begin, std::exception_ptr error) EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
+    if (error_ == nullptr || begin < begin_) {
+      begin_ = begin;
+      error_ = std::move(error);
+    }
+  }
+
+  void rethrow_if_any() EXCLUDES(mu_) {
+    std::exception_ptr error;
+    {
+      const MutexLock lock(mu_);
+      error = error_;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  Mutex mu_{lock_rank::kParallelError};
+  std::size_t begin_ GUARDED_BY(mu_) = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error_ GUARDED_BY(mu_);
+};
 
 }  // namespace
 
@@ -48,25 +85,21 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size
   const std::size_t num_chunks = (n + chunk - 1) / chunk;
   const auto lanes =
       static_cast<unsigned>(std::min<std::size_t>(workers, num_chunks));
+  // Lock-free chunk dispenser — the documented escape hatch, not a
+  // capability: fetch_add is the whole protocol, and putting a mutex here
+  // would serialize exactly the operation dynamic scheduling exists to
+  // keep cheap. Everything with more than one field (the error slot) is
+  // mutex-guarded.
   std::atomic<std::size_t> next{0};
-  // One error slot per lane, tagged with the chunk begin that threw.
-  // Chunk begins are claimed in ascending order and a lane stops at its
-  // first exception, so the globally lowest throwing chunk is always
-  // executed (by a lane that has not thrown yet) and recorded — the
-  // rethrow below is deterministic even under dynamic scheduling.
-  struct WorkerError {
-    std::size_t begin = std::numeric_limits<std::size_t>::max();
-    std::exception_ptr error;
-  };
-  std::vector<WorkerError> errors(lanes);
-  const auto run_lane = [&fn, &errors, &next, n, chunk](unsigned lane) {
+  ErrorSlot error;
+  const auto run_lane = [&fn, &error, &next, n, chunk] {
     for (;;) {
       const std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
       if (begin >= n) break;
       try {
         fn(begin, std::min(n, begin + chunk));
       } catch (...) {
-        errors[lane] = {begin, std::current_exception()};
+        error.offer(begin, std::current_exception());
         break;
       }
     }
@@ -78,15 +111,11 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size
   std::vector<std::thread> threads;
   threads.reserve(lanes - 1);
   for (unsigned w = 1; w < lanes; ++w) {
-    threads.emplace_back([&run_lane, w] { run_lane(w); });
+    threads.emplace_back([&run_lane] { run_lane(); });
   }
-  run_lane(0);
+  run_lane();
   for (auto& t : threads) t.join();
-  const WorkerError* first = nullptr;
-  for (const auto& e : errors) {
-    if (e.error && (first == nullptr || e.begin < first->begin)) first = &e;
-  }
-  if (first != nullptr) std::rethrow_exception(first->error);
+  error.rethrow_if_any();
 }
 
 void parallel_for(std::size_t n, unsigned workers,
@@ -101,25 +130,23 @@ void parallel_for(std::size_t n, unsigned workers,
   const std::size_t chunk = (n + workers - 1) / workers;
   std::vector<std::thread> threads;
   threads.reserve(workers);
-  // One error slot per worker: slots are disjoint, so capture needs no
-  // synchronization beyond join(). The lowest-chunk exception is rethrown.
-  std::vector<std::exception_ptr> errors(workers);
+  // Shared lowest-chunk slot: workers own disjoint static ranges, so the
+  // begin-keyed offer() reproduces the old worker-order rethrow exactly.
+  ErrorSlot error;
   for (unsigned w = 0; w < workers; ++w) {
     const std::size_t begin = w * chunk;
     const std::size_t end = std::min(n, begin + chunk);
     if (begin >= end) break;
-    threads.emplace_back([&fn, &errors, w, begin, end] {
+    threads.emplace_back([&fn, &error, begin, end] {
       try {
         fn(begin, end);
       } catch (...) {
-        errors[w] = std::current_exception();
+        error.offer(begin, std::current_exception());
       }
     });
   }
   for (auto& t : threads) t.join();
-  for (auto& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
+  error.rethrow_if_any();
 }
 
 }  // namespace airch

@@ -1,0 +1,55 @@
+#include "common/sync.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace airch::detail {
+
+namespace {
+
+struct HeldLock {
+  const void* mu;
+  int rank;
+};
+
+// Per-thread held-lock stack. Function-local so the vector is constructed
+// on first use per thread (safe during static init of other TUs). Pushes
+// enforce strictly increasing rank, so the stack is always sorted and its
+// back() is the maximum held rank.
+std::vector<HeldLock>& held_stack() {
+  thread_local std::vector<HeldLock> stack;
+  return stack;
+}
+
+}  // namespace
+
+void lock_rank_acquire(const void* mu, int rank) {
+  std::vector<HeldLock>& stack = held_stack();
+  for (const HeldLock& held : stack) {
+    AIRCH_CHECK(held.mu != mu,
+                "lock-rank registry: re-acquiring a mutex this thread already holds "
+                "(self-deadlock on std::mutex, UB on std::shared_mutex)");
+  }
+  if (!stack.empty()) {
+    AIRCH_CHECK(rank > stack.back().rank,
+                "lock-rank inversion: acquiring a mutex whose rank is not strictly above "
+                "every lock already held — see the ordinal table in common/sync.hpp and "
+                "docs/static_analysis.md");
+  }
+  stack.push_back({mu, rank});
+}
+
+void lock_rank_release(const void* mu) {
+  std::vector<HeldLock>& stack = held_stack();
+  // Releases are usually LIFO (RAII), so search from the top; CondVar
+  // waits and out-of-order manual releases still resolve via the scan.
+  const auto it = std::find_if(stack.rbegin(), stack.rend(),
+                               [mu](const HeldLock& held) { return held.mu == mu; });
+  AIRCH_CHECK(it != stack.rend(),
+              "lock-rank registry: releasing a mutex this thread does not hold");
+  stack.erase(std::next(it).base());
+}
+
+std::size_t locks_held_by_this_thread() { return held_stack().size(); }
+
+}  // namespace airch::detail

@@ -16,6 +16,13 @@ void Matrix::init_glorot(Rng& rng) {
 
 namespace {
 
+// Process-wide kernel dispatch flag. A deliberate escape hatch from the
+// capability analysis (common/sync.hpp): a lone atomic word with relaxed
+// ordering is the whole protocol — readers only ever pick a code path, and
+// both paths produce bit-identical results, so no mutex and no GUARDED_BY.
+// The other concurrency-adjacent state in this TU is likewise lock-free by
+// construction: tile_kernel's function-local statics resolve through the
+// C++11 magic-statics guarantee, and the pack scratch is thread_local.
 std::atomic<KernelMode> g_kernel_mode{KernelMode::kFast};
 
 /// Scale-or-clear prologue shared by both matmul paths: C = beta * C.

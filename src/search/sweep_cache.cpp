@@ -59,6 +59,11 @@ Case1SweepCache::Case1SweepCache(const ArrayDataflowSpace& space, const Simulato
   std::size_t cap = kInitialSlots;
   while (cap < 2 * per_shard) cap <<= 1;  // keep load factor <= 50%
   for (Shard& shard : shards_) {
+    // Clang's constructor exemption only covers members of `this`, not the
+    // Shard objects' own guarded fields — and taking the lock here keeps
+    // the pre-sizing writes visible to whichever thread touches the shard
+    // first. Single-threaded at this point, so the cost is nil.
+    const MutexLock lock(shard.mu);
     shard.slots.resize(cap);
     shard.pf_base.store(shard.slots.data(), std::memory_order_release);
     shard.pf_mask.store(cap - 1, std::memory_order_release);
@@ -68,7 +73,7 @@ Case1SweepCache::Case1SweepCache(const ArrayDataflowSpace& space, const Simulato
   }
 }
 
-std::uint32_t Case1SweepCache::evict_one(Shard& shard) const {
+std::uint32_t Case1SweepCache::evict_one(Shard& shard) const REQUIRES(shard.mu) {
   const std::size_t mask = shard.slots.size() - 1;
   std::size_t h = shard.hand & mask;
   // Second-chance sweep over the slot array: a set reference bit buys the
@@ -111,7 +116,8 @@ std::uint32_t Case1SweepCache::evict_one(Shard& shard) const {
 }
 
 Case1SweepCache::Slot& Case1SweepCache::find_or_insert(Shard& shard, const Key& key,
-                                                       std::uint64_t hash) const {
+                                                       std::uint64_t hash) const
+    REQUIRES(shard.mu) {
   if (shard.slots.empty()) {
     shard.slots.resize(kInitialSlots);
     shard.pf_base.store(shard.slots.data(), std::memory_order_release);
@@ -290,7 +296,7 @@ ArrayDataflowSearch::Result Case1SweepCache::best(const GemmWorkload& w, int bud
   // Top hash bits pick the shard (64 shards): independent of the low
   // probe-index bits with no second avalanche.
   Shard& shard = shards_[hash >> 58];
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  const MutexLock lock(shard.mu);
   Slot& slot = find_or_insert(shard, key, hash);
   slot.span |= kRefBit;  // CLOCK reference: touched this sweep lap
   // Pointer computed after find_or_insert: inserting may reallocate spans.
@@ -325,7 +331,7 @@ CacheStats Case1SweepCache::stats() const {
   CacheStats s;
   s.capacity = per_shard_cap_ == 0 ? 0 : per_shard_cap_ * shards_.size();
   for (const Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const MutexLock lock(shard.mu);
     s.hits += shard.hits;
     s.misses += shard.misses;
     s.evictions += shard.evictions;

@@ -50,11 +50,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/sync.hpp"
 #include "search/exhaustive.hpp"
 #include "search/space.hpp"
 #include "sim/simulator.hpp"
@@ -151,12 +151,14 @@ class ShardedMemoCache {
   /// and returns use's result by value. This is how callers extract a
   /// small projection of a large cached table without copying the table
   /// and without holding a reference that an eviction could invalidate.
-  /// `use` must be cheap and must not re-enter this cache (deadlock).
+  /// `use` must be cheap and must not re-enter this cache (deadlock — and
+  /// in checked builds the lock-rank registry turns the attempt into a
+  /// ContractViolation: shard locks are peers at kSweepCacheShard rank).
   template <typename Fn, typename Use>
   auto get_or_use(const Key& key, const Fn& compute, const Use& use) {
     Shard& shard = shards_[shard_index(key)];
     {
-      const std::lock_guard<std::mutex> lock(shard.mu);
+      const MutexLock lock(shard.mu);
       const auto it = shard.map.find(key);
       if (it != shard.map.end()) {
         ++shard.hits;
@@ -165,7 +167,7 @@ class ShardedMemoCache {
       }
     }
     Value value = compute();  // outside any lock: misses don't serialize
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const MutexLock lock(shard.mu);
     const auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       // Lost the insert race: another thread published while this one
@@ -198,7 +200,7 @@ class ShardedMemoCache {
     CacheStats s;
     s.capacity = capacity();
     for (const Shard& shard : shards_) {
-      const std::lock_guard<std::mutex> lock(shard.mu);
+      const MutexLock lock(shard.mu);
       s.hits += shard.hits;
       s.misses += shard.misses;
       s.races += shard.races;
@@ -216,26 +218,26 @@ class ShardedMemoCache {
   using Map = std::unordered_map<Key, Node, Hash>;
 
   struct Shard {
-    mutable std::mutex mu;
-    Map map;
+    mutable Mutex mu{lock_rank::kSweepCacheShard};
+    Map map GUARDED_BY(mu);
     // CLOCK state (bounded shards only): `ring` holds an iterator to every
     // resident entry (unordered_map iterators stay valid until their entry
     // is erased), `hand` is the sweep position.
-    std::vector<typename Map::iterator> ring;
-    std::size_t hand = 0;
+    std::vector<typename Map::iterator> ring GUARDED_BY(mu);
+    std::size_t hand GUARDED_BY(mu) = 0;
     // Plain counters: every touch happens under `mu`, no atomics needed —
     // which is also what makes stats() TSan-clean.
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t races = 0;
-    std::uint64_t evictions = 0;
+    std::uint64_t hits GUARDED_BY(mu) = 0;
+    std::uint64_t misses GUARDED_BY(mu) = 0;
+    std::uint64_t races GUARDED_BY(mu) = 0;
+    std::uint64_t evictions GUARDED_BY(mu) = 0;
   };
 
   /// Sweep the clock hand to the first entry whose reference bit is clear
   /// (clearing set bits along the way) and erase it. The hand then points
   /// at the freed ring slot. Terminates: bits are only cleared, so a full
   /// lap forces a victim on the next.
-  void evict_one(Shard& shard) {
+  void evict_one(Shard& shard) REQUIRES(shard.mu) {
     AIRCH_DCHECK(!shard.ring.empty(), "bounded shard must have residents to evict");
     for (std::size_t spins = 0;; ++spins) {
       AIRCH_DCHECK(spins <= 2 * shard.ring.size(), "clock sweep must find a victim");
@@ -340,28 +342,33 @@ class Case1SweepCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::vector<Slot> slots;  // pow2 size, linear probing, <= 50% load
-    std::size_t used = 0;
-    std::vector<Result> spans;  // span i occupies [i*span_cap, +span_cap)
-    std::size_t hand = 0;       // CLOCK sweep position (bounded mode)
+    mutable Mutex mu{lock_rank::kSweepCacheShard};
+    std::vector<Slot> slots GUARDED_BY(mu);  // pow2 size, linear probing, <= 50% load
+    std::size_t used GUARDED_BY(mu) = 0;
+    std::vector<Result> spans GUARDED_BY(mu);  // span i occupies [i*span_cap, +span_cap)
+    std::size_t hand GUARDED_BY(mu) = 0;       // CLOCK sweep position (bounded mode)
     // Plain counters: every touch happens under `mu`, no atomics needed.
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t evictions = 0;
+    std::uint64_t hits GUARDED_BY(mu) = 0;
+    std::uint64_t misses GUARDED_BY(mu) = 0;
+    std::uint64_t evictions GUARDED_BY(mu) = 0;
     // Lock-free snapshot of (slots.data(), size-1) for prefetch(). Writers
     // publish base before mask; readers load mask before base, so a
     // reader's base is always at least as new as its mask and the computed
-    // address stays inside the base's allocation.
+    // address stays inside the base's allocation. Deliberately NOT
+    // GUARDED_BY(mu) — this is the documented capability-analysis escape
+    // hatch for the lock-free prefetch path: prefetch() reads the snapshot
+    // without the shard lock (and dereferences nothing), while every store
+    // happens under it. The atomics carry the ordering themselves.
     std::atomic<const Slot*> pf_base{nullptr};
     std::atomic<std::size_t> pf_mask{0};
   };
 
-  Slot& find_or_insert(Shard& shard, const Key& key, std::uint64_t hash) const;
+  Slot& find_or_insert(Shard& shard, const Key& key, std::uint64_t hash) const
+      REQUIRES(shard.mu);
 
   /// Second-chance victim selection + backward-shift deletion; returns the
   /// victim's span index for the incoming key to reuse.
-  std::uint32_t evict_one(Shard& shard) const;
+  std::uint32_t evict_one(Shard& shard) const REQUIRES(shard.mu);
 
   /// Continue the prefix-argmin scan of `best` from `built_exp` (-1 for a
   /// fresh span) up to `up_to_exp`. Pure integer arithmetic; never throws.

@@ -1,0 +1,24 @@
+// Must NOT compile under clang -Wthread-safety -Werror=thread-safety:
+// calling a REQUIRES(mu) helper without holding mu — the exact shape of
+// the sweep-cache build-under-lock helpers (find_or_insert / evict_one).
+#include "common/sync.hpp"
+
+namespace {
+
+class Cache {
+ public:
+  int get(int key) EXCLUDES(mu_) {
+    // BUG: find_or_insert requires mu_, but the lock is never taken.
+    return find_or_insert(key);
+  }
+
+ private:
+  int find_or_insert(int key) REQUIRES(mu_) { return table_[key & 7]; }
+
+  airch::Mutex mu_;
+  int table_[8] GUARDED_BY(mu_) = {};
+};
+
+int use(Cache& c) { return c.get(42); }
+
+}  // namespace

@@ -1,0 +1,18 @@
+// Must NOT compile under clang -Wthread-safety -Werror=thread-safety:
+// acquiring a mutex the scope already holds (self-deadlock on std::mutex;
+// the runtime lock-rank registry catches the same bug across call chains
+// the static analysis cannot see).
+#include "common/sync.hpp"
+
+namespace {
+
+airch::Mutex mu;
+long value GUARDED_BY(mu) = 0;
+
+long double_acquire() {
+  const airch::MutexLock outer(mu);
+  const airch::MutexLock inner(mu);  // BUG: already held
+  return value;
+}
+
+}  // namespace

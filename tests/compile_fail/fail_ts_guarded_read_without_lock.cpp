@@ -1,0 +1,27 @@
+// Must NOT compile under clang -Wthread-safety -Werror=thread-safety:
+// reading a GUARDED_BY field without holding its mutex.
+#include "common/sync.hpp"
+
+namespace {
+
+class Tally {
+ public:
+  void bump() {
+    const airch::MutexLock lock(mu_);
+    ++count_;
+  }
+
+  // BUG: no lock held around the guarded read.
+  long read_racy() const { return count_; }
+
+ private:
+  mutable airch::Mutex mu_;
+  long count_ GUARDED_BY(mu_) = 0;
+};
+
+long use(Tally& t) {
+  t.bump();
+  return t.read_racy();
+}
+
+}  // namespace

@@ -1,0 +1,28 @@
+// Must NOT compile under clang -Wthread-safety -Werror=thread-safety:
+// writing a GUARDED_BY field while holding only the shared (reader) side
+// of its SharedMutex — readers may observe the torn write.
+#include "common/sync.hpp"
+
+namespace {
+
+class Registry {
+ public:
+  long read() const {
+    const airch::ReaderLock lock(mu_);
+    return value_;
+  }
+
+  // BUG: a write needs the exclusive capability (WriterLock).
+  void write_under_reader(long v) {
+    const airch::ReaderLock lock(mu_);
+    value_ = v;
+  }
+
+ private:
+  mutable airch::SharedMutex mu_;
+  long value_ GUARDED_BY(mu_) = 0;
+};
+
+void use(Registry& r) { r.write_under_reader(r.read() + 1); }
+
+}  // namespace

@@ -1,0 +1,23 @@
+// Must NOT compile under clang -Wthread-safety -Werror=thread-safety:
+// a scoped acquisition that inverts a documented lock order. The order
+// low-before-high is encoded statically as EXCLUDES(high) on the function
+// that takes `low` — acquiring low while high is held is exactly the
+// inversion the runtime lock-rank registry throws on in checked builds,
+// caught here at compile time instead.
+#include "common/sync.hpp"
+
+namespace {
+
+airch::Mutex low{airch::lock_rank::kParallelError};
+airch::Mutex high{airch::lock_rank::kSweepCacheShard};
+
+// Sanctioned entry point for `low`: callers must not already hold `high`.
+void with_low_held() ACQUIRE(low) EXCLUDES(high) { low.lock(); }
+
+void inverted() {
+  const airch::MutexLock guard(high);
+  with_low_held();  // BUG: rank-inverted acquisition while `high` is held
+  low.unlock();
+}
+
+}  // namespace

@@ -1,0 +1,21 @@
+// Must NOT compile under clang -Wthread-safety -Werror=thread-safety:
+// returning a reference to GUARDED_BY data — the caller would touch the
+// shared state after the accessor's lock scope ends.
+#include "common/sync.hpp"
+
+namespace {
+
+class Store {
+ public:
+  // BUG: the reference escapes the capability entirely (no lock is even
+  // held here); every dereference at the call site is an unguarded access.
+  long& slot() { return value_; }
+
+ private:
+  airch::Mutex mu_;
+  long value_ GUARDED_BY(mu_) = 0;
+};
+
+void use(Store& s) { s.slot() = 7; }
+
+}  // namespace

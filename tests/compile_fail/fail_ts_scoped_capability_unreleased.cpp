@@ -1,0 +1,19 @@
+// Must NOT compile under clang -Wthread-safety -Werror=thread-safety:
+// a function that promises ACQUIRE(mu) to its callers but lets a scoped
+// capability release the lock on scope exit — callers would proceed
+// believing they hold a mutex that is already unlocked.
+#include "common/sync.hpp"
+
+namespace {
+
+airch::Mutex mu;
+long value GUARDED_BY(mu) = 0;
+
+// BUG: the MutexLock's destructor releases mu before return, so the
+// declared capability is never actually delivered to the caller.
+void acquire_for_caller() ACQUIRE(mu) {
+  const airch::MutexLock lock(mu);
+  ++value;
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+// Positive control for the thread-safety compile-fail harness: idiomatic
+// use of every annotation the fail_ts_* snippets abuse, compiled with the
+// identical clang -Wthread-safety -Werror=thread-safety command line. If
+// this stops compiling, the harness is broken, not the snippets.
+#include "common/sync.hpp"
+
+namespace {
+
+class Guarded {
+ public:
+  // RAII acquisition covering both read and write of the guarded field.
+  void bump() EXCLUDES(mu_) {
+    const airch::MutexLock lock(mu_);
+    ++count_;
+    helper_locked();
+  }
+
+  long read() const EXCLUDES(mu_) {
+    const airch::MutexLock lock(mu_);
+    return count_;
+  }
+
+  // RETURN_CAPABILITY lets callers name the lock through an accessor.
+  airch::Mutex& lock() RETURN_CAPABILITY(mu_) { return mu_; }
+
+  long read_presumed_locked() const REQUIRES(mu_) { return count_; }
+
+ private:
+  void helper_locked() REQUIRES(mu_) { ++count_; }
+
+  mutable airch::Mutex mu_;
+  long count_ GUARDED_BY(mu_) = 0;
+  // Pointer form: the pointee, not the pointer, is guarded.
+  long* slot_ PT_GUARDED_BY(mu_) = &count_;
+};
+
+class SharedGuarded {
+ public:
+  long read() const EXCLUDES(mu_) {
+    const airch::ReaderLock lock(mu_);
+    return value_;
+  }
+
+  void write(long v) EXCLUDES(mu_) {
+    const airch::WriterLock lock(mu_);
+    value_ = v;
+  }
+
+ private:
+  mutable airch::SharedMutex mu_;
+  long value_ GUARDED_BY(mu_) = 0;
+};
+
+class Queue {
+ public:
+  void push(long v) EXCLUDES(mu_) {
+    {
+      const airch::MutexLock lock(mu_);
+      pending_ = v;
+      has_item_ = true;
+    }
+    cv_.notify_one();
+  }
+
+  long pop() EXCLUDES(mu_) {
+    const airch::MutexLock lock(mu_);
+    while (!has_item_) cv_.wait(mu_);
+    has_item_ = false;
+    return pending_;
+  }
+
+ private:
+  airch::Mutex mu_;
+  airch::CondVar cv_;
+  long pending_ GUARDED_BY(mu_) = 0;
+  bool has_item_ GUARDED_BY(mu_) = false;
+};
+
+long use_all(Guarded& g, SharedGuarded& s, Queue& q) {
+  g.bump();
+  s.write(g.read());
+  q.push(s.read());
+  const airch::MutexLock lock(g.lock());
+  return g.read_presumed_locked() + q.pop();
+}
+
+}  // namespace

@@ -3,7 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <deque>
+#include <thread>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace airch {
 namespace {
@@ -47,6 +52,75 @@ TEST(ParallelFor, ChunksAreDisjointAndOrderedWithinThemselves) {
 }
 
 TEST(HardwareThreads, AtLeastOne) { EXPECT_GE(hardware_threads(), 1u); }
+
+// TSan-labelled stress over the CondVar wrapper (common/sync.hpp): a
+// bounded multi-producer/multi-consumer queue where every push and pop
+// crosses a wait/notify edge under real contention. TSan checks the
+// wrapper introduces no races; the item accounting below checks nothing
+// is lost, duplicated, or delivered past shutdown.
+TEST(CondVarStress, BoundedQueueDeliversEveryItemExactlyOnce) {
+  constexpr int kProducers = 2;
+  constexpr int kConsumers = 2;
+  constexpr int kPerProducer = 2000;
+  constexpr std::size_t kCapacity = 4;  // tiny: forces both wait directions
+
+  Mutex mu;
+  CondVar not_full;
+  CondVar not_empty;
+  std::deque<std::int64_t> queue;
+  bool done = false;
+
+  std::atomic<std::int64_t> consumed_sum{0};
+  std::atomic<std::int64_t> consumed_count{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const MutexLock lock(mu);
+        while (queue.size() >= kCapacity) not_full.wait(mu);
+        queue.push_back(static_cast<std::int64_t>(p) * kPerProducer + i);
+        not_empty.notify_one();
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        std::int64_t item;
+        {
+          const MutexLock lock(mu);
+          while (queue.empty() && !done) not_empty.wait(mu);
+          if (queue.empty()) return;  // done && drained
+          item = queue.front();
+          queue.pop_front();
+          not_full.notify_one();
+        }
+        consumed_sum.fetch_add(item);
+        consumed_count.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  {
+    const MutexLock lock(mu);
+    done = true;
+  }
+  not_empty.notify_all();
+  for (std::size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+
+  const auto total = std::int64_t{kProducers} * kPerProducer;
+  EXPECT_EQ(consumed_count.load(), total);
+  // Sum over p in [0,2), i in [0,2000) of p*2000+i.
+  std::int64_t expected = 0;
+  for (int p = 0; p < kProducers; ++p) {
+    for (int i = 0; i < kPerProducer; ++i) {
+      expected += static_cast<std::int64_t>(p) * kPerProducer + i;
+    }
+  }
+  EXPECT_EQ(consumed_sum.load(), expected);
+  EXPECT_TRUE(queue.empty());
+}
 
 }  // namespace
 }  // namespace airch

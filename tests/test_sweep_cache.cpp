@@ -395,5 +395,53 @@ TEST(ShardedMemoCache, ConcurrentHammerIsRaceFreeAndDeterministic) {
   EXPECT_GE(stats.misses, keys.size());  // racing threads may double-compute
 }
 
+// Same 8-thread stats-invariant hammer, driven through the migrated shard
+// locks (common/sync.hpp Mutex/MutexLock instead of raw std::mutex /
+// std::lock_guard): the sync-layer swap must preserve bit-identical labels
+// and the hits+misses+races == queries accounting, including while other
+// threads snapshot stats() mid-hammer. Bounded memo so the CLOCK eviction
+// path also runs under the annotated locks. TSan-labelled via this binary.
+TEST(Case2SweepCache, StatsInvariantUnderConcurrencyWithMigratedLocks) {
+  const BufferSizeSpace space;
+  const Simulator sim;
+  const BufferSearch naive(space, sim);
+  const Case2SweepCache cache(space, sim, /*max_entries=*/8);
+
+  Rng rng(43);
+  LogUniformGemmSampler sampler;
+  std::vector<GemmWorkload> pool;
+  std::vector<Case2Features> queries;
+  std::vector<BufferSearch::Result> expected;
+  for (int i = 0; i < 24; ++i) {
+    queries.push_back(sample_case2_query(rng, sampler, pool, space));
+    expected.push_back(naive.best(queries.back().workload, queries.back().array,
+                                  queries.back().bandwidth, queries.back().limit_kb));
+  }
+
+  constexpr std::size_t kQueries = 2000;
+  std::atomic<int> mismatches{0};
+  parallel_for(kQueries, 8, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t k = i % queries.size();
+      const Case2Features& f = queries[k];
+      const auto got = cache.best(f.workload, f.array, f.bandwidth, f.limit_kb);
+      if (got.label != expected[k].label || got.stall_cycles != expected[k].stall_cycles ||
+          got.total_kb != expected[k].total_kb) {
+        mismatches.fetch_add(1);
+      }
+      if (i % 64 == 0) {
+        // stats() locks each shard in turn mid-hammer; the per-shard
+        // slices must stay internally consistent.
+        const CacheStats mid = cache.stats();
+        if (mid.entries > mid.capacity) mismatches.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.races, kQueries);
+  EXPECT_LE(stats.entries, stats.capacity);
+}
+
 }  // namespace
 }  // namespace airch

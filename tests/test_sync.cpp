@@ -1,0 +1,180 @@
+// Synchronization layer (common/sync.hpp): lock-rank registry semantics,
+// RAII wrappers, and the CondVar contract. The registry is compiled out
+// under NDEBUG, so every throw-assertion branches on
+// kLockRankChecksEnabled — in Release the same sequences must be silent
+// no-ops (and the genuinely dangerous ones are skipped outright).
+
+#include "common/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace airch {
+namespace {
+
+TEST(LockRank, InversionAcrossTwoThreadsThrows) {
+  Mutex low{lock_rank::kParallelError};
+  Mutex high{lock_rank::kSweepCacheShard};
+
+  // Thread A follows the documented order low -> high and must complete
+  // cleanly in every build mode.
+  std::exception_ptr a_error;
+  std::thread a([&] {
+    try {
+      const MutexLock l1(low);
+      const MutexLock l2(high);
+    } catch (...) {
+      a_error = std::current_exception();
+    }
+  });
+
+  // Thread B seeds the inversion: high first, then low. In checked builds
+  // the registry throws BEFORE the acquire blocks, so the classic ABBA
+  // deadlock can never form; in Release the inverted acquire is skipped
+  // (attempting it against thread A really could deadlock).
+  bool b_threw = false;
+  std::exception_ptr b_error;
+  std::thread b([&] {
+    try {
+      const MutexLock l1(high);
+      if (kLockRankChecksEnabled) {
+        try {
+          const MutexLock l2(low);
+        } catch (const ContractViolation&) {
+          b_threw = true;
+        }
+      }
+    } catch (...) {
+      b_error = std::current_exception();
+    }
+  });
+
+  a.join();
+  b.join();
+  EXPECT_FALSE(a_error);
+  EXPECT_FALSE(b_error);
+  if (kLockRankChecksEnabled) {
+    EXPECT_TRUE(b_threw);
+  }
+}
+
+TEST(LockRank, ReacquireThrows) {
+  if (!kLockRankChecksEnabled) {
+    GTEST_SKIP() << "re-lock of std::mutex is UB without the registry";
+  }
+  Mutex m;
+  m.lock();
+  EXPECT_THROW(m.lock(), ContractViolation);
+  // The failed acquire must not have corrupted the stack: the original
+  // hold is still registered and releases cleanly.
+  EXPECT_EQ(detail::locks_held_by_this_thread(), 1u);
+  m.unlock();
+  EXPECT_EQ(detail::locks_held_by_this_thread(), 0u);
+}
+
+TEST(LockRank, SameRankNestingThrows) {
+  if (!kLockRankChecksEnabled) GTEST_SKIP() << "registry compiled out";
+  // Two default-rank (leaf) mutexes: peers never nest.
+  Mutex a;
+  Mutex b;
+  const MutexLock hold_a(a);
+  EXPECT_THROW(b.lock(), ContractViolation);
+}
+
+TEST(LockRank, ReleaseRestoresLowerRanks) {
+  Mutex low{lock_rank::kParallelError};
+  Mutex high{lock_rank::kSweepCacheShard};
+  {
+    const MutexLock l(high);
+  }
+  // high is released, so acquiring the lower rank afresh is legal.
+  const MutexLock l(low);
+  const MutexLock h(high);  // ascending from inside: also legal
+  if (kLockRankChecksEnabled) {
+    EXPECT_EQ(detail::locks_held_by_this_thread(), 2u);
+  } else {
+    EXPECT_EQ(detail::locks_held_by_this_thread(), 0u);
+  }
+}
+
+TEST(LockRank, SharedReacquireThrows) {
+  if (!kLockRankChecksEnabled) {
+    GTEST_SKIP() << "recursive lock_shared is UB without the registry";
+  }
+  SharedMutex sm;
+  sm.lock_shared();
+  EXPECT_THROW(sm.lock_shared(), ContractViolation);
+  sm.unlock_shared();
+}
+
+TEST(Sync, SharedMutexReadersCoexist) {
+  SharedMutex sm;
+  int value = 0;
+  {
+    const WriterLock w(sm);
+    value = 42;
+  }
+  // Two concurrent readers must both get in (shared mode is genuinely
+  // shared) and observe the published value.
+  std::vector<int> seen(2, -1);
+  std::thread r1([&] {
+    const ReaderLock r(sm);
+    seen[0] = value;
+  });
+  std::thread r2([&] {
+    const ReaderLock r(sm);
+    seen[1] = value;
+  });
+  r1.join();
+  r2.join();
+  EXPECT_EQ(seen[0], 42);
+  EXPECT_EQ(seen[1], 42);
+}
+
+TEST(Sync, TryLockContendedFailureLeavesRegistryClean) {
+  Mutex m;
+  ASSERT_TRUE(m.try_lock());
+  std::thread t([&] {
+    // Contended from another thread: must fail, and in checked builds the
+    // provisional registry note must have been retracted.
+    EXPECT_FALSE(m.try_lock());
+    EXPECT_EQ(detail::locks_held_by_this_thread(), 0u);
+  });
+  t.join();
+  m.unlock();
+  ASSERT_TRUE(m.try_lock());
+  m.unlock();
+}
+
+TEST(Sync, CondVarHandsOffValue) {
+  Mutex m;
+  CondVar cv;
+  int slot = 0;
+  bool ready = false;
+
+  std::thread consumer([&] {
+    const MutexLock lock(m);
+    while (!ready) cv.wait(m);
+    EXPECT_EQ(slot, 7);
+    // Waking from a wait re-acquires through the annotated Mutex, so the
+    // registry still counts the hold.
+    if (kLockRankChecksEnabled) {
+      EXPECT_EQ(detail::locks_held_by_this_thread(), 1u);
+    }
+  });
+  {
+    const MutexLock lock(m);
+    slot = 7;
+    ready = true;
+  }
+  cv.notify_one();
+  consumer.join();
+}
+
+}  // namespace
+}  // namespace airch

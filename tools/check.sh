@@ -6,19 +6,29 @@
 #   tools/check.sh             # everything (slow: three full builds)
 #   tools/check.sh default     # just the Release build + full test suite
 #   tools/check.sh asan tsan   # any subset of: default bench asan tsan tidy
+#                              # capability
 #
 # The `bench` stage (in the default set; needs the default stage's build)
 # runs tiny-points smokes of bench_dataset_throughput — which asserts
 # cached and naive labels are identical before reporting — and of
 # bench_train_throughput — which asserts the naive and fast kernel paths
-# produce bit-identical loss trajectories — and validates that the
-# emitted JSON parses when python3 is available.
+# produce bit-identical loss trajectories — and validates the emitted JSON
+# against the shared schema gate (tools/validate_bench.py, also invoked by
+# CI so the two can't drift).
 #
 # The `tidy` stage (not in the default set: it is a fourth full build)
 # rebuilds the library with clang-tidy attached to every src/ compile
-# (.clang-tidy, AIRCH_CLANG_TIDY=ON). It requires clang-tidy on PATH and
-# is skipped with a notice when the binary is missing — no tooling beyond
-# the stock container is ever required locally; CI installs it and gates.
+# (.clang-tidy, AIRCH_CLANG_TIDY=ON).
+#
+# The `capability` stage (not in the default set: needs clang) compiles the
+# library under clang -Wthread-safety -Werror=thread-safety (the capability
+# preset; annotations in common/sync.hpp) and runs the thread-safety
+# compile-fail harness.
+#
+# Tool-gated stages skip with a notice when the tool is missing locally —
+# no tooling beyond the stock container is ever required on a dev box —
+# but HARD-FAIL when CI=true, so the hosted gate can never green-light a
+# check that did not actually run.
 #
 # TSan runs only the `tsan`-labelled concurrency suite (the full suite under
 # TSan is prohibitively slow); ASan+UBSan runs the full suite. AIRCH_THREADS
@@ -32,6 +42,16 @@ if [ ${#STAGES[@]} -eq 0 ]; then STAGES=(default bench asan tsan); fi
 
 run() { echo "+ $*" >&2; "$@"; }
 
+# skip_or_fail <tool> <what>: missing-tool policy. Locally a notice +
+# return 0 (caller skips); under CI=true an unexecuted check is a failure.
+skip_or_fail() {
+  if [ "${CI:-}" = "true" ]; then
+    echo "check.sh: $1 required for $2 but not installed and CI=true — failing" >&2
+    exit 1
+  fi
+  echo "check.sh: $1 not installed — skipping $2" >&2
+}
+
 for stage in "${STAGES[@]}"; do
   case "$stage" in
     default)
@@ -44,19 +64,16 @@ for stage in "${STAGES[@]}"; do
       run cmake --build build-checked -j "$JOBS" --target bench_dataset_throughput
       run ./build-checked/bench/bench_dataset_throughput \
         --points=300 --reps=1 --out=build-checked/BENCH_dataset_smoke.json >/dev/null
-      if command -v python3 >/dev/null 2>&1; then
-        run python3 -c "import json,sys; d=json.load(open('build-checked/BENCH_dataset_smoke.json')); sys.exit(0 if d['bench']=='dataset_throughput' and len(d['results'])==6 and all(c in d['speedup'] for c in ('case1','case2','case3')) and 0.0 <= d['dup_fraction'] <= 1.0 else 1)"
-      else
-        echo "check.sh: python3 not installed — skipping bench JSON validation" >&2
-      fi
       run cmake --build build-checked -j "$JOBS" --target bench_train_throughput
       run ./build-checked/bench/bench_train_throughput \
         --points=400 --epochs=1 --reps=1 --infer-queries=64 \
         --out=build-checked/BENCH_train_smoke.json >/dev/null
       if command -v python3 >/dev/null 2>&1; then
-        run python3 -c "import json,sys; d=json.load(open('build-checked/BENCH_train_smoke.json')); sys.exit(0 if d['bench']=='train_throughput' and d['trajectory_bit_identical'] is True and len(d['results'])==2 and d['train_speedup']>0 and d['infer']['queries']==64 else 1)"
+        run python3 tools/validate_bench.py dataset build-checked/BENCH_dataset_smoke.json
+        run python3 tools/validate_bench.py train build-checked/BENCH_train_smoke.json \
+          --expect-infer-queries=64
       else
-        echo "check.sh: python3 not installed — skipping train bench JSON validation" >&2
+        skip_or_fail python3 "bench JSON schema validation"
       fi
       ;;
     asan)
@@ -69,13 +86,14 @@ for stage in "${STAGES[@]}"; do
     tsan)
       run cmake --preset tsan
       run cmake --build build-tsan -j "$JOBS" --target \
-        test_parallel test_sanitizer_stress test_sweep_cache test_matmul_kernel lint_airch
+        test_parallel test_sanitizer_stress test_sweep_cache test_matmul_kernel \
+        test_sync lint_airch
       TSAN_OPTIONS=halt_on_error=1 AIRCH_THREADS=4 \
         run ctest --test-dir build-tsan -L tsan --output-on-failure
       ;;
     tidy)
       if ! command -v clang-tidy >/dev/null 2>&1; then
-        echo "check.sh: clang-tidy not installed — skipping tidy stage" >&2
+        skip_or_fail clang-tidy "tidy stage"
         continue
       fi
       run cmake --preset tidy
@@ -83,8 +101,22 @@ for stage in "${STAGES[@]}"; do
         airch_common airch_workload airch_sim airch_search airch_dataset \
         airch_ml airch_models airch_core
       ;;
+    capability)
+      if ! command -v clang++ >/dev/null 2>&1; then
+        skip_or_fail clang++ "capability stage"
+        continue
+      fi
+      run cmake --preset capability
+      # Library targets only: -Wthread-safety sees every annotated mutex in
+      # src/; tests/bench/examples keep the base warning set.
+      run cmake --build build-capability -j "$JOBS" --target \
+        airch_common airch_workload airch_sim airch_search airch_dataset \
+        airch_ml airch_models airch_core
+      # The must-not-compile thread-safety snippets + positive control.
+      run ctest --test-dir build-capability -L thread_safety --output-on-failure
+      ;;
     *)
-      echo "unknown stage: $stage (want: default bench asan tsan tidy)" >&2
+      echo "unknown stage: $stage (want: default bench asan tsan tidy capability)" >&2
       exit 2
       ;;
   esac

@@ -19,13 +19,28 @@
 //                — concurrency goes through parallel_for/parallel_rows so
 //                worker counts honor AIRCH_THREADS, chunking stays
 //                deterministic, and exceptions propagate
+//   raw-mutex    no std mutex/lock/condvar types (std::mutex,
+//                std::shared_mutex, std::lock_guard, std::unique_lock,
+//                std::scoped_lock, std::condition_variable, ...) in
+//                library code outside common/sync.* — synchronization
+//                goes through the annotated capability layer
+//                (common/sync.hpp) so clang -Wthread-safety and the
+//                checked-build lock-rank registry see every acquisition
+//   raw-lock     no manual .lock()/.unlock()/.try_lock() calls in library
+//                code outside common/sync.* — acquisition is RAII
+//                (MutexLock / ReaderLock / WriterLock), so locks release
+//                on every path including exceptions and the scoped
+//                capability analysis stays sound
 //
 // A violation on one line can be waived with a trailing comment:
 //     code;  // airch-lint: allow(rule)
 // (comma-separated rule list; `allow(pragma-once)` anywhere in a header
 // waives that file-level rule).
 //
-// Usage: lint_airch <repo_root>
+// Usage: lint_airch [--rules=a,b] [--machine] <repo_root>
+//   --rules=a,b   report only the named rules (default: all)
+//   --machine     one `file:line:rule` per finding — the format CI parses
+//                 into per-line annotations — instead of prose
 // Exit status 0 iff no violations — wired into CTest as `lint_airch`.
 
 #include <cctype>
@@ -144,6 +159,11 @@ const std::regex kUnitFieldRe(
     R"(^\s*(?:std\s*::\s*)?(?:double|float|u?int(?:8|16|32|64)?_t|int|long|unsigned|std::size_t|size_t)(?:\s+(?:long|int))*\s+([A-Za-z0-9_]*_(?:pj|cycles|bytes))\s*(?:[;={]|$))");
 const std::regex kValueEscapeRe(R"(\.\s*value\s*\(\s*\))");
 const std::regex kRawThreadRe(R"(std\s*::\s*(thread|jthread)($|[^A-Za-z0-9_]))");
+// Longest-first alternation so e.g. condition_variable_any never half-matches.
+const std::regex kRawMutexRe(
+    R"(std\s*::\s*(condition_variable_any|condition_variable|recursive_timed_mutex|recursive_mutex|shared_timed_mutex|timed_mutex|shared_mutex|mutex|scoped_lock|shared_lock|lock_guard|unique_lock)($|[^A-Za-z0-9_]))");
+const std::regex kRawLockRe(
+    R"((\.|->)\s*(try_lock_shared|try_lock|lock_shared|unlock_shared|unlock|lock)\s*\()");
 
 // Tokens that legally follow a parenthesized type in a declaration, e.g.
 // `double f(double) const;` — not casts.
@@ -158,6 +178,7 @@ struct FileContext {
   bool units_header = false;     ///< src/common/units.hpp — defines the types
   bool boundary_code = false;    ///< sanctioned scalar boundary (dataset/ml/csv)
   bool thread_impl = false;      ///< src/common/parallel.* — owns the threads
+  bool sync_impl = false;        ///< src/common/sync.* — wraps the std primitives
 };
 
 void lint_file(const fs::path& path, const FileContext& ctx, std::vector<Finding>& findings) {
@@ -228,6 +249,21 @@ void lint_file(const fs::path& path, const FileContext& ctx, std::vector<Finding
                               "(common/parallel.hpp) so AIRCH_THREADS and deterministic "
                               "chunking apply"});
     }
+    if (is_library_code && !ctx.sync_impl && !allow.count("raw-mutex") &&
+        std::regex_search(code, m, kRawMutexRe)) {
+      findings.push_back({path.string(), lineno, "raw-mutex",
+                          "raw std::" + m[1].str() +
+                              " in library code — use the annotated layer in "
+                              "common/sync.hpp (Mutex/MutexLock/CondVar) so thread-safety "
+                              "analysis and the lock-rank registry apply"});
+    }
+    if (is_library_code && !ctx.sync_impl && !allow.count("raw-lock") &&
+        std::regex_search(code, m, kRawLockRe)) {
+      findings.push_back({path.string(), lineno, "raw-lock",
+                          "manual ." + m[2].str() +
+                              "() in library code — hold locks via RAII "
+                              "(MutexLock/ReaderLock/WriterLock, common/sync.hpp)"});
+    }
   }
   if (is_header && !saw_pragma_once && !pragma_once_waived) {
     findings.push_back({path.string(), 1, "pragma-once", "header is missing #pragma once"});
@@ -237,11 +273,35 @@ void lint_file(const fs::path& path, const FileContext& ctx, std::vector<Finding
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::cerr << "usage: lint_airch <repo_root>\n";
+  bool machine = false;
+  std::set<std::string> only_rules;  // empty = all rules
+  std::string root_arg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--machine") {
+      machine = true;
+    } else if (arg.rfind("--rules=", 0) == 0) {
+      std::string cur;
+      for (std::size_t j = 8; j <= arg.size(); ++j) {
+        if (j == arg.size() || arg[j] == ',') {
+          if (!cur.empty()) only_rules.insert(cur);
+          cur.clear();
+        } else if (!std::isspace(static_cast<unsigned char>(arg[j]))) {
+          cur.push_back(arg[j]);
+        }
+      }
+    } else if (!arg.empty() && arg[0] != '-' && root_arg.empty()) {
+      root_arg = arg;
+    } else {
+      std::cerr << "usage: lint_airch [--rules=a,b] [--machine] <repo_root>\n";
+      return 2;
+    }
+  }
+  if (root_arg.empty()) {
+    std::cerr << "usage: lint_airch [--rules=a,b] [--machine] <repo_root>\n";
     return 2;
   }
-  const fs::path root = argv[1];
+  const fs::path root = root_arg;
   const std::vector<std::string> dirs = {"src", "tests", "tools", "bench", "examples"};
 
   std::vector<Finding> findings;
@@ -263,6 +323,7 @@ int main(int argc, char** argv) {
       ctx.boundary_code = rel.rfind("src/dataset/", 0) == 0 || rel.rfind("src/ml/", 0) == 0 ||
                           rel.rfind("src/common/csv", 0) == 0;
       ctx.thread_impl = rel.rfind("src/common/parallel", 0) == 0;
+      ctx.sync_impl = rel.rfind("src/common/sync", 0) == 0;
       lint_file(entry.path(), ctx, findings);
     }
   }
@@ -271,6 +332,22 @@ int main(int argc, char** argv) {
   if (files == 0) {
     std::cerr << "lint_airch: no .cpp/.hpp sources under " << root << " — is that the repo root?\n";
     return 2;
+  }
+
+  // --rules filter applies at report time ("io" stays: an unreadable file
+  // must never pass the gate regardless of the rule selection).
+  if (!only_rules.empty()) {
+    std::erase_if(findings, [&only_rules](const Finding& f) {
+      return f.rule != "io" && !only_rules.count(f.rule);
+    });
+  }
+
+  if (machine) {
+    // One parseable line per finding; no summary chatter on this channel.
+    for (const auto& f : findings) {
+      std::cout << f.file << ':' << f.line << ':' << f.rule << '\n';
+    }
+    return findings.empty() ? 0 : 1;
   }
 
   for (const auto& f : findings) {

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Schema gate for the committed benchmark JSON artifacts.
+
+One definition shared by tools/check.sh and .github/workflows/ci.yml (both
+previously carried inline copies of these asserts, which let the two gates
+drift). Checks structure and invariants, not performance numbers — speed
+regressions are judged by a human against the committed BENCH_*.json.
+
+Usage:
+    validate_bench.py dataset <BENCH_dataset*.json>
+    validate_bench.py train   <BENCH_train*.json> [--expect-infer-queries=N]
+
+Exit status 0 iff the file parses and every schema invariant holds.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_bench: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def validate_dataset(d):
+    require(d.get("bench") == "dataset_throughput", "bench != dataset_throughput")
+    require(len(d.get("results", [])) == 6, "expected 6 results (3 cases x naive/cached)")
+    for case in ("case1", "case2", "case3"):
+        require(case in d.get("speedup", {}), f"speedup missing {case}")
+    require(0.0 <= d.get("dup_fraction", -1.0) <= 1.0, "dup_fraction outside [0, 1]")
+
+
+def validate_train(d, expect_infer_queries):
+    require(d.get("bench") == "train_throughput", "bench != train_throughput")
+    # The bench itself compares the naive and fast kernel loss trajectories
+    # float-for-float; a report with this flag unset must never be waved
+    # through even if it otherwise parses.
+    require(d.get("trajectory_bit_identical") is True, "trajectory_bit_identical is not True")
+    require(len(d.get("results", [])) == 2, "expected 2 results (naive/fast)")
+    require(d.get("train_speedup", 0) > 0, "train_speedup must be positive")
+    infer = d.get("infer", {})
+    require(infer.get("batched_us_per_query", 0) > 0, "infer.batched_us_per_query must be positive")
+    if expect_infer_queries is not None:
+        require(infer.get("queries") == expect_infer_queries,
+                f"infer.queries != {expect_infer_queries}")
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    flags = [a for a in argv[1:] if a.startswith("--")]
+    if len(args) != 2 or args[0] not in ("dataset", "train"):
+        print(__doc__, file=sys.stderr)
+        return 2
+    expect_infer_queries = None
+    for flag in flags:
+        if flag.startswith("--expect-infer-queries="):
+            expect_infer_queries = int(flag.split("=", 1)[1])
+        else:
+            print(__doc__, file=sys.stderr)
+            return 2
+
+    try:
+        with open(args[1]) as f:
+            d = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {args[1]}: {e}")
+
+    if args[0] == "dataset":
+        validate_dataset(d)
+    else:
+        validate_train(d, expect_infer_queries)
+    print(f"validate_bench: {args[1]} ok ({args[0]} schema)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
