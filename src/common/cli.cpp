@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -10,6 +11,24 @@ namespace airch {
 ArgParser& ArgParser::flag_i64(const std::string& name, std::int64_t default_value,
                                const std::string& help) {
   flags_[name] = Flag{Kind::kI64, help, std::to_string(default_value)};
+  order_.push_back(name);
+  return *this;
+}
+
+ArgParser& ArgParser::flag_i64(const std::string& name, std::int64_t default_value,
+                               const std::string& help, std::int64_t min_value,
+                               std::int64_t max_value) {
+  if (min_value > max_value) {
+    throw std::invalid_argument("empty range for --" + name);
+  }
+  if (default_value < min_value || default_value > max_value) {
+    throw std::invalid_argument("default for --" + name + " outside its declared range");
+  }
+  Flag f{Kind::kI64, help, std::to_string(default_value)};
+  f.has_range = true;
+  f.min_value = min_value;
+  f.max_value = max_value;
+  flags_[name] = f;
   order_.push_back(name);
   return *this;
 }
@@ -38,6 +57,7 @@ ArgParser& ArgParser::flag_bool(const std::string& name, bool default_value,
 }
 
 void ArgParser::parse(int argc, const char* const* argv) {
+  std::set<std::string> seen;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -65,11 +85,23 @@ void ArgParser::parse(int argc, const char* const* argv) {
     }
     auto it = flags_.find(name);
     if (it == flags_.end()) throw std::invalid_argument("unknown flag --" + name);
+    // A repeated flag is almost always a stale shell history or a script
+    // bug; last-one-wins would silently run the wrong experiment.
+    if (!seen.insert(name).second) {
+      throw std::invalid_argument("duplicate flag --" + name);
+    }
     // Validate parse for numeric kinds now so errors surface at startup.
     if (it->second.kind == Kind::kI64) {
       std::size_t pos = 0;
-      (void)std::stoll(value, &pos);
+      const std::int64_t parsed = std::stoll(value, &pos);
       if (pos != value.size()) throw std::invalid_argument("bad integer for --" + name + ": " + value);
+      if (it->second.has_range &&
+          (parsed < it->second.min_value || parsed > it->second.max_value)) {
+        throw std::invalid_argument(
+            "value out of range for --" + name + ": " + value + " (allowed: " +
+            std::to_string(it->second.min_value) + ".." +
+            std::to_string(it->second.max_value) + ")");
+      }
     } else if (it->second.kind == Kind::kF64) {
       std::size_t pos = 0;
       (void)std::stod(value, &pos);
@@ -110,7 +142,11 @@ std::string ArgParser::usage() const {
   os << program_ << " — " << description_ << "\n\nFlags:\n";
   for (const auto& name : order_) {
     const Flag& f = flags_.at(name);
-    os << "  --" << name << " (default: " << f.value << ")\n      " << f.help << "\n";
+    os << "  --" << name << " (default: " << f.value;
+    if (f.has_range) {
+      os << ", range: " << f.min_value << ".." << f.max_value;
+    }
+    os << ")\n      " << f.help << "\n";
   }
   return os.str();
 }

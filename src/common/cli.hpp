@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace airch {
@@ -18,12 +19,18 @@ class ArgParser {
 
   /// Register flags before calling parse(). Each returns *this for chaining.
   ArgParser& flag_i64(const std::string& name, std::int64_t default_value, const std::string& help);
+  /// Bounded integer flag: parse() rejects values outside [min_value, max_value],
+  /// so range errors surface at startup instead of as mid-run assertions.
+  /// The default itself must lie inside the range (throws at registration).
+  ArgParser& flag_i64(const std::string& name, std::int64_t default_value, const std::string& help,
+                      std::int64_t min_value, std::int64_t max_value);
   ArgParser& flag_f64(const std::string& name, double default_value, const std::string& help);
   ArgParser& flag_str(const std::string& name, const std::string& default_value, const std::string& help);
   ArgParser& flag_bool(const std::string& name, bool default_value, const std::string& help);
 
   /// Parse argv. On `--help` prints usage and calls std::exit(0).
-  /// Throws std::invalid_argument on unknown flags or malformed values.
+  /// Throws std::invalid_argument on unknown flags, malformed or
+  /// out-of-range values, and flags given more than once.
   void parse(int argc, const char* const* argv);
 
   std::int64_t i64(const std::string& name) const;
@@ -39,6 +46,9 @@ class ArgParser {
     Kind kind;
     std::string help;
     std::string value;  // canonical textual representation
+    bool has_range = false;        // kI64 only
+    std::int64_t min_value = 0;    // inclusive, valid when has_range
+    std::int64_t max_value = 0;    // inclusive, valid when has_range
   };
 
   const Flag& get(const std::string& name, Kind kind) const;

@@ -3,6 +3,7 @@
 // Values never contain commas or quotes in this project, so no quoting
 // support is needed; the reader rejects quoted fields explicitly.
 
+#include <cstddef>
 #include <cstdint>
 #include <fstream>
 #include <string>

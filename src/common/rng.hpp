@@ -5,7 +5,9 @@
 // not guaranteed, and dataset generation must be bit-reproducible.
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace airch {

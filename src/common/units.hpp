@@ -57,9 +57,9 @@ class Quantity {
   constexpr Rep value() const { return v_; }
 
   // Same-dimension arithmetic.
-  friend constexpr Quantity operator+(Quantity a, Quantity b) { return Quantity{a.v_ + b.v_}; }
-  friend constexpr Quantity operator-(Quantity a, Quantity b) { return Quantity{a.v_ - b.v_}; }
-  constexpr Quantity operator-() const { return Quantity{-v_}; }
+  [[nodiscard]] friend constexpr Quantity operator+(Quantity a, Quantity b) { return Quantity{a.v_ + b.v_}; }
+  [[nodiscard]] friend constexpr Quantity operator-(Quantity a, Quantity b) { return Quantity{a.v_ - b.v_}; }
+  [[nodiscard]] constexpr Quantity operator-() const { return Quantity{-v_}; }
   constexpr Quantity& operator+=(Quantity o) {
     v_ += o.v_;
     return *this;
@@ -77,9 +77,9 @@ class Quantity {
   // Scaling by a dimensionless count. `Rep` is a non-deduced parameter of a
   // hidden friend, so plain `int` literals convert; another Quantity never
   // does (its conversion to Rep is explicit-only via value()).
-  friend constexpr Quantity operator*(Quantity a, Rep s) { return Quantity{a.v_ * s}; }
-  friend constexpr Quantity operator*(Rep s, Quantity a) { return Quantity{s * a.v_}; }
-  friend constexpr Quantity operator/(Quantity a, Rep s) { return Quantity{a.v_ / s}; }
+  [[nodiscard]] friend constexpr Quantity operator*(Quantity a, Rep s) { return Quantity{a.v_ * s}; }
+  [[nodiscard]] friend constexpr Quantity operator*(Rep s, Quantity a) { return Quantity{s * a.v_}; }
+  [[nodiscard]] friend constexpr Quantity operator/(Quantity a, Rep s) { return Quantity{a.v_ / s}; }
   constexpr Quantity& operator*=(Rep s) {
     v_ *= s;
     return *this;
@@ -147,20 +147,20 @@ using BytesPerCycle = Quantity<BytesPerCycleTag, std::int64_t>;
 // error. Products are commutative, so both orders are provided.
 
 /// MACs executed x energy per MAC = compute energy.
-constexpr Picojoules operator*(MacCount n, EnergyPerMac e) {
+[[nodiscard]] constexpr Picojoules operator*(MacCount n, EnergyPerMac e) {
   return Picojoules{static_cast<double>(n.value()) * e.value()};
 }
-constexpr Picojoules operator*(EnergyPerMac e, MacCount n) { return n * e; }
+[[nodiscard]] constexpr Picojoules operator*(EnergyPerMac e, MacCount n) { return n * e; }
 
 /// Bytes moved x energy per byte = data-movement energy.
-constexpr Picojoules operator*(Bytes b, EnergyPerByte e) {
+[[nodiscard]] constexpr Picojoules operator*(Bytes b, EnergyPerByte e) {
   return Picojoules{static_cast<double>(b.value()) * e.value()};
 }
-constexpr Picojoules operator*(EnergyPerByte e, Bytes b) { return b * e; }
+[[nodiscard]] constexpr Picojoules operator*(EnergyPerByte e, Bytes b) { return b * e; }
 
 /// Cycles to transfer `b` bytes over a `bw` interface, rounded up (a
 /// partially-filled beat still occupies the bus for a full cycle).
-constexpr Cycles ceil_div(Bytes b, BytesPerCycle bw) {
+[[nodiscard]] constexpr Cycles ceil_div(Bytes b, BytesPerCycle bw) {
   return Cycles{ceil_div(b.value(), bw.value())};
 }
 

@@ -5,6 +5,7 @@
 // performance against the search optimum — the metric behind the paper's
 // Fig. 10(g, h) misprediction-penalty analysis.
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>

@@ -4,8 +4,10 @@
 // encoder and output space needed to answer design queries in one
 // inference (Fig. 1(b), Step 1') — no simulation, no search.
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/case_study.hpp"

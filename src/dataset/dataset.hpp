@@ -3,8 +3,10 @@
 // (the paper's input spaces, Fig. 8(a)) with a dense class label (the
 // quantized output spaces, Fig. 8(b-d)).
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"

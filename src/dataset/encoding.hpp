@@ -14,6 +14,7 @@
 // Encoders are fitted on training data only and applied unchanged to
 // validation/test, as in any honest ML evaluation.
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <map>

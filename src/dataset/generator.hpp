@@ -5,6 +5,7 @@
 // label). Feature layouts follow Fig. 8(a) exactly; decode helpers invert
 // them so evaluation code can re-simulate a prediction's true cost.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -1,6 +1,8 @@
 #pragma once
 // Stateless activation layers.
 
+#include <cstddef>
+
 #include "ml/layer.hpp"
 
 namespace airch::ml {

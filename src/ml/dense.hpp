@@ -1,6 +1,7 @@
 #pragma once
 // Fully-connected layer: y = x W + b.
 
+#include <cstddef>
 #include <vector>
 
 #include "ml/layer.hpp"

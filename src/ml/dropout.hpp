@@ -4,6 +4,9 @@
 // dropout is the standard counter-measure exposed through
 // NeuralClassifier::Options.
 
+#include <cstddef>
+#include <cstdint>
+
 #include "common/rng.hpp"
 #include "ml/layer.hpp"
 

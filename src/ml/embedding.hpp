@@ -4,6 +4,7 @@
 // a bucketized feature value to a dim-wide dense vector; the F vectors are
 // concatenated into the MLP input.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -3,6 +3,7 @@
 // embedding front-end). Layers cache whatever they need from forward() for
 // the subsequent backward(); one forward/backward pair per batch.
 
+#include <cstddef>
 #include <memory>
 #include <vector>
 

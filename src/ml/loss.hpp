@@ -2,6 +2,7 @@
 // Softmax + categorical cross-entropy (the paper's training loss), fused
 // for the numerically stable combined gradient (softmax - onehot) / batch.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -16,7 +17,7 @@ struct LossResult {
 };
 
 /// logits: batch x classes; labels: batch entries in [0, classes).
-LossResult softmax_cross_entropy(const Matrix& logits, const std::vector<std::int32_t>& labels);
+[[nodiscard]] LossResult softmax_cross_entropy(const Matrix& logits, const std::vector<std::int32_t>& labels);
 
 /// In-place row-wise softmax (used at inference for probability output).
 void softmax_rows(Matrix& m);

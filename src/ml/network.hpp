@@ -3,8 +3,10 @@
 // body used by both the paper's MLP baselines (float input) and
 // AIRCHITECT (per-feature embedding input, Fig. 2).
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "ml/dense.hpp"
@@ -57,8 +59,8 @@ class FeedForwardNet {
   Matrix logits(const Matrix& x, bool training);
 
   /// One SGD step on a batch; returns loss/accuracy stats.
-  TrainStats train_batch(const IntBatch& x, const std::vector<std::int32_t>& y, Optimizer& opt);
-  TrainStats train_batch(const Matrix& x, const std::vector<std::int32_t>& y, Optimizer& opt);
+  [[nodiscard]] TrainStats train_batch(const IntBatch& x, const std::vector<std::int32_t>& y, Optimizer& opt);
+  [[nodiscard]] TrainStats train_batch(const Matrix& x, const std::vector<std::int32_t>& y, Optimizer& opt);
 
   std::vector<std::int32_t> predict(const IntBatch& x);
   std::vector<std::int32_t> predict(const Matrix& x);
@@ -66,7 +68,7 @@ class FeedForwardNet {
   std::vector<ParamRef> params();
 
  private:
-  TrainStats apply_loss_and_step(const Matrix& logits_out, const std::vector<std::int32_t>& y,
+  [[nodiscard]] TrainStats apply_loss_and_step(const Matrix& logits_out, const std::vector<std::int32_t>& y,
                                  Optimizer& opt);
 
   std::unique_ptr<EmbeddingBag> embedding_;

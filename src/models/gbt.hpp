@@ -4,7 +4,11 @@
 // (gradient + hessian) boosting with histogram split finding over the
 // FeatureEncoder's bucketized features, depth-limited trees, and shrinkage.
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "models/classifier.hpp"

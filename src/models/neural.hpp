@@ -4,8 +4,13 @@
 // one mini-batch training loop; the input modality is selected by
 // Options::embed_dim (0 = float MLP, >0 = embedding front-end).
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "ml/network.hpp"
 #include "models/classifier.hpp"

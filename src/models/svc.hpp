@@ -10,6 +10,13 @@
 //    size and infeasible at the paper's 2x10^6 training points; this
 //    substitution is documented in DESIGN.md.
 
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "ml/matrix.hpp"
 #include "models/classifier.hpp"
 

@@ -4,6 +4,7 @@
 // Standard geometric cooling over the case-1 design space with the same
 // neighbourhood moves as the GA's mutation operator.
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/rng.hpp"
@@ -32,7 +33,7 @@ class AnnealingArrayDataflowSearch {
     std::size_t evaluations = 0;
   };
 
-  Result best(const GemmWorkload& w, int budget_exp, const AnnealingOptions& options = {}) const;
+  [[nodiscard]] Result best(const GemmWorkload& w, int budget_exp, const AnnealingOptions& options = {}) const;
 
  private:
   const ArrayDataflowSpace* space_;

@@ -31,7 +31,7 @@ class ArrayDataflowSearch {
   };
 
   /// budget_exp: MAC budget is 2^budget_exp; only shapes within it compete.
-  Result best(const GemmWorkload& w, int budget_exp) const;
+  [[nodiscard]] Result best(const GemmWorkload& w, int budget_exp) const;
 
   /// Objective-generalized variant: argmin of an arbitrary objective
   /// (runtime / energy / EDP) over the in-budget space.
@@ -39,12 +39,12 @@ class ArrayDataflowSearch {
     int label = -1;
     double cost = 0.0;
   };
-  ObjectiveResult best_with_objective(const GemmWorkload& w, int budget_exp,
+  [[nodiscard]] ObjectiveResult best_with_objective(const GemmWorkload& w, int budget_exp,
                                       const ObjectiveEvaluator& evaluator,
                                       Objective objective) const;
 
   /// Runtime of an arbitrary label on `w` (used to score predictions).
-  Cycles cycles_of(const GemmWorkload& w, int label) const;
+  [[nodiscard]] Cycles cycles_of(const GemmWorkload& w, int label) const;
 
  private:
   const ArrayDataflowSpace* space_;
@@ -68,10 +68,10 @@ class BufferSearch {
     std::int64_t total_kb = 0;
   };
 
-  Result best(const GemmWorkload& w, const ArrayConfig& array, std::int64_t bandwidth,
+  [[nodiscard]] Result best(const GemmWorkload& w, const ArrayConfig& array, std::int64_t bandwidth,
               std::int64_t limit_kb) const;
 
-  Cycles stalls_of(const GemmWorkload& w, const ArrayConfig& array,
+  [[nodiscard]] Cycles stalls_of(const GemmWorkload& w, const ArrayConfig& array,
                    std::int64_t bandwidth, int label) const;
 
  private:
@@ -99,10 +99,10 @@ class ScheduleSearch {
   };
 
   /// workloads.size() must equal the space's array count.
-  Result best(const std::vector<GemmWorkload>& workloads) const;
+  [[nodiscard]] Result best(const std::vector<GemmWorkload>& workloads) const;
 
   /// Cost of one schedule label (used to score predictions).
-  Result evaluate(const std::vector<GemmWorkload>& workloads, int label) const;
+  [[nodiscard]] Result evaluate(const std::vector<GemmWorkload>& workloads, int label) const;
 
   /// Per-dataflow cost of running `w` on array `array_idx` — exactly the
   /// simulations best() folds over, exposed as a unit so the sweep cache

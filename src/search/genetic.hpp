@@ -6,8 +6,10 @@
 // exhaustive search, GA search, and AIrchitect's constant-time inference
 // — in both solution quality and number of cost-model evaluations.
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -50,7 +52,7 @@ class GeneticOptimizer {
   GeneticOptimizer(GaOptions options, Hooks hooks)
       : options_(options), hooks_(std::move(hooks)) {}
 
-  Result run() {
+  [[nodiscard]] Result run() {
     Rng rng(options_.seed);
     struct Scored {
       Genome genome;
@@ -119,7 +121,7 @@ class GaArrayDataflowSearch {
     std::size_t evaluations = 0;
   };
 
-  Result best(const GemmWorkload& w, int budget_exp, const GaOptions& options = {}) const;
+  [[nodiscard]] Result best(const GemmWorkload& w, int budget_exp, const GaOptions& options = {}) const;
 
  private:
   const ArrayDataflowSpace* space_;
@@ -140,7 +142,7 @@ class GaScheduleSearch {
     std::size_t evaluations = 0;
   };
 
-  Result best(const std::vector<GemmWorkload>& workloads, const GaOptions& options = {}) const;
+  [[nodiscard]] Result best(const std::vector<GemmWorkload>& workloads, const GaOptions& options = {}) const;
 
  private:
   ScheduleSearch exhaustive_;  // reused for single-label evaluation

@@ -7,6 +7,7 @@
 // per-query cost is the number of cost-model evaluations; the benches
 // compare it against exhaustive search, GA, and learned inference.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -36,7 +37,7 @@ class ReinforceArrayDataflowSearch {
     std::size_t evaluations = 0;
   };
 
-  Result best(const GemmWorkload& w, int budget_exp, const ReinforceOptions& options = {}) const;
+  [[nodiscard]] Result best(const GemmWorkload& w, int budget_exp, const ReinforceOptions& options = {}) const;
 
  private:
   const ArrayDataflowSpace* space_;

@@ -48,9 +48,11 @@
 
 #include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -196,7 +198,7 @@ class ShardedMemoCache {
     return per_shard_cap_ == 0 ? 0 : per_shard_cap_ * shards_.size();
   }
 
-  CacheStats stats() const {
+  [[nodiscard]] CacheStats stats() const {
     CacheStats s;
     s.capacity = capacity();
     for (const Shard& shard : shards_) {
@@ -312,7 +314,7 @@ class Case1SweepCache {
   /// the fewer-MACs / lower-label tie-break and the infeasible-budget
   /// std::invalid_argument. O(1) after the first covering query for a
   /// workload.
-  ArrayDataflowSearch::Result best(const GemmWorkload& w, int budget_exp) const;
+  [[nodiscard]] ArrayDataflowSearch::Result best(const GemmWorkload& w, int budget_exp) const;
 
   /// Hint that best(w, ...) is coming soon: issues a prefetch for w's home
   /// probe slot without taking the shard lock (reads no slot contents, so
@@ -320,7 +322,7 @@ class Case1SweepCache {
   /// a few queries ahead to hide the probe's cache miss.
   void prefetch(const GemmWorkload& w) const;
 
-  CacheStats stats() const;
+  [[nodiscard]] CacheStats stats() const;
 
  private:
   using Result = ArrayDataflowSearch::Result;
@@ -396,10 +398,10 @@ class Case2SweepCache {
                   std::size_t max_entries = 0);
 
   /// Bit-identical to BufferSearch::best(w, array, bandwidth, limit_kb).
-  BufferSearch::Result best(const GemmWorkload& w, const ArrayConfig& array,
+  [[nodiscard]] BufferSearch::Result best(const GemmWorkload& w, const ArrayConfig& array,
                             std::int64_t bandwidth, std::int64_t limit_kb) const;
 
-  CacheStats stats() const { return memo_.stats(); }
+  [[nodiscard]] CacheStats stats() const { return memo_.stats(); }
 
  private:
   /// best_by_total[t - 3] = argmin over labels with total capacity
@@ -435,12 +437,12 @@ class Case3SweepCache {
   explicit Case3SweepCache(const ScheduleSearch& search, std::size_t max_entries = 0);
 
   /// Bit-identical to ScheduleSearch::best(workloads).
-  ScheduleSearch::Result best(const std::vector<GemmWorkload>& workloads) const;
+  [[nodiscard]] ScheduleSearch::Result best(const std::vector<GemmWorkload>& workloads) const;
 
   /// Level-2 (workload-vector) memo counters.
-  CacheStats stats() const { return memo_.stats(); }
+  [[nodiscard]] CacheStats stats() const { return memo_.stats(); }
   /// Level-1 (per-workload simulation) memo counters.
-  CacheStats array_stats() const { return array_memo_.stats(); }
+  [[nodiscard]] CacheStats array_stats() const { return array_memo_.stats(); }
 
  private:
   /// ScheduleSpace supports at most 8 arrays; fixed-size cost blocks keep
@@ -451,7 +453,7 @@ class Case3SweepCache {
   /// dataflow_costs for one workload on every array (index = array).
   using ArrayCosts = std::array<ScheduleSearch::DataflowCosts, kMaxArrays>;
 
-  ScheduleSearch::Result factored_best(const std::vector<GemmWorkload>& workloads) const;
+  [[nodiscard]] ScheduleSearch::Result factored_best(const std::vector<GemmWorkload>& workloads) const;
 
   const ScheduleSearch* search_;
   mutable ShardedMemoCache<Key, ScheduleSearch::Result, detail::I64SeqHash> memo_;

@@ -22,7 +22,7 @@ struct ArrayConfig {
   Dataflow dataflow = Dataflow::kOutputStationary;
 
   /// Peak MAC throughput per cycle (one MAC per PE per cycle).
-  MacCount macs() const { return MacCount{rows * cols}; }
+  [[nodiscard]] MacCount macs() const { return MacCount{rows * cols}; }
   bool valid() const { return rows >= 1 && cols >= 1; }
 
   std::string to_string() const {
@@ -39,11 +39,11 @@ struct MemoryConfig {
   std::int64_t ofmap_kb = 100;   ///< OFMAP / partial-sum buffer capacity (KB)
   std::int64_t bandwidth = 10;   ///< DRAM interface bandwidth (bytes/cycle)
 
-  Bytes ifmap_bytes() const { return Bytes{ifmap_kb * kBytesPerKb}; }
-  Bytes filter_bytes() const { return Bytes{filter_kb * kBytesPerKb}; }
-  Bytes ofmap_bytes() const { return Bytes{ofmap_kb * kBytesPerKb}; }
+  [[nodiscard]] Bytes ifmap_bytes() const { return Bytes{ifmap_kb * kBytesPerKb}; }
+  [[nodiscard]] Bytes filter_bytes() const { return Bytes{filter_kb * kBytesPerKb}; }
+  [[nodiscard]] Bytes ofmap_bytes() const { return Bytes{ofmap_kb * kBytesPerKb}; }
   std::int64_t total_kb() const { return ifmap_kb + filter_kb + ofmap_kb; }
-  BytesPerCycle bytes_per_cycle() const { return BytesPerCycle{bandwidth}; }
+  [[nodiscard]] BytesPerCycle bytes_per_cycle() const { return BytesPerCycle{bandwidth}; }
 
   bool valid() const {
     return ifmap_kb >= 1 && filter_kb >= 1 && ofmap_kb >= 1 && bandwidth >= 1;

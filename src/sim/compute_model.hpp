@@ -51,6 +51,6 @@ struct ComputeResult {
 
 /// Computes stall-free latency of `w` on `array`.
 /// Preconditions: w.valid() && array.valid().
-ComputeResult compute_latency(const GemmWorkload& w, const ArrayConfig& array);
+[[nodiscard]] ComputeResult compute_latency(const GemmWorkload& w, const ArrayConfig& array);
 
 }  // namespace airch

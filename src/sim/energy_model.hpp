@@ -26,11 +26,11 @@ struct EnergyResult {
   Picojoules compute_total;  ///< all MACs
   Picojoules sram_total;     ///< all SRAM traffic
   Picojoules dram_total;     ///< all DRAM traffic
-  Picojoules total() const { return compute_total + sram_total + dram_total; }
+  [[nodiscard]] Picojoules total() const { return compute_total + sram_total + dram_total; }
 };
 
 /// Energy of executing `w` given the memory traffic `memres`.
-EnergyResult energy_cost(const GemmWorkload& w, const MemoryResult& memres,
+[[nodiscard]] EnergyResult energy_cost(const GemmWorkload& w, const MemoryResult& memres,
                          const EnergyParams& params = {});
 
 }  // namespace airch

@@ -42,7 +42,7 @@ struct MemoryResult {
   Bytes first_fill_bytes;  ///< un-hideable first-tile fill (ifmap + filter terms)
   Cycles stall_cycles;
 
-  Bytes dram_total_bytes() const {
+  [[nodiscard]] Bytes dram_total_bytes() const {
     return dram_ifmap_bytes + dram_filter_bytes + dram_ofmap_bytes;
   }
 };
@@ -50,7 +50,7 @@ struct MemoryResult {
 /// Evaluates the memory system for `w` on `array` with `mem`.
 /// `compute` must be the result of compute_latency(w, array).
 /// Preconditions: w.valid() && array.valid() && mem.valid().
-MemoryResult memory_behavior(const GemmWorkload& w, const ArrayConfig& array,
+[[nodiscard]] MemoryResult memory_behavior(const GemmWorkload& w, const ArrayConfig& array,
                              const MemoryConfig& mem, const ComputeResult& compute);
 
 // ------------------------------------------------- factored traffic model
@@ -93,14 +93,14 @@ struct TrafficFactors {
 TrafficFactors traffic_factors(const GemmWorkload& w, const ArrayConfig& array);
 
 /// DRAM traffic of one operand at `capacity`, from its factors.
-constexpr Bytes operand_traffic(const OperandFactors& f, Bytes capacity) {
+[[nodiscard]] constexpr Bytes operand_traffic(const OperandFactors& f, Bytes capacity) {
   return f.base + f.passes * (f.stripe - std::min(f.stripe, capacity));
 }
 
 /// Recombines factored traffic with concrete buffer capacities; equals
 /// memory_behavior(w, array, mem, compute) bit-for-bit when `f` came from
 /// traffic_factors(w, array).
-MemoryResult memory_combine(const TrafficFactors& f, const MemoryConfig& mem,
+[[nodiscard]] MemoryResult memory_combine(const TrafficFactors& f, const MemoryConfig& mem,
                             const ComputeResult& compute);
 
 }  // namespace airch

@@ -19,7 +19,7 @@ struct SimResult {
   EnergyResult energy;
 
   /// End-to-end latency: compute plus memory stalls.
-  Cycles total_cycles() const { return compute.cycles + memory.stall_cycles; }
+  [[nodiscard]] Cycles total_cycles() const { return compute.cycles + memory.stall_cycles; }
 };
 
 class Simulator {
@@ -27,11 +27,11 @@ class Simulator {
   explicit Simulator(EnergyParams energy_params = {}) : energy_params_(energy_params) {}
 
   /// Full simulation: latency, stalls, traffic, energy.
-  SimResult simulate(const GemmWorkload& w, const ArrayConfig& array,
+  [[nodiscard]] SimResult simulate(const GemmWorkload& w, const ArrayConfig& array,
                      const MemoryConfig& mem) const;
 
   /// Compute-only latency (case study 1 uses runtime under an ideal memory).
-  Cycles compute_cycles(const GemmWorkload& w, const ArrayConfig& array) const {
+  [[nodiscard]] Cycles compute_cycles(const GemmWorkload& w, const ArrayConfig& array) const {
     return compute_latency(w, array).cycles;
   }
 

@@ -20,6 +20,7 @@
 // Complexity is O(rows * cols) per cycle: intended for validation and
 // small-workload studies, not the dataset-generation hot path.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -62,12 +63,12 @@ class TraceSimulator {
  public:
   /// Executes A[M x K] * B[K x N] on `array` cycle by cycle.
   /// Preconditions: a.cols == b.rows, array.valid().
-  TraceResult run(const GemmMatrix& a, const GemmMatrix& b, const ArrayConfig& array) const;
+  [[nodiscard]] TraceResult run(const GemmMatrix& a, const GemmMatrix& b, const ArrayConfig& array) const;
 
  private:
-  TraceResult run_os(const GemmMatrix& a, const GemmMatrix& b, const ArrayConfig& array) const;
-  TraceResult run_ws(const GemmMatrix& a, const GemmMatrix& b, const ArrayConfig& array) const;
-  TraceResult run_is(const GemmMatrix& a, const GemmMatrix& b, const ArrayConfig& array) const;
+  [[nodiscard]] TraceResult run_os(const GemmMatrix& a, const GemmMatrix& b, const ArrayConfig& array) const;
+  [[nodiscard]] TraceResult run_ws(const GemmMatrix& a, const GemmMatrix& b, const ArrayConfig& array) const;
+  [[nodiscard]] TraceResult run_is(const GemmMatrix& a, const GemmMatrix& b, const ArrayConfig& array) const;
 };
 
 }  // namespace airch

@@ -3,6 +3,7 @@
 // This is how the paper turns "DNN layer" workloads into the GEMM inputs
 // consumed by the systolic-array cost model (SCALE-Sim does the same).
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

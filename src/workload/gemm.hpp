@@ -16,7 +16,7 @@ struct GemmWorkload {
   std::int64_t k = 1;  ///< cols of A / rows of B (reduction dim)
 
   /// Total multiply-accumulate operations.
-  MacCount macs() const { return MacCount{m * n * k}; }
+  [[nodiscard]] MacCount macs() const { return MacCount{m * n * k}; }
 
   /// Operand element counts.
   std::int64_t ifmap_elems() const { return m * k; }

@@ -5,6 +5,7 @@
 // Each network is expressed as its conv/FC layers; `gemms()` lowers them to
 // the GEMM workloads the simulator consumes.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

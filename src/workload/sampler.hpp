@@ -11,6 +11,7 @@
 //    with multiplicative jitter; used to cross-check that the log-uniform
 //    sampler covers the empirical population (bench_fig7_space_growth).
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -1,0 +1,6 @@
+#pragma once
+// A legitimate `high`-layer header; the downward include from here into
+// `low` is declared in the fixture manifest and must NOT be flagged.
+#include "low/ok.hpp"
+
+inline int fixture_h() { return fixture_ok(); }

@@ -1,0 +1,7 @@
+#pragma once
+// Planted private-header violation: priv.hpp is manifest-private to `low`,
+// so this cross-layer include must trip the `private-header` rule (the
+// low -> high direction itself is legal).
+#include "low/priv.hpp"
+
+inline int fixture_uses_private() { return fixture_priv(); }

@@ -1,0 +1,6 @@
+#pragma once
+// Planted include cycle, half 1: a.hpp -> b.hpp -> a.hpp. The arch_check
+// `cycle` rule (SCC detection) must report this component.
+#include "low/b.hpp"
+
+inline int fixture_a() { return fixture_b() + 1; }

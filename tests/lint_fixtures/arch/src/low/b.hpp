@@ -1,0 +1,5 @@
+#pragma once
+// Planted include cycle, half 2 (see a.hpp).
+#include "low/a.hpp"
+
+inline int fixture_b() { return 41; }

@@ -1,0 +1,13 @@
+#pragma once
+// Planted result-contract violation: a *Result-returning function without
+// [[nodiscard]] must trip the arch_check `nodiscard` rule.
+
+struct ProbeResult {
+  int value = 0;
+};
+
+ProbeResult probe_without_nodiscard();
+
+// The annotated form must NOT be flagged — it pins that the detector keys
+// on the attribute, not merely on the return type.
+[[nodiscard]] ProbeResult probe_with_nodiscard();

@@ -1,0 +1,6 @@
+#pragma once
+// Planted self-containment violation: uses std::string without including
+// <string>, so compiling this header as its own translation unit must
+// fail — the WILL_FAIL fixture test for the self_contained suite.
+
+inline std::string fixture_needs_string() { return "not self-contained"; }

@@ -1,0 +1,4 @@
+#pragma once
+// Clean low-layer header: no finding should ever name this file.
+
+inline int fixture_ok() { return 7; }

@@ -1,0 +1,5 @@
+#pragma once
+// Declared `private` to layer `low` in the fixture manifest: only files
+// under src/low/ may include it.
+
+inline int fixture_priv() { return 13; }

@@ -1,0 +1,5 @@
+// Planted .cpp-to-.cpp include: a translation unit swallowing another must
+// trip the arch_check `cpp-include` rule.
+#include "low/tu_b.cpp"
+
+int fixture_tu_a() { return fixture_tu_b() + 1; }

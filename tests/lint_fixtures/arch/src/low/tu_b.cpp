@@ -1,0 +1,2 @@
+// The swallowed half of the planted .cpp-to-.cpp include (see tu_a.cpp).
+int fixture_tu_b() { return 2; }

@@ -1,0 +1,6 @@
+#pragma once
+// Planted upward include: `low` declares no dep on `high`, so this edge
+// points up the DAG and the arch_check `layer` rule must flag it.
+#include "high/h.hpp"
+
+inline int fixture_up() { return fixture_h(); }

@@ -1,7 +1,7 @@
 // Lint fixture, never compiled: a deliberately planted raw std::mutex and
 // manual lock()/unlock() pair. The `lint_airch_fixture` CTest case runs
 // `lint_airch --rules=raw-mutex,raw-lock --machine tests/lint_fixtures`
-// and asserts both rules fire on this file with `file:line:rule` output.
+// and asserts both rules fire on this file with `file:line:col:rule` output.
 // It lives under tests/lint_fixtures/src/ so the fixture run (rooted here)
 // sees it as library code while the real repo-root run sees it under
 // tests/ and correctly leaves it alone.

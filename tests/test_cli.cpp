@@ -81,6 +81,61 @@ TEST(Cli, PositionalArgThrows) {
   EXPECT_THROW(p.parse(2, argv), std::invalid_argument);
 }
 
+TEST(Cli, DuplicateFlagThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--count=1", "--count=2"};
+  EXPECT_THROW(p.parse(3, argv), std::invalid_argument);
+}
+
+TEST(Cli, DuplicateFlagThrowsAcrossSyntaxes) {
+  // The same flag via `--name value` then `--name=value` is still a dup.
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--count", "1", "--count=2"};
+  EXPECT_THROW(p.parse(4, argv), std::invalid_argument);
+}
+
+TEST(Cli, RangeAcceptsEndpoints) {
+  ArgParser p("prog", "bounded");
+  p.flag_i64("points", 10, "bounded count", 1, 100);
+  {
+    const char* argv[] = {"prog", "--points=1"};
+    p.parse(2, argv);
+    EXPECT_EQ(p.i64("points"), 1);
+  }
+  ArgParser q("prog", "bounded");
+  q.flag_i64("points", 10, "bounded count", 1, 100);
+  {
+    const char* argv[] = {"prog", "--points=100"};
+    q.parse(2, argv);
+    EXPECT_EQ(q.i64("points"), 100);
+  }
+}
+
+TEST(Cli, RangeRejectsOutOfRange) {
+  // The `--points < 1` class: zero, negative, and above-max all fail in
+  // parse() rather than surfacing later as a mid-run assertion.
+  for (const char* bad : {"--points=0", "--points=-5", "--points=101"}) {
+    ArgParser p("prog", "bounded");
+    p.flag_i64("points", 10, "bounded count", 1, 100);
+    const char* argv[] = {"prog", bad};
+    EXPECT_THROW(p.parse(2, argv), std::invalid_argument) << bad;
+  }
+}
+
+TEST(Cli, RangeRejectsBadRegistration) {
+  ArgParser p("prog", "bounded");
+  // Default outside the declared range is a programming error.
+  EXPECT_THROW(p.flag_i64("points", 0, "bad default", 1, 100), std::invalid_argument);
+  // min > max is an empty range.
+  EXPECT_THROW(p.flag_i64("other", 5, "empty range", 10, 1), std::invalid_argument);
+}
+
+TEST(Cli, UsageShowsRange) {
+  ArgParser p("prog", "bounded");
+  p.flag_i64("points", 10, "bounded count", 1, 100);
+  EXPECT_NE(p.usage().find("range: 1..100"), std::string::npos);
+}
+
 TEST(Cli, UnregisteredLookupThrows) {
   auto p = make_parser();
   const char* argv[] = {"prog"};

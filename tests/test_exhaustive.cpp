@@ -64,7 +64,7 @@ TEST_F(Case1SearchTest, Deterministic) {
 }
 
 TEST_F(Case1SearchTest, BudgetBelowSmallestArrayThrows) {
-  EXPECT_THROW(search_.best({8, 8, 8}, 1), std::invalid_argument);
+  EXPECT_THROW((void)search_.best({8, 8, 8}, 1), std::invalid_argument);
 }
 
 // ------------------------------------------------------------- case 2
@@ -121,7 +121,7 @@ TEST_F(Case2SearchTest, LooserLimitNeverWorse) {
 }
 
 TEST_F(Case2SearchTest, LimitBelowSmallestTotalThrows) {
-  EXPECT_THROW(search_.best({8, 8, 8}, {4, 4, Dataflow::kOutputStationary}, 10, 200),
+  EXPECT_THROW((void)search_.best({8, 8, 8}, {4, 4, Dataflow::kOutputStationary}, 10, 200),
                std::invalid_argument);
 }
 
@@ -157,8 +157,8 @@ TEST_F(Case3SearchTest, EvaluateConsistentWithBest) {
 }
 
 TEST_F(Case3SearchTest, ArityMismatchThrows) {
-  EXPECT_THROW(search_.best({GemmWorkload{1, 1, 1}}), std::invalid_argument);
-  EXPECT_THROW(search_.evaluate({GemmWorkload{1, 1, 1}}, 0), std::invalid_argument);
+  EXPECT_THROW((void)search_.best({GemmWorkload{1, 1, 1}}), std::invalid_argument);
+  EXPECT_THROW((void)search_.evaluate({GemmWorkload{1, 1, 1}}, 0), std::invalid_argument);
 }
 
 TEST_F(Case3SearchTest, WrongArrayCountThrows) {

@@ -215,7 +215,7 @@ TEST(MatmulKernel, ConcurrentTrainingIsRaceFreeAndDeterministic) {
       for (std::size_t i = 0; i < y.size(); ++i) {
         y[i] = static_cast<std::int32_t>((i + static_cast<std::size_t>(step)) % 10);
       }
-      net.train_batch(x, y, opt);
+      (void)net.train_batch(x, y, opt);  // training for the side effect; stats unused
     }
     const auto params = net.params();
     for (const auto& p : params) out.insert(out.end(), p.value, p.value + p.size);

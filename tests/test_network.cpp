@@ -31,7 +31,7 @@ TEST(FeedForwardNet, LearnsSeparableFloatProblem) {
   std::vector<std::int32_t> y;
   for (int step = 0; step < 300; ++step) {
     make_batch(64, x, y);
-    net.train_batch(x, y, opt);
+    (void)net.train_batch(x, y, opt);  // training for the side effect; per-step stats unused
   }
   make_batch(500, x, y);
   const auto preds = net.predict(x);
@@ -66,7 +66,7 @@ TEST(FeedForwardNet, LearnsCategoricalProblemViaEmbeddings) {
   std::vector<std::int32_t> y;
   for (int step = 0; step < 400; ++step) {
     make_batch(64, x, y);
-    net.train_batch(x, y, opt);
+    (void)net.train_batch(x, y, opt);  // training for the side effect; per-step stats unused
   }
   make_batch(500, x, y);
   const auto preds = net.predict(x);

@@ -80,7 +80,7 @@ TEST(Case1SweepCache, InfeasibleBudgetThrowsLikeNaive) {
   const ArrayDataflowSpace space;
   const Simulator sim;
   const Case1SweepCache cache(space, sim);
-  EXPECT_THROW(cache.best({8, 8, 8}, 1), std::invalid_argument);
+  EXPECT_THROW((void)cache.best({8, 8, 8}, 1), std::invalid_argument);
   EXPECT_EQ(cache.stats().entries, 0u);  // rejected before any sweep
 }
 
@@ -130,8 +130,8 @@ TEST(Case2SweepCache, InfeasibleLimitThrowsLikeNaive) {
   const Case2SweepCache cache(space, sim);
   const GemmWorkload w{64, 64, 64};
   const ArrayConfig array{8, 8, Dataflow::kOutputStationary};
-  EXPECT_THROW(cache.best(w, array, 10, 3 * space.step_kb() - 1), std::invalid_argument);
-  EXPECT_THROW(cache.best(w, array, 10, -100), std::invalid_argument);
+  EXPECT_THROW((void)cache.best(w, array, 10, 3 * space.step_kb() - 1), std::invalid_argument);
+  EXPECT_THROW((void)cache.best(w, array, 10, -100), std::invalid_argument);
 }
 
 // ------------------------------------------------------------- case 3

@@ -1,0 +1,90 @@
+#include "analysis/driver.hpp"
+
+#include <cctype>
+#include <iostream>
+#include <ostream>
+
+namespace airch::analysis {
+
+bool parse_driver_args(int argc, char** argv, DriverOptions& opts, const std::string& usage) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--machine") {
+      opts.machine = true;
+    } else if (arg == "--explain") {
+      if (i + 1 >= argc) {
+        std::cerr << "--explain needs a rule name\n" << usage;
+        return false;
+      }
+      opts.explain_rule = argv[++i];
+    } else if (arg.rfind("--rules=", 0) == 0) {
+      std::string cur;
+      for (std::size_t j = 8; j <= arg.size(); ++j) {
+        if (j == arg.size() || arg[j] == ',') {
+          if (!cur.empty()) opts.only_rules.insert(cur);
+          cur.clear();
+        } else if (!std::isspace(static_cast<unsigned char>(arg[j]))) {
+          cur.push_back(arg[j]);
+        }
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      opts.extra.push_back(arg);  // tool-specific flag; caller validates
+    } else if (opts.root.empty()) {
+      opts.root = arg;
+    } else {
+      std::cerr << usage;
+      return false;
+    }
+  }
+  if (opts.root.empty() && opts.explain_rule.empty()) {
+    std::cerr << usage;
+    return false;
+  }
+  return true;
+}
+
+int run_explain(const std::vector<RuleInfo>& rules, const std::string& rule_name,
+                std::ostream& os) {
+  for (const auto& r : rules) {
+    if (r.name != rule_name) continue;
+    os << r.name << "\n"
+       << "  catches:   " << r.what << "\n"
+       << "  rationale: " << r.rationale << "\n"
+       << "  waiver:    " << r.waiver << "\n";
+    return 0;
+  }
+  os << "unknown rule '" << rule_name << "'; known rules:";
+  for (const auto& r : rules) os << ' ' << r.name;
+  os << '\n';
+  return 2;
+}
+
+void filter_findings(std::vector<Finding>& findings, const std::set<std::string>& only_rules) {
+  if (only_rules.empty()) return;
+  std::erase_if(findings, [&only_rules](const Finding& f) {
+    return f.rule != "io" && !only_rules.count(f.rule);
+  });
+}
+
+int report(const std::vector<Finding>& findings, bool machine, const std::string& tool,
+           std::size_t files_scanned, std::ostream& os) {
+  if (machine) {
+    // One parseable line per finding; no summary chatter on this channel.
+    for (const auto& f : findings) {
+      os << f.file << ':' << f.line << ':' << f.col << ':' << f.rule << '\n';
+    }
+    return findings.empty() ? 0 : 1;
+  }
+  for (const auto& f : findings) {
+    os << f.file << ':' << f.line << ':' << f.col << ": [" << f.rule << "] " << f.message
+       << '\n';
+  }
+  if (findings.empty()) {
+    os << tool << ": " << files_scanned << " files clean\n";
+    return 0;
+  }
+  os << tool << ": " << findings.size() << " violation(s) in " << files_scanned << " files\n";
+  return 1;
+}
+
+}  // namespace airch::analysis

@@ -1,0 +1,57 @@
+#pragma once
+// Shared command-line driver for the repo analyzers: `--rules=a,b` /
+// `--machine` / `--explain <rule>` plumbing and the two report formats.
+// Keeping this in one place means lint_airch and arch_check cannot drift:
+// CI parses the identical `file:line:col:rule` machine format from both.
+
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/scan.hpp"
+
+namespace airch::analysis {
+
+/// Catalog entry for one rule: what it catches, why it exists, and how a
+/// justified violation is waived. Printed verbatim by `--explain <rule>`
+/// and mirrored in the docs/static_analysis.md rule catalog.
+struct RuleInfo {
+  std::string name;
+  std::string what;       ///< one line: the pattern the rule rejects
+  std::string rationale;  ///< why the invariant matters for this repo
+  std::string waiver;     ///< the exact comment / manifest form that waives it
+};
+
+/// Parsed analyzer command line. Tool-specific flags (e.g. arch_check's
+/// --manifest=) are returned in `extra` for the caller to interpret.
+struct DriverOptions {
+  bool machine = false;
+  std::set<std::string> only_rules;  ///< empty = all rules
+  std::string explain_rule;          ///< non-empty: print catalog entry and exit
+  std::string root;
+  std::vector<std::string> extra;    ///< unrecognized --flags, in order
+};
+
+/// Parses argv. Returns false (and prints `usage` to stderr) on a malformed
+/// command line; `--explain` consumes the following argument.
+bool parse_driver_args(int argc, char** argv, DriverOptions& opts, const std::string& usage);
+
+/// Handles `--explain <rule>`: prints the catalog entry (or an error with
+/// the known-rule list) and returns the process exit code. Only call when
+/// opts.explain_rule is non-empty.
+int run_explain(const std::vector<RuleInfo>& rules, const std::string& rule_name,
+                std::ostream& os);
+
+/// Drops findings whose rule is not in `only_rules` (no-op when empty).
+/// "io" findings always survive: an unreadable file must never pass the
+/// gate regardless of the rule selection.
+void filter_findings(std::vector<Finding>& findings, const std::set<std::string>& only_rules);
+
+/// Prints findings and returns the process exit code (0 iff none).
+/// Machine format is one `file:line:col:rule` per line with no summary
+/// chatter; prose format appends `tool: N violation(s) in M files`.
+int report(const std::vector<Finding>& findings, bool machine, const std::string& tool,
+           std::size_t files_scanned, std::ostream& os);
+
+}  // namespace airch::analysis

@@ -1,0 +1,166 @@
+#include "analysis/manifest.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <stdexcept>
+
+namespace airch::analysis {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+[[noreturn]] void fail(const std::filesystem::path& file, std::size_t line,
+                       const std::string& why) {
+  throw std::runtime_error(file.string() + ":" + std::to_string(line) +
+                           ": manifest parse error: " + why);
+}
+
+/// Parses `"quoted"` starting at s[i]; advances i past the closing quote.
+std::string parse_string(const std::string& s, std::size_t& i, const std::filesystem::path& file,
+                         std::size_t lineno) {
+  if (i >= s.size() || s[i] != '"') fail(file, lineno, "expected '\"'");
+  ++i;
+  std::string out;
+  while (i < s.size() && s[i] != '"') out.push_back(s[i++]);
+  if (i >= s.size()) fail(file, lineno, "unterminated string");
+  ++i;  // closing quote
+  return out;
+}
+
+/// Parses a single-line `["a", "b"]` array of strings.
+std::vector<std::string> parse_array(const std::string& s, const std::filesystem::path& file,
+                                     std::size_t lineno) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  };
+  skip_ws();
+  if (i >= s.size() || s[i] != '[') fail(file, lineno, "expected '['");
+  ++i;
+  skip_ws();
+  while (i < s.size() && s[i] != ']') {
+    out.push_back(parse_string(s, i, file, lineno));
+    skip_ws();
+    if (i < s.size() && s[i] == ',') {
+      ++i;
+      skip_ws();
+    }
+  }
+  if (i >= s.size()) fail(file, lineno, "unterminated array");
+  ++i;  // ']'
+  skip_ws();
+  if (i != s.size()) fail(file, lineno, "trailing characters after array");
+  return out;
+}
+
+}  // namespace
+
+const Layer* LayerManifest::layer_of(const std::string& rel) const {
+  const Layer* best = nullptr;
+  std::size_t best_len = 0;
+  for (const auto& layer : layers) {
+    const std::string prefix = layer.path + "/";
+    if (rel.rfind(prefix, 0) == 0 && prefix.size() > best_len) {
+      best = &layer;
+      best_len = prefix.size();
+    }
+  }
+  return best;
+}
+
+bool LayerManifest::is_private(const std::string& rel) const {
+  for (const auto& layer : layers) {
+    for (const auto& h : layer.private_headers) {
+      if (h == rel) return true;
+    }
+  }
+  return false;
+}
+
+LayerManifest load_manifest(const std::filesystem::path& file) {
+  std::ifstream in(file);
+  if (!in) throw std::runtime_error("cannot open manifest " + file.string());
+
+  LayerManifest m;
+  Layer* cur = nullptr;
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    // Strip comments; the manifest never embeds '#' in strings.
+    const std::size_t hash = raw.find('#');
+    const std::string line = trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') fail(file, lineno, "unterminated table header");
+      const std::string section = line.substr(1, line.size() - 2);
+      const std::string prefix = "layer.";
+      if (section.rfind(prefix, 0) != 0 || section.size() == prefix.size()) {
+        fail(file, lineno, "expected [layer.<name>], got [" + section + "]");
+      }
+      const std::string name = section.substr(prefix.size());
+      for (const auto& existing : m.layers) {
+        if (existing.name == name) fail(file, lineno, "duplicate layer '" + name + "'");
+      }
+      m.layers.push_back(Layer{name, "", {}, {}});
+      cur = &m.layers.back();
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) fail(file, lineno, "expected key = value");
+    if (cur == nullptr) fail(file, lineno, "key outside a [layer.*] table");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key == "path") {
+      std::size_t i = 0;
+      cur->path = parse_string(value, i, file, lineno);
+      if (i != value.size()) fail(file, lineno, "trailing characters after path");
+      if (cur->path.empty() || cur->path.back() == '/') {
+        fail(file, lineno, "path must be a non-empty prefix without trailing '/'");
+      }
+    } else if (key == "deps") {
+      cur->deps = parse_array(value, file, lineno);
+    } else if (key == "private") {
+      cur->private_headers = parse_array(value, file, lineno);
+    } else {
+      fail(file, lineno, "unknown key '" + key + "'");
+    }
+  }
+
+  // Validate: every layer has a path; every dep names an EARLIER layer, so
+  // the manifest itself cannot declare a cyclic (or self-referential) DAG.
+  for (std::size_t i = 0; i < m.layers.size(); ++i) {
+    const Layer& layer = m.layers[i];
+    if (layer.path.empty()) {
+      throw std::runtime_error(file.string() + ": layer '" + layer.name + "' has no path");
+    }
+    for (const auto& dep : layer.deps) {
+      bool found = false;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (m.layers[j].name == dep) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        throw std::runtime_error(file.string() + ": layer '" + layer.name + "' dep '" + dep +
+                                 "' is not an earlier layer — declare layers bottom-up so "
+                                 "the manifest is a DAG by construction");
+      }
+    }
+  }
+  if (m.layers.empty()) throw std::runtime_error(file.string() + ": no layers declared");
+  return m;
+}
+
+}  // namespace airch::analysis

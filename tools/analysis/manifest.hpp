@@ -1,0 +1,47 @@
+#pragma once
+// Layer manifest for the architecture-conformance analyzer
+// (tools/arch_check.cpp). The manifest — docs/layers.toml in this repo —
+// declares the layer DAG once: each layer owns a directory subtree and
+// lists the layers it may include from. arch_check turns every edge not
+// declared here into a finding, so the architecture document and the
+// enforced architecture are the same file.
+//
+// The parser accepts the TOML subset the manifest actually uses:
+//
+//   [layer.<name>]                # one table per layer, in DAG order
+//   path = "src/<dir>"            # directory subtree this layer owns
+//   deps = ["a", "b"]             # layers it may include from (single line)
+//   private = ["src/x/y.hpp"]     # headers only this layer may include
+//
+// plus blank lines and `#` comments. Anything else is a parse error —
+// the manifest is part of the gate, so silent misreads are not allowed.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace airch::analysis {
+
+struct Layer {
+  std::string name;
+  std::string path;                          ///< repo-relative subtree prefix
+  std::vector<std::string> deps;             ///< layer names this may include from
+  std::vector<std::string> private_headers;  ///< repo-relative, intra-layer only
+};
+
+struct LayerManifest {
+  std::vector<Layer> layers;  ///< in file order (bottom of the DAG first)
+
+  /// Layer owning `rel` (repo-relative generic path) by longest matching
+  /// `path` prefix, or nullptr when no layer covers it.
+  const Layer* layer_of(const std::string& rel) const;
+
+  /// True iff `rel` is declared layer-private (by any layer).
+  bool is_private(const std::string& rel) const;
+};
+
+/// Parses the manifest. Throws std::runtime_error with file:line context
+/// on any line the subset grammar does not cover.
+LayerManifest load_manifest(const std::filesystem::path& file);
+
+}  // namespace airch::analysis

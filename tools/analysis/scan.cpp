@@ -1,0 +1,123 @@
+#include "analysis/scan.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace airch::analysis {
+
+namespace fs = std::filesystem;
+
+std::string strip_code(const std::string& line, StripState& st) {
+  // Every skipped character is replaced with a space so the output is the
+  // same length as the input: a regex match position in the stripped line
+  // is the column in the raw line.
+  std::string out;
+  out.reserve(line.size());
+  std::size_t i = 0;
+  const std::size_t n = line.size();
+  while (i < n) {
+    if (st.in_block_comment) {
+      if (line[i] == '*' && i + 1 < n && line[i + 1] == '/') {
+        st.in_block_comment = false;
+        out.append(2, ' ');
+        i += 2;
+      } else {
+        out.push_back(' ');
+        ++i;
+      }
+      continue;
+    }
+    if (st.in_raw_string) {  // only the common R"( ... )" delimiter is used here
+      if (line[i] == ')' && i + 1 < n && line[i + 1] == '"') {
+        st.in_raw_string = false;
+        out.append(2, ' ');
+        i += 2;
+      } else {
+        out.push_back(' ');
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < n && line[i + 1] == '/') break;  // line comment
+    if (c == '/' && i + 1 < n && line[i + 1] == '*') {
+      st.in_block_comment = true;
+      out.append(2, ' ');
+      i += 2;
+      continue;
+    }
+    if (c == 'R' && i + 2 < n && line[i + 1] == '"' && line[i + 2] == '(') {
+      st.in_raw_string = true;
+      out.append(3, ' ');
+      i += 3;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      out.push_back(quote);  // keep a marker so tokens don't merge
+      ++i;
+      while (i < n) {
+        if (line[i] == '\\') {
+          out.append(std::min<std::size_t>(2, n - i), ' ');
+          i += 2;
+        } else if (line[i] == quote) {
+          out.push_back(quote);
+          ++i;
+          break;
+        } else {
+          out.push_back(' ');
+          ++i;
+        }
+      }
+      continue;
+    }
+    out.push_back(c);
+    ++i;
+  }
+  return out;
+}
+
+std::set<std::string> allowed_rules(const std::string& raw_line) {
+  std::set<std::string> out;
+  const std::string tag = "airch-lint: allow(";
+  const std::size_t at = raw_line.find(tag);
+  if (at == std::string::npos) return out;
+  std::size_t i = at + tag.size();
+  std::string cur;
+  while (i < raw_line.size() && raw_line[i] != ')') {
+    const char c = raw_line[i++];
+    if (c == ',') {
+      if (!cur.empty()) out.insert(cur);
+      cur.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.insert(cur);
+  return out;
+}
+
+std::vector<SourceFile> walk_sources(const fs::path& root, const std::vector<std::string>& dirs) {
+  std::vector<SourceFile> out;
+  for (const auto& dir : dirs) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension();
+      if (ext != ".cpp" && ext != ".hpp") continue;
+      // Never scan generated trees (in-source build leftovers).
+      if (entry.path().string().find("CMakeFiles") != std::string::npos) continue;
+      SourceFile f;
+      f.path = entry.path();
+      f.rel = fs::relative(entry.path(), root).generic_string();
+      f.top_dir = dir;
+      out.push_back(std::move(f));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SourceFile& a, const SourceFile& b) { return a.rel < b.rel; });
+  return out;
+}
+
+}  // namespace airch::analysis

@@ -1,0 +1,55 @@
+#pragma once
+// Shared scanning core for the repo analyzers (tools/lint_airch.cpp and
+// tools/arch_check.cpp): source-tree walking, comment/string stripping,
+// and the `// airch-lint: allow(rule)` suppression parser. Both tools see
+// source text through this layer so a waiver, a commented-out include, or
+// a string literal is interpreted identically by every rule.
+
+#include <cstddef>
+#include <filesystem>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace airch::analysis {
+
+/// One analyzer finding. `col` is 1-based; rules that flag a whole file
+/// (e.g. a missing #pragma once) use line 1, col 1.
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::size_t col = 1;
+  std::string rule;
+  std::string message;
+};
+
+/// Comment/string stripper state carried across lines of one file.
+struct StripState {
+  bool in_block_comment = false;
+  bool in_raw_string = false;
+};
+
+/// Returns `line` with comments and string/char literal contents blanked
+/// out — every erased character is replaced in place, so column positions
+/// in the returned string match the raw line — and rule regexes never
+/// match inside comments or literals.
+std::string strip_code(const std::string& line, StripState& st);
+
+/// Rules waived on this line via `airch-lint: allow(a, b)`.
+std::set<std::string> allowed_rules(const std::string& raw_line);
+
+/// A source file discovered by walk_sources.
+struct SourceFile {
+  std::filesystem::path path;  ///< absolute (as walked)
+  std::string rel;             ///< generic path relative to the walk root
+  std::string top_dir;         ///< first component of rel ("src", "tools", ...)
+};
+
+/// Walks `root/<dir>` for each dir, collecting .cpp/.hpp files and skipping
+/// generated trees (CMakeFiles). Returns files sorted by `rel` so analyzer
+/// output is deterministic across filesystems.
+std::vector<SourceFile> walk_sources(const std::filesystem::path& root,
+                                     const std::vector<std::string>& dirs);
+
+}  // namespace airch::analysis

@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
 # One-shot pre-merge gate: configure + build + test the default, ASan+UBSan,
-# and TSan configurations, and run the repo linter in each. All library
+# and TSan configurations, and run the repo analyzers in each. All library
 # targets compile with -Werror (AIRCH_WERROR=ON via the presets used here).
 #
 #   tools/check.sh             # everything (slow: three full builds)
 #   tools/check.sh default     # just the Release build + full test suite
-#   tools/check.sh asan tsan   # any subset of: default bench asan tsan tidy
-#                              # capability
+#   tools/check.sh asan tsan   # any subset of: default bench arch asan tsan
+#                              # tidy capability
 #
 # The `bench` stage (in the default set; needs the default stage's build)
 # runs tiny-points smokes of bench_dataset_throughput — which asserts
@@ -16,29 +16,56 @@
 # against the shared schema gate (tools/validate_bench.py, also invoked by
 # CI so the two can't drift).
 #
+# The `arch` stage (in the default set) builds and runs both static
+# analyzers standalone: lint_airch (style/idiom rules) and arch_check
+# (layer-DAG conformance over the include graph, docs/layers.toml, plus
+# the [[nodiscard]] result-contract pass). The same binaries also run as
+# tier-1 ctest entries in the default stage; this stage exists so the
+# analyzers can gate quickly without a full test run.
+#
 # The `tidy` stage (not in the default set: it is a fourth full build)
 # rebuilds the library with clang-tidy attached to every src/ compile
 # (.clang-tidy, AIRCH_CLANG_TIDY=ON).
 #
 # The `capability` stage (not in the default set: needs clang) compiles the
 # library under clang -Wthread-safety -Werror=thread-safety (the capability
-# preset; annotations in common/sync.hpp) and runs the thread-safety
-# compile-fail harness.
+# preset; annotations in common/sync.hpp), runs the thread-safety
+# compile-fail harness, and runs the header self-containment suite.
 #
 # Tool-gated stages skip with a notice when the tool is missing locally —
 # no tooling beyond the stock container is ever required on a dev box —
 # but HARD-FAIL when CI=true, so the hosted gate can never green-light a
 # check that did not actually run.
 #
+# Failure reporting: `set -euo pipefail` plus an ERR trap that names the
+# failing stage on stderr, and a per-stage OK line after each stage.
+# pipefail matters here: stage commands that feed a pipe (bench smokes,
+# validators piped through tee/sed by callers) must still propagate a
+# non-zero exit — without it, `validator | tee log` would report tee's
+# exit status and a broken JSON schema could slide through green.
+#
 # TSan runs only the `tsan`-labelled concurrency suite (the full suite under
 # TSan is prohibitively slow); ASan+UBSan runs the full suite. AIRCH_THREADS
 # forces real worker threads even on single-core CI runners.
-set -euo pipefail
+# -E (errtrace) so the ERR trap also fires for failures inside functions
+# like run() — without it the trap only sees top-level commands.
+set -Eeuo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 STAGES=("$@")
-if [ ${#STAGES[@]} -eq 0 ]; then STAGES=(default bench asan tsan); fi
+if [ ${#STAGES[@]} -eq 0 ]; then STAGES=(default bench arch asan tsan); fi
+
+CURRENT_STAGE="(startup)"
+PASSED_STAGES=()
+# The trap fires on the first failing command (set -e is about to exit):
+# name the stage and the exit code on stderr so the failure is attributable
+# even when stdout is piped or captured.
+trap 'code=$?;
+      echo "check.sh: stage '\''${CURRENT_STAGE}'\'' FAILED (exit ${code})" >&2;
+      if [ ${#PASSED_STAGES[@]} -gt 0 ]; then
+        echo "check.sh: stages passed before failure: ${PASSED_STAGES[*]}" >&2;
+      fi' ERR
 
 run() { echo "+ $*" >&2; "$@"; }
 
@@ -53,6 +80,7 @@ skip_or_fail() {
 }
 
 for stage in "${STAGES[@]}"; do
+  CURRENT_STAGE="$stage"
   case "$stage" in
     default)
       run cmake --preset checked
@@ -69,12 +97,27 @@ for stage in "${STAGES[@]}"; do
         --points=400 --epochs=1 --reps=1 --infer-queries=64 \
         --out=build-checked/BENCH_train_smoke.json >/dev/null
       if command -v python3 >/dev/null 2>&1; then
-        run python3 tools/validate_bench.py dataset build-checked/BENCH_dataset_smoke.json
-        run python3 tools/validate_bench.py train build-checked/BENCH_train_smoke.json \
-          --expect-infer-queries=64
+        # Each validator is checked individually so a schema failure names
+        # the offending JSON instead of dying as an anonymous set -e exit.
+        for spec in \
+          "dataset build-checked/BENCH_dataset_smoke.json" \
+          "train build-checked/BENCH_train_smoke.json --expect-infer-queries=64"
+        do
+          # shellcheck disable=SC2086  # word-splitting the spec is the point
+          if ! run python3 tools/validate_bench.py $spec; then
+            echo "check.sh: bench JSON schema validation FAILED for: $spec" >&2
+            exit 1
+          fi
+        done
       else
         skip_or_fail python3 "bench JSON schema validation"
       fi
+      ;;
+    arch)
+      run cmake --preset checked
+      run cmake --build build-checked -j "$JOBS" --target lint_airch arch_check
+      run ./build-checked/tools/lint_airch .
+      run ./build-checked/tools/arch_check .
       ;;
     asan)
       run cmake --preset asan
@@ -94,6 +137,7 @@ for stage in "${STAGES[@]}"; do
     tidy)
       if ! command -v clang-tidy >/dev/null 2>&1; then
         skip_or_fail clang-tidy "tidy stage"
+        echo "check.sh: stage 'tidy' SKIPPED" >&2
         continue
       fi
       run cmake --preset tidy
@@ -104,6 +148,7 @@ for stage in "${STAGES[@]}"; do
     capability)
       if ! command -v clang++ >/dev/null 2>&1; then
         skip_or_fail clang++ "capability stage"
+        echo "check.sh: stage 'capability' SKIPPED" >&2
         continue
       fi
       run cmake --preset capability
@@ -114,12 +159,17 @@ for stage in "${STAGES[@]}"; do
         airch_ml airch_models airch_core
       # The must-not-compile thread-safety snippets + positive control.
       run ctest --test-dir build-capability -L thread_safety --output-on-failure
+      # Header hygiene under the strict compiler: every src/ header must
+      # compile as its own translation unit.
+      run ctest --test-dir build-capability -L self_contained --output-on-failure -j "$JOBS"
       ;;
     *)
-      echo "unknown stage: $stage (want: default bench asan tsan tidy capability)" >&2
+      echo "unknown stage: $stage (want: default bench arch asan tsan tidy capability)" >&2
       exit 2
       ;;
   esac
+  PASSED_STAGES+=("$stage")
+  echo "check.sh: stage '$stage' OK" >&2
 done
 
 echo "check.sh: all stages passed (${STAGES[*]})"

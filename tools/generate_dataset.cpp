@@ -4,6 +4,7 @@
 //
 //   ./generate_dataset --case=1 --points=100000 --out=case1.csv
 
+#include <exception>
 #include <iostream>
 
 #include "common/cli.hpp"
@@ -12,22 +13,20 @@
 int main(int argc, char** argv) {
   using namespace airch;
   ArgParser args("generate_dataset", "search-labelled dataset generation");
-  args.flag_i64("case", 1, "case study: 1 = array/dataflow, 2 = buffers, 3 = scheduling");
-  args.flag_i64("points", 100000, "number of datapoints");
+  // Ranges are enforced by the parser itself: out-of-range values fail in
+  // parse() with the allowed interval in the message, before any work runs.
+  args.flag_i64("case", 1, "case study: 1 = array/dataflow, 2 = buffers, 3 = scheduling", 1, 3);
+  args.flag_i64("points", 100000, "number of datapoints", 1, 100000000);
   args.flag_i64("seed", 42, "RNG seed");
   args.flag_str("out", "dataset.csv", "output CSV path");
-  args.parse(argc, argv);
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "generate_dataset: " << e.what() << "\n";
+    return 1;
+  }
 
-  const auto case_num = args.i64("case");
-  if (case_num < 1 || case_num > 3) {
-    std::cerr << "--case must be 1, 2, or 3\n";
-    return 1;
-  }
-  if (args.i64("points") < 1) {
-    std::cerr << "--points must be >= 1\n";
-    return 1;
-  }
-  const auto study = make_case_study(static_cast<CaseId>(case_num));
+  const auto study = make_case_study(static_cast<CaseId>(args.i64("case")));
   std::cout << case_name(study->id()) << ": generating " << args.i64("points")
             << " points (output space: " << study->num_classes() << " labels)...\n";
   const Dataset ds = study->generate(static_cast<std::size_t>(args.i64("points")),

@@ -1,50 +1,24 @@
-// Repo linter enforcing AIrchitect project invariants (docs/static_analysis.md):
+// Repo linter enforcing AIrchitect project invariants (docs/static_analysis.md).
+// Line-level rules over src/, tests/, tools/, bench/, examples/; the
+// architecture-level rules (layering, include cycles, [[nodiscard]]
+// contracts) live in the sibling analyzer tools/arch_check.cpp. Both are
+// built on the shared scanning core in tools/analysis/.
 //
-//   rand         no rand()/srand() — randomness must go through common/rng
-//                so dataset generation stays bit-reproducible
-//   cast         no C-style (float)/(double) casts — narrowing must be a
-//                visible static_cast
-//   new-delete   no naked new/delete — use containers / smart pointers
-//   pragma-once  every header starts its life with #pragma once
-//   cout         no std::cout in library code (src/); printing belongs to
-//                tools, benches, examples and tests
-//   unit-field   no raw arithmetic struct fields named *_pj / *_cycles /
-//                *_bytes in library code — use the strong quantity types
-//                from common/units.hpp (which itself is exempt)
-//   value-escape no .value() unwrapping in library code outside the
-//                sanctioned serialization/ML boundary (src/dataset/,
-//                src/ml/, src/common/csv.*) — quantities leave the typed
-//                world only where scalars are the contract
-//   raw-thread   no std::thread in library code outside common/parallel.*
-//                — concurrency goes through parallel_for/parallel_rows so
-//                worker counts honor AIRCH_THREADS, chunking stays
-//                deterministic, and exceptions propagate
-//   raw-mutex    no std mutex/lock/condvar types (std::mutex,
-//                std::shared_mutex, std::lock_guard, std::unique_lock,
-//                std::scoped_lock, std::condition_variable, ...) in
-//                library code outside common/sync.* — synchronization
-//                goes through the annotated capability layer
-//                (common/sync.hpp) so clang -Wthread-safety and the
-//                checked-build lock-rank registry see every acquisition
-//   raw-lock     no manual .lock()/.unlock()/.try_lock() calls in library
-//                code outside common/sync.* — acquisition is RAII
-//                (MutexLock / ReaderLock / WriterLock), so locks release
-//                on every path including exceptions and the scoped
-//                capability analysis stays sound
+// Run `lint_airch --explain <rule>` for any rule's rationale and waiver
+// syntax; the full catalog is the table in docs/static_analysis.md.
 //
 // A violation on one line can be waived with a trailing comment:
 //     code;  // airch-lint: allow(rule)
 // (comma-separated rule list; `allow(pragma-once)` anywhere in a header
 // waives that file-level rule).
 //
-// Usage: lint_airch [--rules=a,b] [--machine] <repo_root>
-//   --rules=a,b   report only the named rules (default: all)
-//   --machine     one `file:line:rule` per finding — the format CI parses
-//                 into per-line annotations — instead of prose
+// Usage: lint_airch [--rules=a,b] [--machine] [--explain <rule>] <repo_root>
+//   --rules=a,b      report only the named rules (default: all)
+//   --machine        one `file:line:col:rule` per finding — the format CI
+//                    parses into per-line annotations — instead of prose
+//   --explain <rule> print the rule's rationale + waiver syntax and exit
 // Exit status 0 iff no violations — wired into CTest as `lint_airch`.
 
-#include <cctype>
-#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <regex>
@@ -52,104 +26,53 @@
 #include <string>
 #include <vector>
 
-namespace fs = std::filesystem;
+#include "analysis/driver.hpp"
+#include "analysis/scan.hpp"
 
 namespace {
 
-struct Finding {
-  std::string file;
-  std::size_t line;
-  std::string rule;
-  std::string message;
+using airch::analysis::Finding;
+using airch::analysis::RuleInfo;
+
+const std::vector<RuleInfo> kRules = {
+    {"rand", "calls to rand()/srand()",
+     "randomness must go through airch::Rng (common/rng.hpp) so dataset generation stays "
+     "bit-reproducible across platforms and runs",
+     "// airch-lint: allow(rand)"},
+    {"cast", "C-style (float)/(double) casts",
+     "narrowing must be a visible static_cast so -Wconversion and review can see it",
+     "// airch-lint: allow(cast)"},
+    {"new-delete", "naked new/delete expressions",
+     "ownership goes through containers and std::make_unique; `= delete`d functions are exempt",
+     "// airch-lint: allow(new-delete)"},
+    {"pragma-once", "headers without #pragma once",
+     "every header must be include-guarded the same way; double inclusion is a build-order bug",
+     "// airch-lint: allow(pragma-once) anywhere in the header"},
+    {"cout", "std::cout in library code (src/)",
+     "libraries return data or take an std::ostream&; printing belongs to tools, benches, "
+     "examples and tests",
+     "// airch-lint: allow(cout)"},
+    {"unit-field", "raw arithmetic struct fields named *_pj / *_cycles / *_bytes in src/",
+     "costs are strong quantity types (common/units.hpp) so unit mix-ups fail to compile; "
+     "units.hpp itself is exempt",
+     "// airch-lint: allow(unit-field)"},
+    {"value-escape", ".value() unwrapping in src/ outside src/dataset|src/ml|src/common/csv",
+     "quantities leave the typed world only where scalars are the contract (serialization, "
+     "ML feature encoding)",
+     "// airch-lint: allow(value-escape)"},
+    {"raw-thread", "std::thread/std::jthread in src/ outside common/parallel.*",
+     "concurrency goes through parallel_for/parallel_rows so worker counts honor "
+     "AIRCH_THREADS, chunking stays deterministic, and exceptions propagate",
+     "// airch-lint: allow(raw-thread)"},
+    {"raw-mutex", "std mutex/lock/condvar types in src/ outside common/sync.*",
+     "synchronization goes through the annotated capability layer (common/sync.hpp) so clang "
+     "-Wthread-safety and the checked-build lock-rank registry see every acquisition",
+     "// airch-lint: allow(raw-mutex)"},
+    {"raw-lock", "manual .lock()/.unlock()/.try_lock() calls in src/ outside common/sync.*",
+     "acquisition is RAII (MutexLock/ReaderLock/WriterLock) so locks release on every path "
+     "including exceptions and the scoped capability analysis stays sound",
+     "// airch-lint: allow(raw-lock)"},
 };
-
-/// Comment/string stripper state carried across lines of one file.
-struct StripState {
-  bool in_block_comment = false;
-  bool in_raw_string = false;
-};
-
-/// Returns `line` with comments and string/char literal contents blanked
-/// out, so rule regexes never match inside them.
-std::string strip_code(const std::string& line, StripState& st) {
-  std::string out;
-  out.reserve(line.size());
-  std::size_t i = 0;
-  const std::size_t n = line.size();
-  while (i < n) {
-    if (st.in_block_comment) {
-      if (line[i] == '*' && i + 1 < n && line[i + 1] == '/') {
-        st.in_block_comment = false;
-        i += 2;
-      } else {
-        ++i;
-      }
-      continue;
-    }
-    if (st.in_raw_string) {  // only the common R"( ... )" delimiter is used here
-      if (line[i] == ')' && i + 1 < n && line[i + 1] == '"') {
-        st.in_raw_string = false;
-        i += 2;
-      } else {
-        ++i;
-      }
-      continue;
-    }
-    const char c = line[i];
-    if (c == '/' && i + 1 < n && line[i + 1] == '/') break;  // line comment
-    if (c == '/' && i + 1 < n && line[i + 1] == '*') {
-      st.in_block_comment = true;
-      i += 2;
-      continue;
-    }
-    if (c == 'R' && i + 2 < n && line[i + 1] == '"' && line[i + 2] == '(') {
-      st.in_raw_string = true;
-      out.push_back(' ');
-      i += 3;
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      ++i;
-      while (i < n) {
-        if (line[i] == '\\') {
-          i += 2;
-        } else if (line[i] == quote) {
-          ++i;
-          break;
-        } else {
-          ++i;
-        }
-      }
-      out.push_back(quote);  // keep a marker so tokens don't merge
-      continue;
-    }
-    out.push_back(c);
-    ++i;
-  }
-  return out;
-}
-
-/// Rules waived on this line via `airch-lint: allow(a, b)`.
-std::set<std::string> allowed_rules(const std::string& raw_line) {
-  std::set<std::string> out;
-  const std::string tag = "airch-lint: allow(";
-  const std::size_t at = raw_line.find(tag);
-  if (at == std::string::npos) return out;
-  std::size_t i = at + tag.size();
-  std::string cur;
-  while (i < raw_line.size() && raw_line[i] != ')') {
-    const char c = raw_line[i++];
-    if (c == ',') {
-      if (!cur.empty()) out.insert(cur);
-      cur.clear();
-    } else if (!std::isspace(static_cast<unsigned char>(c))) {
-      cur.push_back(c);
-    }
-  }
-  if (!cur.empty()) out.insert(cur);
-  return out;
-}
 
 const std::regex kRandRe(R"((^|[^A-Za-z0-9_])(srand|rand)\s*\()");
 const std::regex kCastRe(R"(\(\s*(float|double)\s*\)\s*([A-Za-z_][A-Za-z0-9_]*|\(|[0-9][0-9a-fA-FxX.']*))");
@@ -181,35 +104,42 @@ struct FileContext {
   bool sync_impl = false;        ///< src/common/sync.* — wraps the std primitives
 };
 
-void lint_file(const fs::path& path, const FileContext& ctx, std::vector<Finding>& findings) {
+/// 1-based column of submatch `group` in a match against a stripped line
+/// (strip_code preserves positions, so this is the raw-line column too).
+std::size_t col_of(const std::smatch& m, int group = 0) {
+  return static_cast<std::size_t>(m.position(group)) + 1;
+}
+
+void lint_file(const std::filesystem::path& path, const FileContext& ctx,
+               std::vector<Finding>& findings) {
   const bool is_library_code = ctx.is_library_code;
   std::ifstream in(path);
   if (!in) {
-    findings.push_back({path.string(), 0, "io", "cannot open file"});
+    findings.push_back({path.string(), 0, 1, "io", "cannot open file"});
     return;
   }
   const bool is_header = path.extension() == ".hpp";
   bool saw_pragma_once = false;
   bool pragma_once_waived = false;
 
-  StripState st;
+  airch::analysis::StripState st;
   std::string raw;
   std::size_t lineno = 0;
   while (std::getline(in, raw)) {
     ++lineno;
-    const std::set<std::string> allow = allowed_rules(raw);
+    const std::set<std::string> allow = airch::analysis::allowed_rules(raw);
     if (allow.count("pragma-once")) pragma_once_waived = true;
-    const std::string code = strip_code(raw, st);
+    const std::string code = airch::analysis::strip_code(raw, st);
     if (code.find("#pragma once") != std::string::npos) saw_pragma_once = true;
 
     std::smatch m;
     if (!allow.count("rand") && std::regex_search(code, m, kRandRe)) {
-      findings.push_back({path.string(), lineno, "rand",
+      findings.push_back({path.string(), lineno, col_of(m, 2), "rand",
                           "use airch::Rng (common/rng.hpp) instead of " + m[2].str() + "()"});
     }
     if (!allow.count("cast") && std::regex_search(code, m, kCastRe) &&
         !is_decl_suffix(m[2].str())) {
-      findings.push_back({path.string(), lineno, "cast",
+      findings.push_back({path.string(), lineno, col_of(m), "cast",
                           "C-style (" + m[1].str() + ") cast — write static_cast<" +
                               m[1].str() + ">(...) so narrowing is visible"});
     }
@@ -220,30 +150,30 @@ void lint_file(const fs::path& path, const FileContext& ctx, std::vector<Finding
       const bool deleted_fn = m[2].str() == "delete" && last != std::string::npos &&
                               prefix[last] == '=';
       if (!deleted_fn) {
-        findings.push_back({path.string(), lineno, "new-delete",
+        findings.push_back({path.string(), lineno, col_of(m, 2), "new-delete",
                             "naked " + m[2].str() +
                                 " — use std::vector / std::make_unique instead"});
       }
     }
     if (is_library_code && !allow.count("cout") && std::regex_search(code, m, kCoutRe)) {
-      findings.push_back({path.string(), lineno, "cout",
+      findings.push_back({path.string(), lineno, col_of(m), "cout",
                           "std::cout in library code — return data or take an std::ostream&"});
     }
     if (is_library_code && !ctx.units_header && !allow.count("unit-field") &&
         std::regex_search(code, m, kUnitFieldRe)) {
-      findings.push_back({path.string(), lineno, "unit-field",
+      findings.push_back({path.string(), lineno, col_of(m, 1), "unit-field",
                           "raw arithmetic field '" + m[1].str() +
                               "' — use the strong type from common/units.hpp"});
     }
     if (is_library_code && !ctx.units_header && !ctx.boundary_code &&
         !allow.count("value-escape") && std::regex_search(code, m, kValueEscapeRe)) {
-      findings.push_back({path.string(), lineno, "value-escape",
+      findings.push_back({path.string(), lineno, col_of(m), "value-escape",
                           ".value() outside the serialization/ML boundary — keep the "
                           "quantity typed or justify with an allow comment"});
     }
     if (is_library_code && !ctx.thread_impl && !allow.count("raw-thread") &&
         std::regex_search(code, m, kRawThreadRe)) {
-      findings.push_back({path.string(), lineno, "raw-thread",
+      findings.push_back({path.string(), lineno, col_of(m), "raw-thread",
                           "raw std::" + m[1].str() +
                               " in library code — use parallel_for/parallel_rows "
                               "(common/parallel.hpp) so AIRCH_THREADS and deterministic "
@@ -251,7 +181,7 @@ void lint_file(const fs::path& path, const FileContext& ctx, std::vector<Finding
     }
     if (is_library_code && !ctx.sync_impl && !allow.count("raw-mutex") &&
         std::regex_search(code, m, kRawMutexRe)) {
-      findings.push_back({path.string(), lineno, "raw-mutex",
+      findings.push_back({path.string(), lineno, col_of(m), "raw-mutex",
                           "raw std::" + m[1].str() +
                               " in library code — use the annotated layer in "
                               "common/sync.hpp (Mutex/MutexLock/CondVar) so thread-safety "
@@ -259,104 +189,56 @@ void lint_file(const fs::path& path, const FileContext& ctx, std::vector<Finding
     }
     if (is_library_code && !ctx.sync_impl && !allow.count("raw-lock") &&
         std::regex_search(code, m, kRawLockRe)) {
-      findings.push_back({path.string(), lineno, "raw-lock",
+      findings.push_back({path.string(), lineno, col_of(m, 2), "raw-lock",
                           "manual ." + m[2].str() +
                               "() in library code — hold locks via RAII "
                               "(MutexLock/ReaderLock/WriterLock, common/sync.hpp)"});
     }
   }
   if (is_header && !saw_pragma_once && !pragma_once_waived) {
-    findings.push_back({path.string(), 1, "pragma-once", "header is missing #pragma once"});
+    findings.push_back({path.string(), 1, 1, "pragma-once", "header is missing #pragma once"});
   }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool machine = false;
-  std::set<std::string> only_rules;  // empty = all rules
-  std::string root_arg;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--machine") {
-      machine = true;
-    } else if (arg.rfind("--rules=", 0) == 0) {
-      std::string cur;
-      for (std::size_t j = 8; j <= arg.size(); ++j) {
-        if (j == arg.size() || arg[j] == ',') {
-          if (!cur.empty()) only_rules.insert(cur);
-          cur.clear();
-        } else if (!std::isspace(static_cast<unsigned char>(arg[j]))) {
-          cur.push_back(arg[j]);
-        }
-      }
-    } else if (!arg.empty() && arg[0] != '-' && root_arg.empty()) {
-      root_arg = arg;
-    } else {
-      std::cerr << "usage: lint_airch [--rules=a,b] [--machine] <repo_root>\n";
-      return 2;
-    }
-  }
-  if (root_arg.empty()) {
-    std::cerr << "usage: lint_airch [--rules=a,b] [--machine] <repo_root>\n";
+  const std::string usage =
+      "usage: lint_airch [--rules=a,b] [--machine] [--explain <rule>] <repo_root>\n";
+  airch::analysis::DriverOptions opts;
+  if (!airch::analysis::parse_driver_args(argc, argv, opts, usage)) return 2;
+  if (!opts.extra.empty()) {
+    std::cerr << "unknown flag " << opts.extra.front() << "\n" << usage;
     return 2;
   }
-  const fs::path root = root_arg;
-  const std::vector<std::string> dirs = {"src", "tests", "tools", "bench", "examples"};
+  if (!opts.explain_rule.empty()) {
+    return airch::analysis::run_explain(kRules, opts.explain_rule, std::cout);
+  }
+
+  const std::filesystem::path root = opts.root;
+  const auto sources = airch::analysis::walk_sources(
+      root, {"src", "tests", "tools", "bench", "examples"});
 
   std::vector<Finding> findings;
-  std::size_t files = 0;
-  for (const auto& dir : dirs) {
-    const fs::path base = root / dir;
-    if (!fs::exists(base)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(base)) {
-      if (!entry.is_regular_file()) continue;
-      const auto ext = entry.path().extension();
-      if (ext != ".cpp" && ext != ".hpp") continue;
-      // Never lint generated trees (in-source build leftovers).
-      if (entry.path().string().find("CMakeFiles") != std::string::npos) continue;
-      ++files;
-      const std::string rel = fs::relative(entry.path(), root).generic_string();
-      FileContext ctx;
-      ctx.is_library_code = dir == "src";
-      ctx.units_header = rel == "src/common/units.hpp";
-      ctx.boundary_code = rel.rfind("src/dataset/", 0) == 0 || rel.rfind("src/ml/", 0) == 0 ||
-                          rel.rfind("src/common/csv", 0) == 0;
-      ctx.thread_impl = rel.rfind("src/common/parallel", 0) == 0;
-      ctx.sync_impl = rel.rfind("src/common/sync", 0) == 0;
-      lint_file(entry.path(), ctx, findings);
-    }
+  for (const auto& src : sources) {
+    FileContext ctx;
+    ctx.is_library_code = src.top_dir == "src";
+    ctx.units_header = src.rel == "src/common/units.hpp";
+    ctx.boundary_code = src.rel.rfind("src/dataset/", 0) == 0 ||
+                        src.rel.rfind("src/ml/", 0) == 0 ||
+                        src.rel.rfind("src/common/csv", 0) == 0;
+    ctx.thread_impl = src.rel.rfind("src/common/parallel", 0) == 0;
+    ctx.sync_impl = src.rel.rfind("src/common/sync", 0) == 0;
+    lint_file(src.path, ctx, findings);
   }
 
   // Zero files scanned means a typo'd root, which must not pass the gate.
-  if (files == 0) {
+  if (sources.empty()) {
     std::cerr << "lint_airch: no .cpp/.hpp sources under " << root << " — is that the repo root?\n";
     return 2;
   }
 
-  // --rules filter applies at report time ("io" stays: an unreadable file
-  // must never pass the gate regardless of the rule selection).
-  if (!only_rules.empty()) {
-    std::erase_if(findings, [&only_rules](const Finding& f) {
-      return f.rule != "io" && !only_rules.count(f.rule);
-    });
-  }
-
-  if (machine) {
-    // One parseable line per finding; no summary chatter on this channel.
-    for (const auto& f : findings) {
-      std::cout << f.file << ':' << f.line << ':' << f.rule << '\n';
-    }
-    return findings.empty() ? 0 : 1;
-  }
-
-  for (const auto& f : findings) {
-    std::cout << f.file << ':' << f.line << ": [" << f.rule << "] " << f.message << '\n';
-  }
-  if (findings.empty()) {
-    std::cout << "lint_airch: " << files << " files clean\n";
-    return 0;
-  }
-  std::cout << "lint_airch: " << findings.size() << " violation(s) in " << files << " files\n";
-  return 1;
+  airch::analysis::filter_findings(findings, opts.only_rules);
+  return airch::analysis::report(findings, opts.machine, "lint_airch", sources.size(),
+                                 std::cout);
 }
