@@ -18,13 +18,25 @@
 // identical inputs, so the naive baseline is unaffected; the cached path's
 // hit rate is what the duplicates exercise.
 //
+// Two further sections measure the PR-8 persistence layers:
+//   "snapshot" — per case, a full generate() pass on a cold study vs the
+//     same pass on a fresh study pre-warmed from a saved cache snapshot
+//     (--snapshot-points points, 0 = --points; single pass each, since a
+//     paper-scale pass is minutes long). The cold and warm datasets are
+//     asserted bit-identical before any number is reported.
+//   "writer" — save_csv vs write_binary_dataset on one synthetic
+//     --writer-points dataset (0 = --points), best of --reps.
+//
 // Emits machine-readable JSON (default BENCH_dataset.json); each record:
 //   {"case", "mode", "points", "seconds", "points_per_sec", "threads"}
-// with a "speedup" summary per case and the "dup_fraction" used.
-// tools/check.sh runs a tiny-points smoke of this binary and validates the
-// JSON parses.
+// with a "speedup" summary per case, the "dup_fraction" used, a
+// "snapshot" array ({"case", "points", "cold_seconds", "warm_seconds",
+// "speedup", "labels_bit_identical"}) and a "writer" object. tools/check.sh
+// runs a tiny-points smoke of this binary and validates the JSON schema
+// (tools/validate_bench.py).
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
@@ -37,6 +49,8 @@
 #include "common/cli.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "core/case_study.hpp"
+#include "dataset/binary_io.hpp"
 #include "dataset/generator.hpp"
 #include "search/exhaustive.hpp"
 #include "search/space.hpp"
@@ -118,7 +132,102 @@ T draw_mixed(Rng& rng, double dup, std::vector<T>& pool, const FreshFn& fresh) {
   return v;
 }
 
+struct SnapshotRecord {
+  std::string case_name;
+  std::size_t points = 0;
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;
+};
+
+struct WriterRecord {
+  std::size_t points = 0;
+  double csv_seconds = 0.0;
+  double binary_seconds = 0.0;
+};
+
+double elapsed_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::max(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count(), 1e-9);
+}
+
+void require_identical_datasets(const std::string& case_name, const Dataset& cold,
+                                const Dataset& warm) {
+  bool same = cold.size() == warm.size();
+  for (std::size_t i = 0; same && i < cold.size(); ++i) {
+    same = cold[i].features == warm[i].features && cold[i].label == warm[i].label;
+  }
+  if (!same) {
+    std::cerr << case_name << ": warm-snapshot dataset differs from cold run\n";
+    std::exit(1);
+  }
+}
+
+/// Cold-vs-warm snapshot pass for one case study: a full generate() on a
+/// fresh study, snapshot save, then the same generate() on another fresh
+/// study pre-warmed from the snapshot. Exits on any label divergence, so a
+/// reported speedup always certifies bit-identical output.
+SnapshotRecord bench_snapshot(CaseId id, const std::string& case_name, std::size_t points,
+                              std::uint64_t seed, const std::string& tmp_path) {
+  SnapshotRecord rec;
+  rec.case_name = case_name;
+  rec.points = points;
+
+  const auto cold_study = make_case_study(id);
+  const auto t0 = std::chrono::steady_clock::now();
+  const Dataset cold = cold_study->generate(points, seed);
+  rec.cold_seconds = elapsed_since(t0);
+  (void)cold_study->save_cache_snapshot(tmp_path);
+
+  const auto warm_study = make_case_study(id);
+  (void)warm_study->load_cache_snapshot(tmp_path);
+  const auto t1 = std::chrono::steady_clock::now();
+  const Dataset warm = warm_study->generate(points, seed);
+  rec.warm_seconds = elapsed_since(t1);
+
+  require_identical_datasets(case_name, cold, warm);
+  std::remove(tmp_path.c_str());
+  return rec;
+}
+
+/// CSV writer vs binary writer on one synthetic dataset (writer cost does
+/// not depend on how labels were computed, so features are just random).
+WriterRecord bench_writer(std::size_t points, std::int64_t reps, std::uint64_t seed,
+                          const std::string& tmp_prefix) {
+  Rng rng(seed);
+  Dataset ds({"limit_kb", "M", "N", "K", "rows", "cols", "dataflow", "bandwidth"}, 1000);
+  ds.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    DataPoint p;
+    for (int f = 0; f < 8; ++f) p.features.push_back(rng.uniform_int(1, 1 << 20));
+    p.label = static_cast<std::int32_t>(rng.uniform_int(0, 999));
+    ds.add(std::move(p));
+  }
+
+  WriterRecord rec;
+  rec.points = points;
+  const std::string csv_path = tmp_prefix + ".w.csv";
+  const std::string bin_path = tmp_prefix + ".w.bin";
+  for (std::int64_t r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    ds.save_csv(csv_path);
+    const double csv_s = elapsed_since(t0);
+    if (r == 0 || csv_s < rec.csv_seconds) rec.csv_seconds = csv_s;
+
+    const auto t1 = std::chrono::steady_clock::now();
+    write_binary_dataset(ds, bin_path);
+    const double bin_s = elapsed_since(t1);
+    if (r == 0 || bin_s < rec.binary_seconds) rec.binary_seconds = bin_s;
+  }
+  // Round-trip sanity before the files go away: the binary file must read
+  // back bit-exact.
+  require_identical_datasets("writer", ds, read_binary_dataset(bin_path));
+  std::remove(csv_path.c_str());
+  std::remove(bin_path.c_str());
+  return rec;
+}
+
 void emit_json(const std::string& path, const std::vector<Record>& records,
+               const std::vector<SnapshotRecord>& snapshots, const WriterRecord& writer,
                std::int64_t threads, std::int64_t reps, double dup) {
   std::ostringstream os;
   os << "{\n  \"bench\": \"dataset_throughput\",\n  \"threads\": " << threads
@@ -141,7 +250,22 @@ void emit_json(const std::string& path, const std::vector<Record>& records,
        << "\": " << json_escape_free_number(cached.points_per_sec / naive.points_per_sec);
     first = false;
   }
-  os << "}\n}\n";
+  os << "},\n  \"snapshot\": [\n";
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    const SnapshotRecord& s = snapshots[i];
+    // A reported record implies the cold/warm datasets compared equal —
+    // bench_snapshot exits before emitting otherwise.
+    os << "    {\"case\": \"" << s.case_name << "\", \"points\": " << s.points
+       << ", \"cold_seconds\": " << json_escape_free_number(s.cold_seconds)
+       << ", \"warm_seconds\": " << json_escape_free_number(s.warm_seconds)
+       << ", \"speedup\": " << json_escape_free_number(s.cold_seconds / s.warm_seconds)
+       << ", \"labels_bit_identical\": true}" << (i + 1 < snapshots.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"writer\": {\"points\": " << writer.points
+     << ", \"csv_seconds\": " << json_escape_free_number(writer.csv_seconds)
+     << ", \"binary_seconds\": " << json_escape_free_number(writer.binary_seconds)
+     << ", \"speedup\": " << json_escape_free_number(writer.csv_seconds / writer.binary_seconds)
+     << "}\n}\n";
   std::ofstream out(path);
   out << os.str();
   std::cout << os.str();
@@ -157,6 +281,8 @@ int main(int argc, char** argv) {
   args.flag_i64("reps", 3, "timed passes per mode; the fastest is reported");
   args.flag_f64("dup", 0.3, "probability a point's cache-key features repeat from a 64-entry pool");
   args.flag_i64("seed", 42, "RNG seed for input sampling");
+  args.flag_i64("snapshot-points", 0, "points for the cold-vs-warm snapshot section (0 = --points)");
+  args.flag_i64("writer-points", 0, "points for the CSV-vs-binary writer section (0 = --points)");
   args.flag_str("out", "BENCH_dataset.json", "output JSON path");
   args.parse(argc, argv);
 
@@ -312,6 +438,22 @@ int main(int argc, char** argv) {
     require_equal_labels("case3", naive_labels, cached_labels);
   }
 
-  emit_json(args.str("out"), records, threads, reps, dup);
+  // ------------------------------------------- snapshot + writer sections
+  const auto snap_n = args.i64("snapshot-points") > 0
+                          ? static_cast<std::size_t>(args.i64("snapshot-points"))
+                          : n;
+  const auto writer_n = args.i64("writer-points") > 0
+                            ? static_cast<std::size_t>(args.i64("writer-points"))
+                            : n;
+  std::vector<SnapshotRecord> snapshots;
+  snapshots.push_back(
+      bench_snapshot(CaseId::kArrayDataflow, "case1", snap_n, seed, args.str("out") + ".case1.snap"));
+  snapshots.push_back(
+      bench_snapshot(CaseId::kBufferSizing, "case2", snap_n, seed, args.str("out") + ".case2.snap"));
+  snapshots.push_back(
+      bench_snapshot(CaseId::kScheduling, "case3", snap_n, seed, args.str("out") + ".case3.snap"));
+  const WriterRecord writer = bench_writer(writer_n, reps, seed, args.str("out"));
+
+  emit_json(args.str("out"), records, snapshots, writer, threads, reps, dup);
   return 0;
 }

@@ -12,4 +12,9 @@ void contract_fail(const char* kind, const char* expr, const char* file, int lin
   throw ContractViolation(os.str());
 }
 
+void contract_fail(const char* kind, const char* expr, const char* file, int line,
+                   const std::string& msg) {
+  contract_fail(kind, expr, file, line, msg.c_str());
+}
+
 }  // namespace airch::detail

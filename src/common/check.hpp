@@ -31,6 +31,10 @@ namespace detail {
 
 [[noreturn]] void contract_fail(const char* kind, const char* expr, const char* file, int line,
                                 const char* msg);
+/// Overload for composed messages (e.g. a literal + a file path); the
+/// macros pick it up by ordinary overload resolution.
+[[noreturn]] void contract_fail(const char* kind, const char* expr, const char* file, int line,
+                                const std::string& msg);
 
 }  // namespace detail
 }  // namespace airch

@@ -32,11 +32,24 @@ std::vector<double> CaseStudy::normalized_performance_batch(
 // ---------------------------------------------------------------- case 1
 
 ArrayDataflowStudy::ArrayDataflowStudy(Case1Config cfg, int max_macs_exp)
-    : cfg_(cfg), space_(max_macs_exp) {}
+    : cfg_(cfg),
+      space_(max_macs_exp),
+      cache_(std::make_unique<Case1SweepCache>(space_, sim_)) {}
 
-Dataset ArrayDataflowStudy::generate(std::size_t n, std::uint64_t seed) const {
-  return generate_case1(n, space_, sim_, cfg_, seed);
+Dataset ArrayDataflowStudy::generate_range(std::size_t begin, std::size_t end,
+                                           std::uint64_t seed) const {
+  return generate_case1_range(begin, end, space_, cfg_, seed, *cache_);
 }
+
+SnapshotStats ArrayDataflowStudy::save_cache_snapshot(const std::string& path) const {
+  return cache_->save_snapshot(path);
+}
+
+SnapshotStats ArrayDataflowStudy::load_cache_snapshot(const std::string& path) const {
+  return cache_->load_snapshot(path);
+}
+
+CacheStats ArrayDataflowStudy::cache_stats() const { return cache_->stats(); }
 
 double ArrayDataflowStudy::normalized_performance(const DataPoint& point,
                                                   std::int32_t predicted) const {
@@ -55,11 +68,23 @@ double ArrayDataflowStudy::normalized_performance(const DataPoint& point,
 
 // ---------------------------------------------------------------- case 2
 
-BufferSizingStudy::BufferSizingStudy(Case2Config cfg) : cfg_(cfg) {}
+BufferSizingStudy::BufferSizingStudy(Case2Config cfg)
+    : cfg_(cfg), cache_(std::make_unique<Case2SweepCache>(space_, sim_)) {}
 
-Dataset BufferSizingStudy::generate(std::size_t n, std::uint64_t seed) const {
-  return generate_case2(n, space_, sim_, cfg_, seed);
+Dataset BufferSizingStudy::generate_range(std::size_t begin, std::size_t end,
+                                          std::uint64_t seed) const {
+  return generate_case2_range(begin, end, space_, cfg_, seed, *cache_);
 }
+
+SnapshotStats BufferSizingStudy::save_cache_snapshot(const std::string& path) const {
+  return cache_->save_snapshot(path);
+}
+
+SnapshotStats BufferSizingStudy::load_cache_snapshot(const std::string& path) const {
+  return cache_->load_snapshot(path);
+}
+
+CacheStats BufferSizingStudy::cache_stats() const { return cache_->stats(); }
 
 double BufferSizingStudy::normalized_performance(const DataPoint& point,
                                                  std::int32_t predicted) const {
@@ -93,15 +118,27 @@ SchedulingStudy::SchedulingStudy(Case3Config cfg, int num_arrays)
     : cfg_(cfg),
       space_(num_arrays),
       sim_(),
-      search_(space_, default_scheduled_arrays(), sim_) {
+      search_(space_, default_scheduled_arrays(), sim_),
+      cache_(std::make_unique<Case3SweepCache>(search_)) {
   if (num_arrays != static_cast<int>(default_scheduled_arrays().size())) {
     throw std::invalid_argument("SchedulingStudy currently ships a 4-array system");
   }
 }
 
-Dataset SchedulingStudy::generate(std::size_t n, std::uint64_t seed) const {
-  return generate_case3(n, space_, search_.arrays(), sim_, cfg_, seed);
+Dataset SchedulingStudy::generate_range(std::size_t begin, std::size_t end,
+                                        std::uint64_t seed) const {
+  return generate_case3_range(begin, end, space_, cfg_, seed, *cache_);
 }
+
+SnapshotStats SchedulingStudy::save_cache_snapshot(const std::string& path) const {
+  return cache_->save_snapshot(path);
+}
+
+SnapshotStats SchedulingStudy::load_cache_snapshot(const std::string& path) const {
+  return cache_->load_snapshot(path);
+}
+
+CacheStats SchedulingStudy::cache_stats() const { return cache_->stats(); }
 
 double SchedulingStudy::normalized_performance(const DataPoint& point,
                                                std::int32_t predicted) const {

@@ -22,8 +22,9 @@ enum class CaseId { kArrayDataflow = 1, kBufferSizing = 2, kScheduling = 3 };
 
 const char* case_name(CaseId id);
 
-/// One case study: owns its spaces/simulator and exposes generation and
-/// prediction scoring. Thread-compatible (const after construction).
+/// One case study: owns its spaces/simulator/labelling cache and exposes
+/// generation and prediction scoring. Thread-compatible (const after
+/// construction; the labelling cache is internally synchronized).
 class CaseStudy {
  public:
   virtual ~CaseStudy() = default;
@@ -31,8 +32,28 @@ class CaseStudy {
   virtual CaseId id() const = 0;
   virtual int num_classes() const = 0;
 
-  /// Search-labelled dataset of `n` points (paper Step 3).
-  virtual Dataset generate(std::size_t n, std::uint64_t seed) const = 0;
+  /// Search-labelled dataset of `n` points (paper Step 3). Exactly
+  /// generate_range(0, n, seed).
+  Dataset generate(std::size_t n, std::uint64_t seed) const {
+    return generate_range(0, n, seed);
+  }
+
+  /// Points [begin, end) of the full run keyed by `seed` — the sharding
+  /// contract of dataset/generator.hpp: concatenating contiguous ranges
+  /// in order is byte-identical to one generate(n, seed) call. All ranges
+  /// label through the study's persistent cache, so they share warmth.
+  virtual Dataset generate_range(std::size_t begin, std::size_t end,
+                                 std::uint64_t seed) const = 0;
+
+  /// Persists the labelling cache (search/sweep_cache.hpp snapshot
+  /// format) so the next run starts warm.
+  [[nodiscard]] virtual SnapshotStats save_cache_snapshot(const std::string& path) const = 0;
+  /// Restores a snapshot; throws ContractViolation on version/case/
+  /// fingerprint/checksum mismatch, leaving the cache untouched (callers
+  /// catch and fall back to cold).
+  [[nodiscard]] virtual SnapshotStats load_cache_snapshot(const std::string& path) const = 0;
+  /// Labelling-cache counters (case 3 reports the per-vector level).
+  [[nodiscard]] virtual CacheStats cache_stats() const = 0;
 
   /// Achieved performance of predicted label on one point, normalized to
   /// the optimum: 1.0 = matches the search optimum, <1.0 = slower.
@@ -52,7 +73,10 @@ class ArrayDataflowStudy final : public CaseStudy {
 
   CaseId id() const override { return CaseId::kArrayDataflow; }
   int num_classes() const override { return space_.size(); }
-  Dataset generate(std::size_t n, std::uint64_t seed) const override;
+  Dataset generate_range(std::size_t begin, std::size_t end, std::uint64_t seed) const override;
+  [[nodiscard]] SnapshotStats save_cache_snapshot(const std::string& path) const override;
+  [[nodiscard]] SnapshotStats load_cache_snapshot(const std::string& path) const override;
+  [[nodiscard]] CacheStats cache_stats() const override;
   double normalized_performance(const DataPoint& point, std::int32_t predicted) const override;
 
   const ArrayDataflowSpace& space() const { return space_; }
@@ -62,6 +86,7 @@ class ArrayDataflowStudy final : public CaseStudy {
   Case1Config cfg_;
   ArrayDataflowSpace space_;
   Simulator sim_;
+  std::unique_ptr<Case1SweepCache> cache_;
 };
 
 class BufferSizingStudy final : public CaseStudy {
@@ -70,7 +95,10 @@ class BufferSizingStudy final : public CaseStudy {
 
   CaseId id() const override { return CaseId::kBufferSizing; }
   int num_classes() const override { return space_.size(); }
-  Dataset generate(std::size_t n, std::uint64_t seed) const override;
+  Dataset generate_range(std::size_t begin, std::size_t end, std::uint64_t seed) const override;
+  [[nodiscard]] SnapshotStats save_cache_snapshot(const std::string& path) const override;
+  [[nodiscard]] SnapshotStats load_cache_snapshot(const std::string& path) const override;
+  [[nodiscard]] CacheStats cache_stats() const override;
   double normalized_performance(const DataPoint& point, std::int32_t predicted) const override;
 
   const BufferSizeSpace& space() const { return space_; }
@@ -80,6 +108,7 @@ class BufferSizingStudy final : public CaseStudy {
   Case2Config cfg_;
   BufferSizeSpace space_;
   Simulator sim_;
+  std::unique_ptr<Case2SweepCache> cache_;
 };
 
 class SchedulingStudy final : public CaseStudy {
@@ -88,7 +117,10 @@ class SchedulingStudy final : public CaseStudy {
 
   CaseId id() const override { return CaseId::kScheduling; }
   int num_classes() const override { return space_.size(); }
-  Dataset generate(std::size_t n, std::uint64_t seed) const override;
+  Dataset generate_range(std::size_t begin, std::size_t end, std::uint64_t seed) const override;
+  [[nodiscard]] SnapshotStats save_cache_snapshot(const std::string& path) const override;
+  [[nodiscard]] SnapshotStats load_cache_snapshot(const std::string& path) const override;
+  [[nodiscard]] CacheStats cache_stats() const override;
   double normalized_performance(const DataPoint& point, std::int32_t predicted) const override;
 
   const ScheduleSpace& space() const { return space_; }
@@ -100,6 +132,7 @@ class SchedulingStudy final : public CaseStudy {
   ScheduleSpace space_;
   Simulator sim_;
   ScheduleSearch search_;
+  std::unique_ptr<Case3SweepCache> cache_;
 };
 
 /// Factory by case id with default (paper) parameters.

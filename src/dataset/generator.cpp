@@ -43,24 +43,38 @@ void label_parallel(std::vector<Input>& inputs, std::vector<std::int32_t>& label
 }
 }  // namespace
 
+std::uint64_t point_stream_seed(std::uint64_t seed, std::uint64_t index) {
+  // Avalanche the run seed once, then fold the index through the same
+  // combiner the sweep caches use: adjacent indices land in unrelated
+  // streams, and a given (seed, index) is stable across processes — the
+  // whole sharding contract rests on that.
+  return detail::hash_combine(detail::mix_u64(seed), index);
+}
+
 // --------------------------------------------------------------- case 1
 
-Dataset generate_case1(std::size_t n, const ArrayDataflowSpace& space, const Simulator& sim,
-                       const Case1Config& cfg, std::uint64_t seed) {
+Dataset generate_case1_range(std::size_t begin, std::size_t end,
+                             const ArrayDataflowSpace& space, const Case1Config& cfg,
+                             std::uint64_t seed, const Case1SweepCache& cache) {
   if (cfg.budget_min_exp < 2 || cfg.budget_max_exp > space.max_macs_exp() ||
       cfg.budget_min_exp > cfg.budget_max_exp) {
     throw std::invalid_argument("case 1 budget range invalid for space");
   }
-  Rng rng(seed);
+  AIRCH_CHECK(begin <= end, "generate range must be ordered");
+  const std::size_t n = end - begin;
   LogUniformGemmSampler sampler(cfg.dims);
 
+  // One independent RNG stream per point (sharding contract, see header):
+  // the draw order within a point is fixed, so point i's inputs depend on
+  // (seed, i) alone — never on which range of a run it lands in.
   std::vector<Case1Features> inputs(n);
-  for (auto& in : inputs) {
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng rng(point_stream_seed(seed, begin + i));
+    auto& in = inputs[i];
     in.budget_exp = static_cast<int>(rng.uniform_int(cfg.budget_min_exp, cfg.budget_max_exp));
     in.workload = sampler.sample(rng);
   }
 
-  Case1SweepCache cache(space, sim, n);
   std::vector<std::int32_t> labels;
   label_parallel(
       inputs, labels,
@@ -79,6 +93,12 @@ Dataset generate_case1(std::size_t n, const ArrayDataflowSpace& space, const Sim
   return ds;
 }
 
+Dataset generate_case1(std::size_t n, const ArrayDataflowSpace& space, const Simulator& sim,
+                       const Case1Config& cfg, std::uint64_t seed) {
+  const Case1SweepCache cache(space, sim, n);
+  return generate_case1_range(0, n, space, cfg, seed, cache);
+}
+
 Case1Features decode_case1(const std::vector<std::int64_t>& features) {
   if (features.size() != 4) throw std::invalid_argument("case 1 expects 4 features");
   Case1Features f;
@@ -89,13 +109,17 @@ Case1Features decode_case1(const std::vector<std::int64_t>& features) {
 
 // --------------------------------------------------------------- case 2
 
-Dataset generate_case2(std::size_t n, const BufferSizeSpace& space, const Simulator& sim,
-                       const Case2Config& cfg, std::uint64_t seed) {
-  Rng rng(seed);
+Dataset generate_case2_range(std::size_t begin, std::size_t end, const BufferSizeSpace& space,
+                             const Case2Config& cfg, std::uint64_t seed,
+                             const Case2SweepCache& cache) {
+  AIRCH_CHECK(begin <= end, "generate range must be ordered");
+  const std::size_t n = end - begin;
   LogUniformGemmSampler sampler(cfg.dims);
 
   std::vector<Case2Features> inputs(n);
-  for (auto& in : inputs) {
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng rng(point_stream_seed(seed, begin + i));
+    auto& in = inputs[i];
     in.workload = sampler.sample(rng);
     // Array shape: split a random MAC exponent into row/col exponents.
     const int macs_exp =
@@ -111,7 +135,6 @@ Dataset generate_case2(std::size_t n, const BufferSizeSpace& space, const Simula
     in.limit_kb = rng.uniform_int(steps_min, steps_max) * space.step_kb();
   }
 
-  Case2SweepCache cache(space, sim);
   std::vector<std::int32_t> labels;
   label_parallel(inputs, labels, [&](const Case2Features& in) {
     return static_cast<std::int32_t>(
@@ -129,6 +152,12 @@ Dataset generate_case2(std::size_t n, const BufferSizeSpace& space, const Simula
   return ds;
 }
 
+Dataset generate_case2(std::size_t n, const BufferSizeSpace& space, const Simulator& sim,
+                       const Case2Config& cfg, std::uint64_t seed) {
+  const Case2SweepCache cache(space, sim);
+  return generate_case2_range(0, n, space, cfg, seed, cache);
+}
+
 Case2Features decode_case2(const std::vector<std::int64_t>& features) {
   if (features.size() != 8) throw std::invalid_argument("case 2 expects 8 features");
   Case2Features f;
@@ -143,18 +172,20 @@ Case2Features decode_case2(const std::vector<std::int64_t>& features) {
 
 // --------------------------------------------------------------- case 3
 
-Dataset generate_case3(std::size_t n, const ScheduleSpace& space,
-                       const std::vector<ScheduledArray>& arrays, const Simulator& sim,
-                       const Case3Config& cfg, std::uint64_t seed) {
-  Rng rng(seed);
+Dataset generate_case3_range(std::size_t begin, std::size_t end, const ScheduleSpace& space,
+                             const Case3Config& cfg, std::uint64_t seed,
+                             const Case3SweepCache& cache) {
+  AIRCH_CHECK(begin <= end, "generate range must be ordered");
+  const std::size_t n = end - begin;
   LogUniformGemmSampler sampler(cfg.dims);
   const int w = space.num_arrays();
 
   std::vector<std::vector<GemmWorkload>> inputs(n);
-  for (auto& in : inputs) in = sampler.sample_many(rng, static_cast<std::size_t>(w));
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng rng(point_stream_seed(seed, begin + i));
+    inputs[i] = sampler.sample_many(rng, static_cast<std::size_t>(w));
+  }
 
-  ScheduleSearch search(space, arrays, sim);
-  Case3SweepCache cache(search);
   std::vector<std::int32_t> labels;
   label_parallel(inputs, labels, [&](const std::vector<GemmWorkload>& wls) {
     return static_cast<std::int32_t>(cache.best(wls).label);
@@ -184,6 +215,14 @@ Dataset generate_case3(std::size_t n, const ScheduleSpace& space,
     ds.add(std::move(p));
   }
   return ds;
+}
+
+Dataset generate_case3(std::size_t n, const ScheduleSpace& space,
+                       const std::vector<ScheduledArray>& arrays, const Simulator& sim,
+                       const Case3Config& cfg, std::uint64_t seed) {
+  const ScheduleSearch search(space, arrays, sim);
+  const Case3SweepCache cache(search);
+  return generate_case3_range(0, n, space, cfg, seed, cache);
 }
 
 std::vector<GemmWorkload> decode_case3(const std::vector<std::int64_t>& features) {

@@ -4,6 +4,18 @@
 // the conventional simulate-and-search optimizer, record (input, optimal
 // label). Feature layouts follow Fig. 8(a) exactly; decode helpers invert
 // them so evaluation code can re-simulate a prediction's true cost.
+//
+// Sharding contract: point i draws its inputs from an independent RNG
+// stream seeded by point_stream_seed(seed, i) — not from one sequential
+// stream — so the generate_*_range(begin, end, ...) variants produce
+// exactly the points a full [0, n) run would produce at those indices.
+// Splitting a run into K contiguous shards and concatenating the shard
+// outputs in shard order is therefore byte-identical to the single-
+// process run at the same seed (property-tested in tests/test_generator
+// .cpp), which is what lets generate_dataset fan out multi-million-point
+// runs. The range variants label through a caller-owned sweep cache, so
+// shards of one process share warmth and a persistent snapshot
+// (search/sweep_cache.hpp) can pre-warm all of them.
 
 #include <cstddef>
 #include <cstdint>
@@ -12,11 +24,17 @@
 #include "dataset/dataset.hpp"
 #include "search/exhaustive.hpp"
 #include "search/space.hpp"
+#include "search/sweep_cache.hpp"
 #include "sim/simulator.hpp"
 #include "workload/gemm.hpp"
 #include "workload/sampler.hpp"
 
 namespace airch {
+
+/// Seed of the independent RNG stream that draws point `index` of a run
+/// keyed by `seed`. A SplitMix-style avalanche of (seed, index): streams
+/// for neighbouring indices share nothing observable.
+[[nodiscard]] std::uint64_t point_stream_seed(std::uint64_t seed, std::uint64_t index);
 
 // --------------------------------------------------------------- case 1
 // Features: [mac_budget_exp, M, N, K]; label: ArrayDataflowSpace id.
@@ -34,6 +52,13 @@ struct Case1Features {
 
 Dataset generate_case1(std::size_t n, const ArrayDataflowSpace& space, const Simulator& sim,
                        const Case1Config& cfg, std::uint64_t seed);
+
+/// Points [begin, end) of the full run keyed by `seed` (see the sharding
+/// contract above), labelled through the caller's cache. generate_case1
+/// is exactly generate_case1_range(0, n) over a fresh pre-sized cache.
+Dataset generate_case1_range(std::size_t begin, std::size_t end,
+                             const ArrayDataflowSpace& space, const Case1Config& cfg,
+                             std::uint64_t seed, const Case1SweepCache& cache);
 
 Case1Features decode_case1(const std::vector<std::int64_t>& features);
 
@@ -63,6 +88,11 @@ struct Case2Features {
 Dataset generate_case2(std::size_t n, const BufferSizeSpace& space, const Simulator& sim,
                        const Case2Config& cfg, std::uint64_t seed);
 
+/// Points [begin, end); see generate_case1_range.
+Dataset generate_case2_range(std::size_t begin, std::size_t end, const BufferSizeSpace& space,
+                             const Case2Config& cfg, std::uint64_t seed,
+                             const Case2SweepCache& cache);
+
 Case2Features decode_case2(const std::vector<std::int64_t>& features);
 
 // --------------------------------------------------------------- case 3
@@ -76,6 +106,12 @@ struct Case3Config {
 Dataset generate_case3(std::size_t n, const ScheduleSpace& space,
                        const std::vector<ScheduledArray>& arrays, const Simulator& sim,
                        const Case3Config& cfg, std::uint64_t seed);
+
+/// Points [begin, end); see generate_case1_range. The cache carries the
+/// ScheduleSearch (arrays + simulator), which must outlive this call.
+Dataset generate_case3_range(std::size_t begin, std::size_t end, const ScheduleSpace& space,
+                             const Case3Config& cfg, std::uint64_t seed,
+                             const Case3SweepCache& cache);
 
 std::vector<GemmWorkload> decode_case3(const std::vector<std::int64_t>& features);
 

@@ -35,6 +35,23 @@ struct TrainStats {
   double loss = 0.0;
   std::size_t correct = 0;
   std::size_t count = 0;
+
+  /// Merges another batch's statistics; `loss` stays the sample-weighted
+  /// mean. The in-memory and streaming fit paths both fold their batches
+  /// through this operator in the same order, which is what makes their
+  /// reported epoch histories bit-identical when the stream's chunk covers
+  /// the whole set.
+  TrainStats& operator+=(const TrainStats& other) {
+    const double merged = static_cast<double>(count) + static_cast<double>(other.count);
+    if (merged > 0.0) {
+      loss = (loss * static_cast<double>(count) +
+              other.loss * static_cast<double>(other.count)) /
+             merged;
+    }
+    correct += other.correct;
+    count += other.count;
+    return *this;
+  }
 };
 
 /// MLP classifier with either a float input or an embedding front-end.

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "dataset/binary_io.hpp"
+
 namespace airch {
 
 namespace {
@@ -36,44 +38,111 @@ std::vector<EpochStats> NeuralClassifier::fit(const Dataset& train, const Datase
   for (int epoch = 1; epoch <= options_.epochs; ++epoch) {
     opt.set_learning_rate(lr_schedule(epoch));
     rng.shuffle(order);
-    double loss_sum = 0.0;
-    std::size_t correct = 0;
-    std::size_t seen = 0;
+    ml::TrainStats epoch_stats;
     for (std::size_t begin = 0; begin < train.size(); begin += options_.batch_size) {
       const std::size_t end = std::min(train.size(), begin + options_.batch_size);
       labels.resize(end - begin);
       for (std::size_t i = begin; i < end; ++i) labels[i - begin] = train[order[i]].label;
-      ml::TrainStats stats;
       if (uses_embedding()) {
         enc.encode_int_gather_into(train, order, begin, end, int_batch);
-        stats = net_->train_batch(int_batch, labels, opt);
+        epoch_stats += net_->train_batch(int_batch, labels, opt);
       } else {
         enc.encode_float_gather_into(train, order, begin, end, float_batch);
-        stats = net_->train_batch(float_batch, labels, opt);
+        epoch_stats += net_->train_batch(float_batch, labels, opt);
       }
-      loss_sum += stats.loss * static_cast<double>(stats.count);
-      correct += stats.correct;
-      seen += stats.count;
     }
-    const bool need_val = !val.empty() && (options_.early_stop_patience > 0 ||
-                                           epoch % options_.log_every_epochs == 0 ||
-                                           epoch == options_.epochs);
-    const double val_acc = need_val ? accuracy(val, enc) : 0.0;
-    if (epoch % options_.log_every_epochs == 0 || epoch == options_.epochs) {
-      EpochStats es;
-      es.epoch = epoch;
-      es.train_loss = seen ? loss_sum / static_cast<double>(seen) : 0.0;
-      es.train_accuracy = seen ? static_cast<double>(correct) / static_cast<double>(seen) : 0.0;
-      es.val_accuracy = val_acc;
-      history.push_back(es);
+    if (finish_epoch(epoch, epoch_stats, val, enc, history, best_val, epochs_since_best)) {
+      break;  // the paper's case 2 overfits past ~22 epochs; stop here
     }
-    if (options_.early_stop_patience > 0 && !val.empty()) {
-      if (val_acc > best_val) {
-        best_val = val_acc;
-        epochs_since_best = 0;
-      } else if (++epochs_since_best >= options_.early_stop_patience) {
-        break;  // the paper's case 2 overfits past ~22 epochs; stop here
+  }
+  return history;
+}
+
+/// Shared per-epoch tail of fit / fit_stream: validation, history row,
+/// early-stop bookkeeping. Returns true when training should stop.
+bool NeuralClassifier::finish_epoch(int epoch, const ml::TrainStats& epoch_stats,
+                                    const Dataset& val, const FeatureEncoder& enc,
+                                    std::vector<EpochStats>& history, double& best_val,
+                                    int& epochs_since_best) {
+  const bool need_val = !val.empty() && (options_.early_stop_patience > 0 ||
+                                         epoch % options_.log_every_epochs == 0 ||
+                                         epoch == options_.epochs);
+  const double val_acc = need_val ? accuracy(val, enc) : 0.0;
+  if (epoch % options_.log_every_epochs == 0 || epoch == options_.epochs) {
+    EpochStats es;
+    es.epoch = epoch;
+    es.train_loss = epoch_stats.loss;
+    es.train_accuracy = epoch_stats.count > 0 ? static_cast<double>(epoch_stats.correct) /
+                                                    static_cast<double>(epoch_stats.count)
+                                              : 0.0;
+    es.val_accuracy = val_acc;
+    history.push_back(es);
+  }
+  if (options_.early_stop_patience > 0 && !val.empty()) {
+    if (val_acc > best_val) {
+      best_val = val_acc;
+      epochs_since_best = 0;
+    } else if (++epochs_since_best >= options_.early_stop_patience) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<EpochStats> NeuralClassifier::fit_stream(BatchStream& train, const Dataset& val,
+                                                     const FeatureEncoder& enc,
+                                                     std::size_t chunk_points) {
+  if (chunk_points == 0) throw std::invalid_argument("chunk_points must be positive");
+  Rng rng(options_.seed);
+  fitted_input_dim_ = static_cast<std::size_t>(train.num_features());
+  fitted_vocab_ = uses_embedding() ? enc.vocab_sizes() : std::vector<int>{};
+  build_net(static_cast<std::size_t>(train.num_classes()), fitted_input_dim_, fitted_vocab_);
+  ml::Adam opt(options_.learning_rate);
+
+  std::vector<EpochStats> history;
+  double best_val = -1.0;
+  int epochs_since_best = 0;
+  const ml::ExponentialDecaySchedule lr_schedule{options_.learning_rate, options_.lr_decay};
+  ml::IntBatch int_batch;
+  ml::Matrix float_batch;
+  std::vector<std::int32_t> labels;
+  Dataset chunk;
+  // One order vector per chunk position, persisted across epochs: fit()
+  // re-shuffles its (already shuffled) order every epoch rather than
+  // re-shuffling a fresh iota, and the chunk boundaries are identical
+  // every epoch, so persisting reproduces that exact permutation walk.
+  std::vector<std::vector<std::size_t>> orders;
+  for (int epoch = 1; epoch <= options_.epochs; ++epoch) {
+    opt.set_learning_rate(lr_schedule(epoch));
+    train.reset();
+    ml::TrainStats epoch_stats;
+    std::size_t chunk_index = 0;
+    // Shuffling is per chunk (the whole point of streaming is never
+    // holding more than one chunk), so when one chunk covers the file this
+    // degenerates to fit()'s full shuffle with the identical Rng sequence
+    // — the bit-identity contract tested in tests/test_binary_io.cpp.
+    while (train.next_batch(chunk_points, chunk)) {
+      if (chunk_index == orders.size()) {
+        orders.emplace_back(chunk.size());
+        std::iota(orders.back().begin(), orders.back().end(), 0);
       }
+      std::vector<std::size_t>& order = orders[chunk_index++];
+      rng.shuffle(order);
+      for (std::size_t begin = 0; begin < chunk.size(); begin += options_.batch_size) {
+        const std::size_t end = std::min(chunk.size(), begin + options_.batch_size);
+        labels.resize(end - begin);
+        for (std::size_t i = begin; i < end; ++i) labels[i - begin] = chunk[order[i]].label;
+        if (uses_embedding()) {
+          enc.encode_int_gather_into(chunk, order, begin, end, int_batch);
+          epoch_stats += net_->train_batch(int_batch, labels, opt);
+        } else {
+          enc.encode_float_gather_into(chunk, order, begin, end, float_batch);
+          epoch_stats += net_->train_batch(float_batch, labels, opt);
+        }
+      }
+    }
+    if (finish_epoch(epoch, epoch_stats, val, enc, history, best_val, epochs_since_best)) {
+      break;  // same early-stop rule as fit()
     }
   }
   return history;

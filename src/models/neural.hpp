@@ -17,6 +17,8 @@
 
 namespace airch {
 
+class BatchStream;
+
 class NeuralClassifier final : public Classifier {
  public:
   struct Options {
@@ -39,6 +41,16 @@ class NeuralClassifier final : public Classifier {
   std::string name() const override { return name_; }
   std::vector<EpochStats> fit(const Dataset& train, const Dataset& val,
                               const FeatureEncoder& enc) override;
+
+  /// fit() for datasets that never fit in memory at once: streams the
+  /// binary training file chunk-by-chunk (≤ chunk_points each), one pass
+  /// per epoch, shuffling within each chunk. When a single chunk covers
+  /// the whole file this is bit-identical to fit() on the materialized
+  /// dataset (same Rng sequence, same batch fold order) — property-tested
+  /// in tests/test_binary_io.cpp.
+  std::vector<EpochStats> fit_stream(BatchStream& train, const Dataset& val,
+                                     const FeatureEncoder& enc, std::size_t chunk_points);
+
   std::vector<std::int32_t> predict(const Dataset& ds, const FeatureEncoder& enc) override;
 
   /// Batched inference over raw feature vectors: encodes all queries into
@@ -62,6 +74,9 @@ class NeuralClassifier final : public Classifier {
  private:
   bool uses_embedding() const { return options_.embed_dim > 0; }
   void build_net(std::size_t classes, std::size_t input_dim, const std::vector<int>& vocab);
+  bool finish_epoch(int epoch, const ml::TrainStats& epoch_stats, const Dataset& val,
+                    const FeatureEncoder& enc, std::vector<EpochStats>& history,
+                    double& best_val, int& epochs_since_best);
 
   std::string name_;
   Options options_;

@@ -116,6 +116,10 @@ class ScheduleSearch {
 
   const std::vector<ScheduledArray>& arrays() const { return arrays_; }
   const ScheduleSpace& space() const { return *space_; }
+  /// The simulator behind dataflow_costs — exposed so the sweep cache's
+  /// snapshot fingerprint can cover the energy params its cached costs
+  /// depend on.
+  const Simulator& sim() const { return *sim_; }
 
  private:
   const ScheduleSpace* space_;

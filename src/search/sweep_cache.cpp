@@ -1,12 +1,17 @@
 #include "search/sweep_cache.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
+#include "common/binio.hpp"
 #include "common/check.hpp"
 #include "common/math_utils.hpp"
 #include "sim/compute_model.hpp"
+#include "sim/energy_model.hpp"
 #include "sim/memory_model.hpp"
 
 namespace airch {
@@ -586,6 +591,355 @@ ScheduleSearch::Result Case3SweepCache::best(const std::vector<GemmWorkload>& wo
     key.push_back(w.k);
   }
   return memo_.get_or_compute(key, [&] { return factored_best(workloads); });
+}
+
+// ------------------------------------------------------------ snapshots
+//
+// Shared layout (common/binio.hpp discipline):
+//   u64 magic | u32 version | u32 case id | u64 fingerprint | u64 entries
+//   <case-specific payload>
+//   u64 trailer checksum (FNV-1a over every preceding byte)
+// Loads parse and bounds-check the whole payload into staging buffers,
+// verify the trailer, and only then touch the cache — a corrupt file can
+// never leave a partially-applied (let alone wrong) cache behind. Every
+// count or length field is checked against the bytes actually remaining
+// before it sizes an allocation, so even a corruption the checksum has
+// not yet seen cannot balloon memory.
+
+namespace {
+
+/// Seed of every fingerprint chain; the case id folds in first so the
+/// three cases can never collide even on identical shape parameters.
+constexpr std::uint64_t kFingerprintSeed = 0x41495243ULL;  // "AIRC"
+
+void write_snapshot_header(BinWriter& w, std::uint32_t case_id, std::uint64_t fingerprint,
+                           std::uint64_t entries) {
+  w.put_u64(kSnapshotMagic);
+  w.put_u32(kSnapshotFormatVersion);
+  w.put_u32(case_id);
+  w.put_u64(fingerprint);
+  w.put_u64(entries);
+}
+
+/// Validates magic → version → case → fingerprint in that order (so the
+/// thrown message names the first thing that is actually wrong) and
+/// returns the entry count, bounds-checked against the file size using
+/// `min_entry_bytes` as the smallest legal per-entry footprint.
+std::uint64_t read_snapshot_header(BinReader& r, const std::string& path, std::uint32_t case_id,
+                                   std::uint64_t fingerprint, std::uint64_t min_entry_bytes) {
+  AIRCH_CHECK(r.get_u64() == kSnapshotMagic, "not a sweep-cache snapshot: " + path);
+  const std::uint32_t version = r.get_u32();
+  AIRCH_CHECK(version == kSnapshotFormatVersion,
+              "unsupported snapshot format version in " + path);
+  const std::uint32_t got_case = r.get_u32();
+  AIRCH_CHECK(got_case == case_id, "snapshot belongs to a different case study: " + path);
+  const std::uint64_t got_fp = r.get_u64();
+  AIRCH_CHECK(got_fp == fingerprint,
+              "snapshot fingerprint does not match this search space: " + path);
+  const std::uint64_t entries = r.get_u64();
+  AIRCH_CHECK(entries <= r.remaining() / min_entry_bytes,
+              "snapshot entry count exceeds file size: " + path);
+  return entries;
+}
+
+}  // namespace
+
+// --- case 1
+
+std::uint64_t Case1SweepCache::fingerprint() const {
+  std::uint64_t h = detail::hash_combine(kFingerprintSeed, 1);
+  h = detail::hash_combine(h, static_cast<std::uint64_t>(space_->min_exp()));
+  h = detail::hash_combine(h, static_cast<std::uint64_t>(space_->max_macs_exp()));
+  return h;
+}
+
+SnapshotStats Case1SweepCache::save_snapshot(const std::string& path) const {
+  const int lo = 2 * space_->min_exp();
+  // Stage under the shard locks first: the header's entry count and the
+  // payload are then one consistent cut even with queries in flight.
+  struct Entry {
+    Key key;
+    std::int32_t max_exp;
+    std::size_t off;  // first span element in `payload`
+  };
+  std::vector<Entry> entries;
+  std::vector<Result> payload;
+  for (const Shard& shard : shards_) {
+    const MutexLock lock(shard.mu);
+    for (const Slot& slot : shard.slots) {
+      if (slot.key[0] == 0 || slot.max_exp < lo) continue;
+      const Result* span =
+          shard.spans.data() + static_cast<std::size_t>(slot.span & kSpanMask) *
+                                   static_cast<std::size_t>(span_cap_);
+      entries.push_back({slot.key, slot.max_exp, payload.size()});
+      payload.insert(payload.end(), span,
+                     span + static_cast<std::size_t>(slot.max_exp - lo + 1));
+    }
+  }
+  BinWriter w(path);
+  write_snapshot_header(w, 1, fingerprint(), entries.size());
+  for (const Entry& e : entries) {
+    w.put_i64(e.key[0]);
+    w.put_i64(e.key[1]);
+    w.put_i64(e.key[2]);
+    w.put_i32(e.max_exp);
+    const auto count = static_cast<std::size_t>(e.max_exp - lo + 1);
+    for (std::size_t i = 0; i < count; ++i) {
+      const Result& res = payload[e.off + i];
+      w.put_i32(res.label);
+      w.put_i64(std::bit_cast<std::int64_t>(res.cycles));
+    }
+  }
+  w.put_trailer_checksum();
+  w.finish();
+  return {entries.size()};
+}
+
+SnapshotStats Case1SweepCache::load_snapshot(const std::string& path) {
+  BinReader r(path);
+  // Smallest legal entry: 24-byte key + 4-byte bound + one 12-byte result.
+  const std::uint64_t n = read_snapshot_header(r, path, 1, fingerprint(), 40);
+  const int lo = 2 * space_->min_exp();
+  const int hi = space_->max_macs_exp();
+  struct Staged {
+    Key key;
+    std::int32_t max_exp;
+    std::size_t off;
+  };
+  std::vector<Staged> staged;
+  staged.reserve(static_cast<std::size_t>(n));
+  std::vector<Result> payload;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Key key{};
+    key[0] = r.get_i64();
+    key[1] = r.get_i64();
+    key[2] = r.get_i64();
+    const std::int32_t max_exp = r.get_i32();
+    AIRCH_CHECK(key[0] >= 1 && key[1] >= 1 && key[2] >= 1,
+                "corrupt workload key in snapshot: " + path);
+    AIRCH_CHECK(max_exp >= lo && max_exp <= hi, "corrupt span bound in snapshot: " + path);
+    const auto count = static_cast<std::size_t>(max_exp - lo + 1);
+    AIRCH_CHECK(count * 12 <= r.remaining(), "truncated span in snapshot: " + path);
+    staged.push_back({key, max_exp, payload.size()});
+    for (std::size_t e = 0; e < count; ++e) {
+      const std::int32_t label = r.get_i32();
+      const std::int64_t cycles = r.get_i64();
+      AIRCH_CHECK(label >= 0 && label < space_->size(), "corrupt label in snapshot: " + path);
+      AIRCH_CHECK(cycles >= 0, "corrupt cycle count in snapshot: " + path);
+      payload.push_back({label, std::bit_cast<Cycles>(cycles)});
+    }
+  }
+  r.verify_trailer_checksum();
+  // Everything decoded and verified; now (and only now) touch the cache.
+  // An entry the cache already covers at least as far is skipped — its
+  // resident span is identical by determinism.
+  std::uint64_t applied = 0;
+  for (const Staged& s : staged) {
+    const std::uint64_t hash = case1_key_hash(s.key);
+    Shard& shard = shards_[hash >> 58];
+    const MutexLock lock(shard.mu);
+    Slot& slot = find_or_insert(shard, s.key, hash);
+    if (slot.max_exp >= s.max_exp) continue;
+    Result* best = shard.spans.data() + static_cast<std::size_t>(slot.span & kSpanMask) *
+                                            static_cast<std::size_t>(span_cap_);
+    std::copy_n(payload.data() + s.off, static_cast<std::size_t>(s.max_exp - lo + 1), best);
+    slot.max_exp = s.max_exp;
+    slot.span |= kRefBit;
+    ++applied;
+  }
+  return {applied};
+}
+
+// --- case 2
+
+std::uint64_t Case2SweepCache::fingerprint() const {
+  std::uint64_t h = detail::hash_combine(kFingerprintSeed, 2);
+  h = detail::hash_combine(h, static_cast<std::uint64_t>(space_->levels()));
+  h = detail::hash_combine(h, static_cast<std::uint64_t>(space_->step_kb()));
+  return h;
+}
+
+SnapshotStats Case2SweepCache::save_snapshot(const std::string& path) const {
+  std::vector<std::pair<Key, Table>> staged;
+  memo_.for_each([&](const Key& k, const Table& t) { staged.emplace_back(k, t); });
+  BinWriter w(path);
+  write_snapshot_header(w, 2, fingerprint(), staged.size());
+  for (const auto& [key, table] : staged) {
+    for (const std::int64_t v : key) w.put_i64(v);
+    w.put_u32(static_cast<std::uint32_t>(table.best_by_total.size()));
+    for (const BufferSearch::Result& res : table.best_by_total) {
+      w.put_i32(res.label);
+      w.put_i64(std::bit_cast<std::int64_t>(res.stall_cycles));
+      w.put_i64(res.total_kb);
+    }
+  }
+  w.put_trailer_checksum();
+  w.finish();
+  return {staged.size()};
+}
+
+SnapshotStats Case2SweepCache::load_snapshot(const std::string& path) {
+  const int levels = space_->levels();
+  const std::int64_t step = space_->step_kb();
+  const auto nbuckets = static_cast<std::uint32_t>(3 * (levels - 1)) + 1;
+  BinReader r(path);
+  const std::uint64_t entry_bytes = 7 * 8 + 4 + static_cast<std::uint64_t>(nbuckets) * 20;
+  const std::uint64_t n = read_snapshot_header(r, path, 2, fingerprint(), entry_bytes);
+  std::vector<std::pair<Key, Table>> staged;
+  staged.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Key key{};
+    for (std::int64_t& v : key) v = r.get_i64();
+    AIRCH_CHECK(key[0] >= 1 && key[1] >= 1 && key[2] >= 1 && key[3] >= 1 && key[4] >= 1,
+                "corrupt key in snapshot: " + path);
+    AIRCH_CHECK(key[5] >= 0 && key[5] < 3, "corrupt dataflow in snapshot: " + path);
+    AIRCH_CHECK(key[6] >= 1, "corrupt bandwidth in snapshot: " + path);
+    const std::uint32_t size = r.get_u32();
+    AIRCH_CHECK(size == nbuckets, "snapshot table arity does not match space: " + path);
+    Table t;
+    t.best_by_total.reserve(size);
+    for (std::uint32_t b = 0; b < size; ++b) {
+      const std::int32_t label = r.get_i32();
+      const std::int64_t stalls = r.get_i64();
+      const std::int64_t total_kb = r.get_i64();
+      AIRCH_CHECK(label >= 0 && label < space_->size(), "corrupt label in snapshot: " + path);
+      AIRCH_CHECK(stalls >= 0, "corrupt stall count in snapshot: " + path);
+      AIRCH_CHECK(total_kb >= 3 * step && total_kb <= 3 * levels * step,
+                  "corrupt capacity in snapshot: " + path);
+      t.best_by_total.push_back({label, std::bit_cast<Cycles>(stalls), total_kb});
+    }
+    staged.emplace_back(key, std::move(t));
+  }
+  r.verify_trailer_checksum();
+  for (auto& [key, table] : staged) {
+    memo_.insert(key, std::move(table));
+  }
+  return {n};
+}
+
+// --- case 3
+
+std::uint64_t Case3SweepCache::fingerprint() const {
+  std::uint64_t h = detail::hash_combine(kFingerprintSeed, 3);
+  h = detail::hash_combine(h, static_cast<std::uint64_t>(search_->space().num_arrays()));
+  for (const ScheduledArray& sa : search_->arrays()) {
+    h = detail::hash_combine(h, static_cast<std::uint64_t>(sa.array.rows));
+    h = detail::hash_combine(h, static_cast<std::uint64_t>(sa.array.cols));
+    h = detail::hash_combine(h, static_cast<std::uint64_t>(dataflow_index(sa.array.dataflow)));
+    h = detail::hash_combine(h, static_cast<std::uint64_t>(sa.memory.ifmap_kb));
+    h = detail::hash_combine(h, static_cast<std::uint64_t>(sa.memory.filter_kb));
+    h = detail::hash_combine(h, static_cast<std::uint64_t>(sa.memory.ofmap_kb));
+    h = detail::hash_combine(h, static_cast<std::uint64_t>(sa.memory.bandwidth));
+  }
+  // Cached energies depend on the energy params; fold their exact bit
+  // patterns so a re-tuned simulator invalidates old snapshots.
+  const EnergyParams& ep = search_->sim().energy_params();
+  h = detail::hash_combine(h, std::bit_cast<std::uint64_t>(ep.mac_per_op));
+  h = detail::hash_combine(h, std::bit_cast<std::uint64_t>(ep.sram_per_byte));
+  h = detail::hash_combine(h, std::bit_cast<std::uint64_t>(ep.dram_per_byte));
+  return h;
+}
+
+SnapshotStats Case3SweepCache::save_snapshot(const std::string& path) const {
+  // Section A: level-1 per-workload simulation costs. Section B: level-2
+  // per-vector argmin results. One file, each section with its own count.
+  std::vector<std::pair<WorkloadKey, ArrayCosts>> arrays;
+  array_memo_.for_each(
+      [&](const WorkloadKey& k, const ArrayCosts& c) { arrays.emplace_back(k, c); });
+  std::vector<std::pair<Key, ScheduleSearch::Result>> vectors;
+  memo_.for_each(
+      [&](const Key& k, const ScheduleSearch::Result& res) { vectors.emplace_back(k, res); });
+  BinWriter w(path);
+  write_snapshot_header(w, 3, fingerprint(), arrays.size() + vectors.size());
+  w.put_u64(arrays.size());
+  for (const auto& [key, costs] : arrays) {
+    for (const std::int64_t v : key) w.put_i64(v);
+    for (const ScheduleSearch::DataflowCosts& dc : costs) {
+      for (const Cycles c : dc.cycles) w.put_i64(std::bit_cast<std::int64_t>(c));
+      for (const Picojoules e : dc.energy) w.put_f64(std::bit_cast<double>(e));
+    }
+  }
+  w.put_u64(vectors.size());
+  for (const auto& [key, res] : vectors) {
+    w.put_u32(static_cast<std::uint32_t>(key.size()));
+    for (const std::int64_t v : key) w.put_i64(v);
+    w.put_i32(res.label);
+    w.put_i64(std::bit_cast<std::int64_t>(res.makespan_cycles));
+    w.put_f64(std::bit_cast<double>(res.energy_pj));
+  }
+  w.put_trailer_checksum();
+  w.finish();
+  return {arrays.size() + vectors.size()};
+}
+
+SnapshotStats Case3SweepCache::load_snapshot(const std::string& path) {
+  const ScheduleSpace& space = search_->space();
+  const int n_arrays = space.num_arrays();
+  BinReader r(path);
+  // Header entry count covers both sections; the per-workload record is
+  // the smaller footprint (24-byte key + 8 blocks of 3 cycles + 3 energies).
+  constexpr std::uint64_t kArrayEntryBytes = 24 + 8 * (3 * 8 + 3 * 8);
+  const std::uint64_t total =
+      read_snapshot_header(r, path, 3, fingerprint(), std::min<std::uint64_t>(kArrayEntryBytes, 48));
+  const std::uint64_t n_a = r.get_u64();
+  AIRCH_CHECK(n_a <= total && n_a <= r.remaining() / kArrayEntryBytes,
+              "corrupt section count in snapshot: " + path);
+  std::vector<std::pair<WorkloadKey, ArrayCosts>> staged_arrays;
+  staged_arrays.reserve(static_cast<std::size_t>(n_a));
+  for (std::uint64_t i = 0; i < n_a; ++i) {
+    WorkloadKey key{};
+    for (std::int64_t& v : key) v = r.get_i64();
+    AIRCH_CHECK(key[0] >= 1 && key[1] >= 1 && key[2] >= 1,
+                "corrupt workload key in snapshot: " + path);
+    ArrayCosts costs{};
+    for (ScheduleSearch::DataflowCosts& dc : costs) {
+      for (Cycles& c : dc.cycles) {
+        const std::int64_t cyc = r.get_i64();
+        AIRCH_CHECK(cyc >= 0, "corrupt cycle count in snapshot: " + path);
+        c = std::bit_cast<Cycles>(cyc);
+      }
+      for (Picojoules& e : dc.energy) {
+        const double pj = r.get_f64();
+        AIRCH_CHECK(std::isfinite(pj) && pj >= 0.0, "corrupt energy in snapshot: " + path);
+        e = std::bit_cast<Picojoules>(pj);
+      }
+    }
+    staged_arrays.emplace_back(key, costs);
+  }
+  const std::uint64_t n_v = r.get_u64();
+  const auto vec_entry_bytes = static_cast<std::uint64_t>(4 + 3 * n_arrays * 8 + 4 + 8 + 8);
+  AIRCH_CHECK(n_a + n_v == total, "corrupt section count in snapshot: " + path);
+  AIRCH_CHECK(n_v <= r.remaining() / vec_entry_bytes,
+              "snapshot entry count exceeds file size: " + path);
+  std::vector<std::pair<Key, ScheduleSearch::Result>> staged_vectors;
+  staged_vectors.reserve(static_cast<std::size_t>(n_v));
+  for (std::uint64_t i = 0; i < n_v; ++i) {
+    const std::uint32_t len = r.get_u32();
+    AIRCH_CHECK(len == static_cast<std::uint32_t>(3 * n_arrays),
+                "snapshot key arity does not match space: " + path);
+    Key key(len);
+    for (std::int64_t& v : key) {
+      v = r.get_i64();
+      AIRCH_CHECK(v >= 1, "corrupt workload key in snapshot: " + path);
+    }
+    const std::int32_t label = r.get_i32();
+    const std::int64_t makespan = r.get_i64();
+    const double energy = r.get_f64();
+    AIRCH_CHECK(label >= 0 && label < space.size(), "corrupt label in snapshot: " + path);
+    AIRCH_CHECK(makespan >= 0, "corrupt cycle count in snapshot: " + path);
+    AIRCH_CHECK(std::isfinite(energy) && energy >= 0.0, "corrupt energy in snapshot: " + path);
+    staged_vectors.emplace_back(
+        std::move(key), ScheduleSearch::Result{label, std::bit_cast<Cycles>(makespan),
+                                               std::bit_cast<Picojoules>(energy)});
+  }
+  r.verify_trailer_checksum();
+  for (auto& [key, costs] : staged_arrays) {
+    array_memo_.insert(key, costs);
+  }
+  for (auto& [key, res] : staged_vectors) {
+    memo_.insert(std::move(key), res);
+  }
+  return {n_a + n_v};
 }
 
 }  // namespace airch

@@ -45,12 +45,26 @@
 // Correctness bar: labels (and costs) are bit-identical to the naive
 // exhaustive path — enforced by the property tests in
 // tests/test_sweep_cache.cpp, including under forced eviction.
+//
+// Persistence: every cache serializes to a versioned, checksummed
+// snapshot file (save_snapshot / load_snapshot) so a warm cache from a
+// previous run amortizes labelling across runs, not just within one.
+// The header carries a format version, the case id, and a fingerprint of
+// the search-space shape; a snapshot whose version, case, fingerprint, or
+// trailer checksum does not match is rejected with a thrown AIRCH_CHECK
+// error and the cache is left untouched (loads stage the decoded payload
+// and apply it only after the checksum verifies — no partial loads).
+// Restored entries are bit-identical to recomputed ones by construction:
+// the payload stores the exact Results the build paths produced.
+// Format details: docs/performance.md ("Persistent caches & binary
+// datasets").
 
 #include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -85,6 +99,21 @@ struct CacheStats {
   /// Maximum resident entries (summed per-shard caps); 0 = unbounded.
   std::size_t capacity = 0;
 };
+
+/// Outcome of a snapshot save or restore: how many logical entries were
+/// written, or applied to the cache (a load skips entries the cache
+/// already covers at least as far).
+struct SnapshotStats {
+  std::uint64_t entries = 0;
+};
+
+/// First 8 bytes of every sweep-cache snapshot file ("AIRCHSNP" in LE
+/// byte order); exposed so tests can craft wrong-magic / wrong-version
+/// fixtures with valid checksums.
+inline constexpr std::uint64_t kSnapshotMagic = 0x504E534843524941ULL;
+/// Bumped whenever the snapshot payload layout changes; readers reject
+/// any other version loudly instead of misparsing.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
 
 namespace detail {
 
@@ -212,6 +241,44 @@ class ShardedMemoCache {
     return s;
   }
 
+  /// Visits every resident entry as fn(key, value), shard by shard under
+  /// each shard's lock. The cut is consistent per shard (not across
+  /// shards); `fn` must be cheap and must not re-enter this cache (the
+  /// lock-rank registry turns the attempt into a ContractViolation).
+  /// Snapshot saves stage through this.
+  template <typename Fn>
+  void for_each(const Fn& fn) const {
+    for (const Shard& shard : shards_) {
+      const MutexLock lock(shard.mu);
+      for (const auto& kv : shard.map) {
+        fn(kv.first, kv.second.value);
+      }
+    }
+  }
+
+  /// Direct insert (snapshot restore path): stores `value` for `key`
+  /// unless the key is already resident — first write wins, mirroring the
+  /// get_or_use race rule, and restored values are deterministic so the
+  /// kept entry is identical either way. Tallied as neither hit nor miss.
+  void insert(const Key& key, Value value) {
+    Shard& shard = shards_[shard_index(key)];
+    const MutexLock lock(shard.mu);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      it->second.ref = true;
+      return;
+    }
+    if (per_shard_cap_ != 0 && shard.map.size() >= per_shard_cap_) {
+      evict_one(shard);
+      const auto ins = shard.map.emplace(key, Node{std::move(value), true}).first;
+      shard.ring[shard.hand] = ins;
+      shard.hand = (shard.hand + 1) % shard.ring.size();
+      return;
+    }
+    const auto ins = shard.map.emplace(key, Node{std::move(value), true}).first;
+    if (per_shard_cap_ != 0) shard.ring.push_back(ins);
+  }
+
  private:
   struct Node {
     Value value;
@@ -324,6 +391,18 @@ class Case1SweepCache {
 
   [[nodiscard]] CacheStats stats() const;
 
+  /// Identity of the space shape this cache answers for (min_exp,
+  /// max_macs_exp folded through the snapshot hash); snapshots for any
+  /// other shape are rejected on load.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+  /// Writes every resident span table to a versioned checksummed snapshot.
+  [[nodiscard]] SnapshotStats save_snapshot(const std::string& path) const;
+  /// Restores a snapshot saved by a cache with the same fingerprint.
+  /// Throws ContractViolation (AIRCH_CHECK) on any mismatch or corruption,
+  /// leaving the cache untouched; entries the cache already covers at
+  /// least as far are skipped.
+  [[nodiscard]] SnapshotStats load_snapshot(const std::string& path);
+
  private:
   using Result = ArrayDataflowSearch::Result;
   using Key = std::array<std::int64_t, 3>;
@@ -403,6 +482,11 @@ class Case2SweepCache {
 
   [[nodiscard]] CacheStats stats() const { return memo_.stats(); }
 
+  /// Identity of the space shape (levels, step_kb); see Case1SweepCache.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+  [[nodiscard]] SnapshotStats save_snapshot(const std::string& path) const;
+  [[nodiscard]] SnapshotStats load_snapshot(const std::string& path);
+
  private:
   /// best_by_total[t - 3] = argmin over labels with total capacity
   /// <= t * step_kb, for t in [3, 3 * levels].
@@ -443,6 +527,13 @@ class Case3SweepCache {
   [[nodiscard]] CacheStats stats() const { return memo_.stats(); }
   /// Level-1 (per-workload simulation) memo counters.
   [[nodiscard]] CacheStats array_stats() const { return array_memo_.stats(); }
+
+  /// Identity of the schedule space AND the array system AND the energy
+  /// params — cached costs depend on all three; see Case1SweepCache.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+  /// Both memo levels travel in one snapshot file.
+  [[nodiscard]] SnapshotStats save_snapshot(const std::string& path) const;
+  [[nodiscard]] SnapshotStats load_snapshot(const std::string& path);
 
  private:
   /// ScheduleSpace supports at most 8 arrays; fixed-size cost blocks keep

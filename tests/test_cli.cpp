@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <utility>
 
 namespace airch {
 namespace {
@@ -142,6 +143,45 @@ TEST(Cli, UnregisteredLookupThrows) {
   p.parse(1, argv);
   EXPECT_THROW(p.i64("nope"), std::invalid_argument);
   EXPECT_THROW(p.i64("rate"), std::invalid_argument);  // kind mismatch
+}
+
+TEST(Cli, GenerateDatasetStyleRangesAcceptEndpoints) {
+  // Mirrors generate_dataset's --threads (0..1024, 0 = auto) and --shards
+  // (1..256) registrations: the endpoints must parse.
+  for (const char* ok : {"--threads=0", "--threads=1024", "--shards=1", "--shards=256"}) {
+    ArgParser p("generate_dataset", "ranges");
+    p.flag_i64("threads", 0, "workers (0 = hardware default)", 0, 1024);
+    p.flag_i64("shards", 1, "contiguous shards", 1, 256);
+    const char* argv[] = {"generate_dataset", ok};
+    p.parse(2, argv);
+  }
+}
+
+TEST(Cli, GenerateDatasetStyleRangesRejectOutOfRange) {
+  for (const char* bad :
+       {"--threads=-1", "--threads=1025", "--shards=0", "--shards=-3", "--shards=257"}) {
+    ArgParser p("generate_dataset", "ranges");
+    p.flag_i64("threads", 0, "workers (0 = hardware default)", 0, 1024);
+    p.flag_i64("shards", 1, "contiguous shards", 1, 256);
+    const char* argv[] = {"generate_dataset", bad};
+    EXPECT_THROW(p.parse(2, argv), std::invalid_argument) << bad;
+  }
+}
+
+TEST(Cli, GenerateDatasetStyleDuplicateFlagsRejected) {
+  const std::pair<const char*, const char*> dups[] = {
+      {"--threads=2", "--threads=4"},
+      {"--shards=2", "--shards=2"},
+      {"--snapshot=a.snap", "--snapshot=b.snap"},
+  };
+  for (const auto& dup : dups) {
+    ArgParser p("generate_dataset", "dups");
+    p.flag_i64("threads", 0, "workers", 0, 1024);
+    p.flag_i64("shards", 1, "shards", 1, 256);
+    p.flag_str("snapshot", "", "cache snapshot path");
+    const char* argv[] = {"generate_dataset", dup.first, dup.second};
+    EXPECT_THROW(p.parse(3, argv), std::invalid_argument) << dup.first;
+  }
 }
 
 TEST(Cli, UsageListsFlags) {

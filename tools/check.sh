@@ -10,11 +10,15 @@
 #
 # The `bench` stage (in the default set; needs the default stage's build)
 # runs tiny-points smokes of bench_dataset_throughput — which asserts
-# cached and naive labels are identical before reporting — and of
-# bench_train_throughput — which asserts the naive and fast kernel paths
-# produce bit-identical loss trajectories — and validates the emitted JSON
-# against the shared schema gate (tools/validate_bench.py, also invoked by
-# CI so the two can't drift).
+# cached and naive labels are identical before reporting, and (because
+# --snapshot-points/--writer-points default to --points) exercises a real
+# sweep-cache snapshot save→load→warm-regenerate and a binary dataset
+# write→read round trip per run — and of bench_train_throughput — which
+# asserts the naive and fast kernel paths produce bit-identical loss
+# trajectories — and validates the emitted JSON against the shared schema
+# gate (tools/validate_bench.py, also invoked by CI so the two can't
+# drift), which requires the snapshot section to report
+# labels_bit_identical for all three cases.
 #
 # The `arch` stage (in the default set) builds and runs both static
 # analyzers standalone: lint_airch (style/idiom rules) and arch_check

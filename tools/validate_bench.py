@@ -33,6 +33,31 @@ def validate_dataset(d):
     for case in ("case1", "case2", "case3"):
         require(case in d.get("speedup", {}), f"speedup missing {case}")
     require(0.0 <= d.get("dup_fraction", -1.0) <= 1.0, "dup_fraction outside [0, 1]")
+    # Persistent-snapshot section: one cold-vs-warm entry per case. The bench
+    # asserts the warm (snapshot-restored) dataset is bit-identical to the
+    # cold one before it reports; a report with that flag unset must never
+    # pass even if it parses.
+    snapshot = d.get("snapshot", [])
+    require(len(snapshot) == 3, "expected 3 snapshot entries (one per case)")
+    seen = set()
+    for entry in snapshot:
+        case = entry.get("case")
+        require(case in ("case1", "case2", "case3"), f"snapshot has bad case {case!r}")
+        seen.add(case)
+        require(entry.get("points", 0) > 0, f"snapshot {case}: points must be positive")
+        require(entry.get("cold_seconds", 0) > 0, f"snapshot {case}: cold_seconds must be positive")
+        require(entry.get("warm_seconds", 0) > 0, f"snapshot {case}: warm_seconds must be positive")
+        require(entry.get("speedup", 0) > 0, f"snapshot {case}: speedup must be positive")
+        require(entry.get("labels_bit_identical") is True,
+                f"snapshot {case}: labels_bit_identical is not True")
+    require(len(seen) == 3, "snapshot entries must cover case1..case3")
+    # Binary-writer section: CSV vs fixed-width binary serialization of the
+    # same dataset, with a read-back round-trip asserted by the bench.
+    writer = d.get("writer", {})
+    require(writer.get("points", 0) > 0, "writer.points must be positive")
+    require(writer.get("csv_seconds", 0) > 0, "writer.csv_seconds must be positive")
+    require(writer.get("binary_seconds", 0) > 0, "writer.binary_seconds must be positive")
+    require(writer.get("speedup", 0) > 0, "writer.speedup must be positive")
 
 
 def validate_train(d, expect_infer_queries):
