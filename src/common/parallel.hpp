@@ -10,8 +10,43 @@
 
 #include <cstddef>
 #include <functional>
+#include <thread>  // airch-lint: allow(raw-thread) — this IS the threading layer
+#include <utility>
 
 namespace airch {
+
+/// RAII thread for long-lived workers (the serving layer's dispatcher and
+/// per-connection loops): joins on destruction instead of calling
+/// std::terminate, so stack unwinding through a live worker is safe. The
+/// `raw-thread` lint rule keeps std::thread out of library code; spawning
+/// through this wrapper (or the parallel_for helpers below) is the
+/// sanctioned alternative. The wrapped function must return on its own —
+/// there is no interrupt; services signal their workers to stop, then let
+/// the Thread destructor reap them.
+class Thread {
+ public:
+  Thread() noexcept = default;
+  explicit Thread(std::function<void()> fn) : t_(std::move(fn)) {}
+  Thread(Thread&& other) noexcept = default;
+  Thread& operator=(Thread&& other) {
+    if (this != &other) {
+      join();
+      t_ = std::move(other.t_);
+    }
+    return *this;
+  }
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+  ~Thread() { join(); }
+
+  bool joinable() const noexcept { return t_.joinable(); }
+  void join() {
+    if (t_.joinable()) t_.join();
+  }
+
+ private:
+  std::thread t_;  // airch-lint: allow(raw-thread)
+};
 
 /// Number of worker threads used by the auto-sized parallel_for (>= 1).
 /// Honors the AIRCH_THREADS environment variable (1..1024) when set; this

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/check.hpp"
+
 namespace airch {
 
 Recommender::Recommender(const CaseStudy& study, std::unique_ptr<NeuralClassifier> model,
@@ -46,10 +48,16 @@ std::vector<std::int32_t> Recommender::recommend_batch(
 
 std::vector<std::int32_t> Recommender::recommend_topk(
     const std::vector<std::int64_t>& features, int k) const {
+  // An out-of-range k is a caller bug, not a preference: silently clamping
+  // k=0 to 1 (the old behavior) hid wrong --topk plumbing, and k beyond the
+  // output space cannot mean anything. Reject both loudly.
+  AIRCH_CHECK(k >= 1, "recommend_topk: k must be >= 1");
+  AIRCH_CHECK(k <= study_->num_classes(),
+              "recommend_topk: k exceeds the output-space size");
   const auto proba = model_->predict_proba(features, *encoder_);
   std::vector<std::int32_t> labels(proba.size());
   std::iota(labels.begin(), labels.end(), 0);
-  const auto kk = std::min<std::size_t>(static_cast<std::size_t>(std::max(k, 1)), labels.size());
+  const auto kk = std::min<std::size_t>(static_cast<std::size_t>(k), labels.size());
   std::partial_sort(labels.begin(), labels.begin() + static_cast<std::ptrdiff_t>(kk),
                     labels.end(), [&](std::int32_t a, std::int32_t b) {
                       return proba[static_cast<std::size_t>(a)] >
@@ -64,6 +72,9 @@ void Recommender::save(const std::string& path) const {
   if (!os) throw std::runtime_error("cannot open for writing: " + path);
   os << "airchitect-recommender v1\n";
   os << static_cast<int>(study_->id()) << ' ' << study_->num_classes() << '\n';
+  // max_digits10 = 17 so the double round-trips exactly; the default
+  // 6-digit formatting silently degraded val_accuracy on reload.
+  os.precision(17);
   os << report_.val_accuracy << '\n';
   model_->save(os);
   encoder_->save(os);

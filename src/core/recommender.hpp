@@ -70,6 +70,9 @@ class Recommender {
 
   const TrainReport& report() const { return report_; }
   const CaseStudy& study() const { return *study_; }
+  /// Feature arity the model was fitted with (serving-side request
+  /// validation: reject a wrong-arity query before it joins a packed batch).
+  int num_features() const { return encoder_->num_features(); }
 
  private:
   const CaseStudy* study_;

@@ -24,6 +24,20 @@ Matrix ReluLayer::forward(const Matrix& x, bool /*training*/) {
   return y;
 }
 
+Matrix ReluLayer::infer(const Matrix& x) const {
+  // forward() without the mask write: inference never backpropagates, so
+  // the clamp is the whole computation and no shared state is touched.
+  Matrix y = x;
+  float* yd = y.data();
+  const std::size_t cols = x.cols();
+  parallel_rows(x.rows(), cols, [yd, cols](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0 * cols; i < r1 * cols; ++i) {
+      if (!(yd[i] > 0.0f)) yd[i] = 0.0f;
+    }
+  });
+  return y;
+}
+
 Matrix ReluLayer::backward(const Matrix& grad_out) {
   AIRCH_ASSERT(grad_out.rows() == mask_.rows() && grad_out.cols() == mask_.cols());
   Matrix g = grad_out;

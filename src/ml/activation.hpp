@@ -10,6 +10,7 @@ namespace airch::ml {
 class ReluLayer final : public Layer {
  public:
   Matrix forward(const Matrix& x, bool training) override;
+  Matrix infer(const Matrix& x) const override;
   Matrix backward(const Matrix& grad_out) override;
   std::size_t output_dim(std::size_t input_dim) const override { return input_dim; }
 

@@ -26,6 +26,17 @@ Matrix DenseLayer::forward(const Matrix& x, bool /*training*/) {
   return y;
 }
 
+Matrix DenseLayer::infer(const Matrix& x) const {
+  AIRCH_ASSERT(x.cols() == in_dim_);
+  // Same computation as forward() minus the cached_input_ copy: the output
+  // lives on the caller's stack and the matmul scratch is thread_local, so
+  // any number of threads can infer through one shared layer.
+  Matrix y(x.rows(), out_dim_);
+  matmul(x, false, w_, false, y);
+  add_row_broadcast(y, b_);
+  return y;
+}
+
 Matrix DenseLayer::backward(const Matrix& grad_out) {
   AIRCH_ASSERT(grad_out.rows() == cached_input_.rows() && grad_out.cols() == out_dim_);
   // dW = x^T * dY ; db = column sums of dY ; dX = dY * W^T
@@ -38,6 +49,10 @@ Matrix DenseLayer::backward(const Matrix& grad_out) {
 
 std::vector<ParamRef> DenseLayer::params() {
   return {{w_.data(), w_grad_.data(), w_.size()}, {b_.data(), b_grad_.data(), b_.size()}};
+}
+
+std::vector<ConstParamRef> DenseLayer::params() const {
+  return {{w_.data(), w_.size()}, {b_.data(), b_.size()}};
 }
 
 std::size_t DenseLayer::output_dim(std::size_t input_dim) const {

@@ -13,8 +13,10 @@ class DenseLayer final : public Layer {
   DenseLayer(std::size_t in_dim, std::size_t out_dim, Rng& rng);
 
   Matrix forward(const Matrix& x, bool training) override;
+  Matrix infer(const Matrix& x) const override;
   Matrix backward(const Matrix& grad_out) override;
   std::vector<ParamRef> params() override;
+  std::vector<ConstParamRef> params() const override;
   std::size_t output_dim(std::size_t input_dim) const override;
 
   std::size_t in_dim() const { return in_dim_; }

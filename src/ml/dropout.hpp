@@ -18,6 +18,9 @@ class DropoutLayer final : public Layer {
   DropoutLayer(double rate, std::uint64_t seed);
 
   Matrix forward(const Matrix& x, bool training) override;
+  /// Identity: inverted dropout scales at training time so inference is a
+  /// plain pass-through (and therefore trivially thread-safe).
+  Matrix infer(const Matrix& x) const override { return x; }
   Matrix backward(const Matrix& grad_out) override;
   std::size_t output_dim(std::size_t input_dim) const override { return input_dim; }
 

@@ -42,6 +42,24 @@ Matrix EmbeddingBag::forward(const IntBatch& indices) {
   return out;
 }
 
+Matrix EmbeddingBag::infer(const IntBatch& indices) const {
+  AIRCH_ASSERT(indices.cols == vocab_sizes_.size());
+  Matrix out(indices.rows, output_dim());
+  parallel_rows(indices.rows, output_dim() * 2, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      float* dst = out.row(r);
+      for (std::size_t f = 0; f < vocab_sizes_.size(); ++f) {
+        const int vocab = vocab_sizes_[f];
+        const auto idx = static_cast<std::size_t>(
+            std::clamp<std::int32_t>(indices(r, f), 0, vocab - 1));
+        const float* src = tables_[f].row(idx);
+        std::copy(src, src + dim_, dst + f * dim_);
+      }
+    }
+  });
+  return out;
+}
+
 void EmbeddingBag::backward(const Matrix& grad_out) {
   AIRCH_ASSERT(grad_out.rows() == cached_indices_.rows && grad_out.cols() == output_dim());
   // The scatter is partitioned by FEATURE, not by row: feature f owns
@@ -71,6 +89,13 @@ std::vector<ParamRef> EmbeddingBag::params() {
   for (std::size_t f = 0; f < tables_.size(); ++f) {
     out.push_back({tables_[f].data(), table_grads_[f].data(), tables_[f].size()});
   }
+  return out;
+}
+
+std::vector<ConstParamRef> EmbeddingBag::params() const {
+  std::vector<ConstParamRef> out;
+  out.reserve(tables_.size());
+  for (const Matrix& t : tables_) out.push_back({t.data(), t.size()});
   return out;
 }
 

@@ -37,10 +37,17 @@ class EmbeddingBag {
   /// Indices are clamped into the vocab range defensively.
   Matrix forward(const IntBatch& indices);
 
+  /// forward() without the cached_indices_ write: no backward() can follow,
+  /// so concurrent infer() calls on one shared bag are race-free.
+  /// Bit-identical to forward() by contract (same gather, same clamping).
+  Matrix infer(const IntBatch& indices) const;
+
   /// Accumulates gradients for the rows touched by the last forward().
   void backward(const Matrix& grad_out);
 
   std::vector<ParamRef> params();
+  /// Read-only parameter views (serialization from a const model).
+  std::vector<ConstParamRef> params() const;
 
   std::size_t output_dim() const { return vocab_sizes_.size() * dim_; }
   std::size_t dim() const { return dim_; }

@@ -19,6 +19,14 @@ struct ParamRef {
   std::size_t size = 0;
 };
 
+/// Read-only view of one parameter tensor (serialization path): no grad
+/// pointer and no mutable access, so a const network can be saved without
+/// const_cast.
+struct ConstParamRef {
+  const float* value = nullptr;
+  std::size_t size = 0;
+};
+
 class Layer {
  public:
   virtual ~Layer() = default;
@@ -26,12 +34,20 @@ class Layer {
   /// Computes layer output for `x` (batch rows).
   virtual Matrix forward(const Matrix& x, bool training) = 0;
 
+  /// Inference-mode forward with NO side effects: nothing is cached for a
+  /// later backward(), so concurrent infer() calls on one shared layer are
+  /// race-free (the serving path; see FeedForwardNet::infer_logits).
+  /// Bit-identical to forward(x, /*training=*/false) by contract.
+  virtual Matrix infer(const Matrix& x) const = 0;
+
   /// Given dL/d(output), accumulates parameter gradients and returns
   /// dL/d(input). Must be called after forward() on the same batch.
   virtual Matrix backward(const Matrix& grad_out) = 0;
 
   /// Trainable parameters (empty for stateless layers).
   virtual std::vector<ParamRef> params() { return {}; }
+  /// Read-only parameter views (empty for stateless layers).
+  virtual std::vector<ConstParamRef> params() const { return {}; }
 
   virtual std::size_t output_dim(std::size_t input_dim) const = 0;
 };

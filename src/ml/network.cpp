@@ -14,6 +14,12 @@ Matrix Sequential::forward(const Matrix& x, bool training) {
   return cur;
 }
 
+Matrix Sequential::infer(const Matrix& x) const {
+  Matrix cur = x;
+  for (const auto& layer : layers_) cur = layer->infer(cur);
+  return cur;
+}
+
 Matrix Sequential::backward(const Matrix& grad_out) {
   Matrix cur = grad_out;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) cur = (*it)->backward(cur);
@@ -24,6 +30,15 @@ std::vector<ParamRef> Sequential::params() {
   std::vector<ParamRef> out;
   for (auto& layer : layers_) {
     auto p = layer->params();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+std::vector<ConstParamRef> Sequential::params() const {
+  std::vector<ConstParamRef> out;
+  for (const auto& layer : layers_) {
+    auto p = std::as_const(*layer).params();
     out.insert(out.end(), p.begin(), p.end());
   }
   return out;
@@ -67,6 +82,16 @@ Matrix FeedForwardNet::logits(const Matrix& x, bool training) {
   return body_.forward(x, training);
 }
 
+Matrix FeedForwardNet::infer_logits(const IntBatch& x) const {
+  if (!embedding_) throw std::logic_error("net has no embedding front-end");
+  return body_.infer(embedding_->infer(x));
+}
+
+Matrix FeedForwardNet::infer_logits(const Matrix& x) const {
+  if (embedding_) throw std::logic_error("net expects integer (embedding) input");
+  return body_.infer(x);
+}
+
 TrainStats FeedForwardNet::apply_loss_and_step(const Matrix& logits_out,
                                                const std::vector<std::int32_t>& y,
                                                Optimizer& opt) {
@@ -89,18 +114,26 @@ TrainStats FeedForwardNet::train_batch(const Matrix& x, const std::vector<std::i
   return apply_loss_and_step(logits(x, /*training=*/true), y, opt);
 }
 
-std::vector<std::int32_t> FeedForwardNet::predict(const IntBatch& x) {
-  return argmax_rows(logits(x, /*training=*/false));
+std::vector<std::int32_t> FeedForwardNet::predict(const IntBatch& x) const {
+  return argmax_rows(infer_logits(x));
 }
 
-std::vector<std::int32_t> FeedForwardNet::predict(const Matrix& x) {
-  return argmax_rows(logits(x, /*training=*/false));
+std::vector<std::int32_t> FeedForwardNet::predict(const Matrix& x) const {
+  return argmax_rows(infer_logits(x));
 }
 
 std::vector<ParamRef> FeedForwardNet::params() {
   std::vector<ParamRef> out;
   if (embedding_) out = embedding_->params();
   auto body = body_.params();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::vector<ConstParamRef> FeedForwardNet::params() const {
+  std::vector<ConstParamRef> out;
+  if (embedding_) out = std::as_const(*embedding_).params();
+  auto body = std::as_const(body_).params();
   out.insert(out.end(), body.begin(), body.end());
   return out;
 }

@@ -22,9 +22,14 @@ class Sequential {
   void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
 
   Matrix forward(const Matrix& x, bool training);
+  /// Side-effect-free inference forward (see Layer::infer): safe to call
+  /// concurrently on one shared network, bit-identical to
+  /// forward(x, /*training=*/false).
+  Matrix infer(const Matrix& x) const;
   /// Backward through all layers; returns dL/d(input of first layer).
   Matrix backward(const Matrix& grad_out);
   std::vector<ParamRef> params();
+  std::vector<ConstParamRef> params() const;
   std::size_t num_layers() const { return layers_.size(); }
 
  private:
@@ -75,14 +80,21 @@ class FeedForwardNet {
   Matrix logits(const IntBatch& x, bool training);
   Matrix logits(const Matrix& x, bool training);
 
+  /// Inference-mode logits with no side effects (nothing cached for a
+  /// backward pass), so many threads can share one trained net. Matches
+  /// logits(x, /*training=*/false) bit-for-bit.
+  Matrix infer_logits(const IntBatch& x) const;
+  Matrix infer_logits(const Matrix& x) const;
+
   /// One SGD step on a batch; returns loss/accuracy stats.
   [[nodiscard]] TrainStats train_batch(const IntBatch& x, const std::vector<std::int32_t>& y, Optimizer& opt);
   [[nodiscard]] TrainStats train_batch(const Matrix& x, const std::vector<std::int32_t>& y, Optimizer& opt);
 
-  std::vector<std::int32_t> predict(const IntBatch& x);
-  std::vector<std::int32_t> predict(const Matrix& x);
+  std::vector<std::int32_t> predict(const IntBatch& x) const;
+  std::vector<std::int32_t> predict(const Matrix& x) const;
 
   std::vector<ParamRef> params();
+  std::vector<ConstParamRef> params() const;
 
  private:
   [[nodiscard]] TrainStats apply_loss_and_step(const Matrix& logits_out, const std::vector<std::int32_t>& y,

@@ -2,7 +2,7 @@
 
 namespace airch {
 
-double Classifier::accuracy(const Dataset& ds, const FeatureEncoder& enc) {
+double Classifier::accuracy(const Dataset& ds, const FeatureEncoder& enc) const {
   if (ds.empty()) return 0.0;
   const auto preds = predict(ds, enc);
   std::size_t correct = 0;

@@ -33,11 +33,14 @@ class Classifier {
   virtual std::vector<EpochStats> fit(const Dataset& train, const Dataset& val,
                                       const FeatureEncoder& enc) = 0;
 
-  /// Predicts labels for every point of `ds`.
-  virtual std::vector<std::int32_t> predict(const Dataset& ds, const FeatureEncoder& enc) = 0;
+  /// Predicts labels for every point of `ds`. const: inference must not
+  /// mutate the model, so a fitted classifier can serve concurrent readers
+  /// (the serving path leans on this contract).
+  virtual std::vector<std::int32_t> predict(const Dataset& ds,
+                                            const FeatureEncoder& enc) const = 0;
 
   /// Convenience: fraction of points whose prediction matches the label.
-  double accuracy(const Dataset& ds, const FeatureEncoder& enc);
+  double accuracy(const Dataset& ds, const FeatureEncoder& enc) const;
 };
 
 }  // namespace airch

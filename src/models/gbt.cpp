@@ -229,7 +229,8 @@ std::vector<EpochStats> GbtClassifier::fit(const Dataset& train, const Dataset& 
   return history;
 }
 
-std::vector<std::int32_t> GbtClassifier::predict(const Dataset& ds, const FeatureEncoder& enc) {
+std::vector<std::int32_t> GbtClassifier::predict(const Dataset& ds,
+                                                 const FeatureEncoder& enc) const {
   if (rounds_.empty()) throw std::logic_error("predict before fit");
   const auto nf = static_cast<std::size_t>(ds.num_features());
   const auto k = static_cast<std::size_t>(classes_);

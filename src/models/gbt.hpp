@@ -34,7 +34,7 @@ class GbtClassifier final : public Classifier {
   std::string name() const override { return name_; }
   std::vector<EpochStats> fit(const Dataset& train, const Dataset& val,
                               const FeatureEncoder& enc) override;
-  std::vector<std::int32_t> predict(const Dataset& ds, const FeatureEncoder& enc) override;
+  std::vector<std::int32_t> predict(const Dataset& ds, const FeatureEncoder& enc) const override;
 
  private:
   struct Node {

@@ -148,7 +148,8 @@ std::vector<EpochStats> NeuralClassifier::fit_stream(BatchStream& train, const D
   return history;
 }
 
-std::vector<std::int32_t> NeuralClassifier::predict(const Dataset& ds, const FeatureEncoder& enc) {
+std::vector<std::int32_t> NeuralClassifier::predict(const Dataset& ds,
+                                                    const FeatureEncoder& enc) const {
   if (!net_) throw std::logic_error("predict before fit");
   std::vector<std::int32_t> out;
   out.reserve(ds.size());
@@ -166,7 +167,7 @@ std::vector<std::int32_t> NeuralClassifier::predict(const Dataset& ds, const Fea
 }
 
 std::vector<std::int32_t> NeuralClassifier::predict_batch(
-    const std::vector<std::vector<std::int64_t>>& queries, const FeatureEncoder& enc) {
+    const std::vector<std::vector<std::int64_t>>& queries, const FeatureEncoder& enc) const {
   if (!net_) throw std::logic_error("predict before fit");
   if (queries.empty()) return {};
   // One packed forward for the whole query set: the matmul kernel works on
@@ -176,10 +177,10 @@ std::vector<std::int32_t> NeuralClassifier::predict_batch(
 }
 
 std::vector<float> NeuralClassifier::predict_proba(const std::vector<std::int64_t>& features,
-                                                   const FeatureEncoder& enc) {
+                                                   const FeatureEncoder& enc) const {
   if (!net_) throw std::logic_error("predict before fit");
-  ml::Matrix logits = uses_embedding() ? net_->logits(enc.encode_int(features), false)
-                                       : net_->logits(enc.encode_float(features), false);
+  ml::Matrix logits = uses_embedding() ? net_->infer_logits(enc.encode_int(features))
+                                       : net_->infer_logits(enc.encode_float(features));
   ml::softmax_rows(logits);
   return std::vector<float>(logits.row(0), logits.row(0) + logits.cols());
 }
@@ -210,7 +211,7 @@ void NeuralClassifier::save(std::ostream& os) const {
   // Weights, one tensor per line. float -> text round-trips exactly at
   // max_digits10 = 9 significant digits.
   os.precision(9);
-  auto params = const_cast<NeuralClassifier*>(this)->net_->params();
+  const auto params = std::as_const(*net_).params();
   os << params.size() << '\n';
   for (const auto& p : params) {
     os << p.size;

@@ -51,17 +51,19 @@ class NeuralClassifier final : public Classifier {
   std::vector<EpochStats> fit_stream(BatchStream& train, const Dataset& val,
                                      const FeatureEncoder& enc, std::size_t chunk_points);
 
-  std::vector<std::int32_t> predict(const Dataset& ds, const FeatureEncoder& enc) override;
+  std::vector<std::int32_t> predict(const Dataset& ds, const FeatureEncoder& enc) const override;
 
   /// Batched inference over raw feature vectors: encodes all queries into
   /// one packed batch and runs a single forward pass (serving path; see
-  /// Recommender::recommend_batch).
+  /// Recommender::recommend_batch). const and side-effect-free: routed
+  /// through FeedForwardNet::infer_logits, so concurrent callers sharing
+  /// one fitted model are race-free.
   std::vector<std::int32_t> predict_batch(const std::vector<std::vector<std::int64_t>>& queries,
-                                          const FeatureEncoder& enc);
+                                          const FeatureEncoder& enc) const;
 
   /// Class-probability scores for one feature vector (inference path).
   std::vector<float> predict_proba(const std::vector<std::int64_t>& features,
-                                   const FeatureEncoder& enc);
+                                   const FeatureEncoder& enc) const;
 
   const Options& options() const { return options_; }
 

@@ -120,7 +120,8 @@ std::vector<std::int32_t> SvcClassifier::predict_batch(const ml::Matrix& x) cons
   return ml::argmax_rows(scores);
 }
 
-std::vector<std::int32_t> SvcClassifier::predict(const Dataset& ds, const FeatureEncoder& enc) {
+std::vector<std::int32_t> SvcClassifier::predict(const Dataset& ds,
+                                                 const FeatureEncoder& enc) const {
   if (w_.empty()) throw std::logic_error("predict before fit");
   std::vector<std::int32_t> out;
   out.reserve(ds.size());

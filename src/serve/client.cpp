@@ -1,0 +1,38 @@
+#include "serve/client.hpp"
+
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace airch::serve {
+
+RecommenderClient::RecommenderClient(int port) : sock_(connect_local(port)) {}
+
+std::vector<std::int32_t> RecommenderClient::recommend_batch(
+    int case_id, const std::vector<std::vector<std::int64_t>>& queries) {
+  AIRCH_CHECK(!queries.empty(), "recommend_batch needs at least one query");
+  QueryFrame q;
+  q.case_id = case_id;
+  q.num_features = queries.front().size();
+  q.features.reserve(queries.size() * q.num_features);
+  for (const auto& row : queries) {
+    AIRCH_CHECK(row.size() == q.num_features, "ragged query batch");
+    q.features.insert(q.features.end(), row.begin(), row.end());
+  }
+  sock_.send_frame(encode_query(q));
+  auto body = sock_.recv_frame(kMaxFrameBytes);
+  if (!body) throw std::runtime_error("service closed the connection");
+  Frame reply = decode_frame(body->data(), body->size());
+  switch (reply.type) {
+    case FrameType::kReply:
+      AIRCH_CHECK(reply.labels.size() == queries.size(),
+                  "service answered the wrong number of queries");
+      return reply.labels;
+    case FrameType::kError:
+      throw std::runtime_error("service error: " + reply.error);
+    default:
+      throw std::runtime_error("unexpected frame type from the service");
+  }
+}
+
+}  // namespace airch::serve

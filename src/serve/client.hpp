@@ -1,0 +1,32 @@
+#pragma once
+// Blocking client for the recommender service: one connection, one
+// request/response in flight at a time. Concurrency comes from running
+// many clients (bench/bench_serve.cpp drives one per load thread), not
+// from pipelining a single connection — the SERVER coalesces across
+// connections.
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/socket.hpp"
+
+namespace airch::serve {
+
+class RecommenderClient {
+ public:
+  /// Connects to a RecommenderService on 127.0.0.1:port; throws
+  /// std::runtime_error when the service is not there.
+  explicit RecommenderClient(int port);
+
+  /// Sends one query frame (N same-arity feature vectors for `case_id`)
+  /// and blocks for the verdict. Returns the N labels; rethrows a service
+  /// error frame as std::runtime_error carrying the service's message.
+  std::vector<std::int32_t> recommend_batch(
+      int case_id, const std::vector<std::vector<std::int64_t>>& queries);
+
+ private:
+  Socket sock_;
+};
+
+}  // namespace airch::serve

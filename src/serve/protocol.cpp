@@ -1,0 +1,208 @@
+#include "serve/protocol.hpp"
+
+#include <algorithm>
+
+#include "common/binio.hpp"
+#include "common/check.hpp"
+
+namespace airch::serve {
+
+namespace {
+
+/// In-memory little-endian appender mirroring BinWriter's encoding (byte
+/// shifts, running ByteChecksum) for socket bodies instead of files.
+class BodyWriter {
+ public:
+  void put_u32(std::uint32_t v) {
+    unsigned char b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    append(b, sizeof b);
+  }
+  void put_u64(std::uint64_t v) {
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    append(b, sizeof b);
+  }
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+  void put_i32(std::int32_t v) { put_u32(static_cast<std::uint32_t>(v)); }
+  void put_bytes(const void* data, std::size_t n) {
+    append(static_cast<const unsigned char*>(data), n);
+  }
+
+  /// Appends the digest over everything written so far; write nothing
+  /// after this.
+  void put_trailer_checksum() { put_u64(sum_.digest()); }
+
+  std::vector<unsigned char> take() { return std::move(body_); }
+
+ private:
+  void append(const unsigned char* data, std::size_t n) {
+    sum_.update(data, n);
+    body_.insert(body_.end(), data, data + n);
+  }
+
+  std::vector<unsigned char> body_;
+  ByteChecksum sum_;
+};
+
+/// Bounds-checked little-endian reader over a received body. Every get_*
+/// AIRCH_CHECKs the bytes exist, so a truncated or lying frame throws
+/// before any out-of-range read.
+class BodyReader {
+ public:
+  BodyReader(const unsigned char* data, std::size_t n) : data_(data), size_(n) {}
+
+  std::uint32_t get_u32() {
+    AIRCH_CHECK(remaining() >= 4, "serve frame truncated");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    advance(4);
+    return v;
+  }
+  std::uint64_t get_u64() {
+    AIRCH_CHECK(remaining() >= 8, "serve frame truncated");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    advance(8);
+    return v;
+  }
+  std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+  std::int32_t get_i32() { return static_cast<std::int32_t>(get_u32()); }
+  void get_bytes(void* out, std::size_t n) {
+    AIRCH_CHECK(remaining() >= n, "serve frame truncated");
+    auto* dst = static_cast<unsigned char*>(out);
+    for (std::size_t i = 0; i < n; ++i) dst[i] = data_[pos_ + i];
+    advance(n);
+  }
+
+  /// Reads the trailer digest (NOT folded into the running sum) and
+  /// checks it matches everything consumed before it, then that the body
+  /// has no trailing garbage.
+  void verify_trailer_and_end() {
+    const std::uint64_t expected = sum_.digest();
+    AIRCH_CHECK(remaining() == 8, "serve frame has trailing bytes after the checksum");
+    std::uint64_t stored = 0;
+    for (int i = 0; i < 8; ++i) stored |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    AIRCH_CHECK(stored == expected, "serve frame checksum mismatch");
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  void advance(std::size_t n) {
+    sum_.update(data_ + pos_, n);
+    pos_ += n;
+  }
+
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  ByteChecksum sum_;
+};
+
+void put_header(BodyWriter& w, FrameType type) {
+  w.put_u32(kMagic);
+  w.put_u32(kVersion);
+  w.put_u32(static_cast<std::uint32_t>(type));
+}
+
+}  // namespace
+
+std::vector<unsigned char> encode_query(const QueryFrame& q) {
+  AIRCH_CHECK(q.case_id >= 1 && q.case_id <= 3, "serve query: case id must be 1..3");
+  AIRCH_CHECK(q.num_features >= 1 && q.num_features <= kMaxFeaturesPerQuery,
+              "serve query: feature arity out of range");
+  AIRCH_CHECK(q.features.size() % q.num_features == 0,
+              "serve query: ragged feature payload");
+  const std::size_t n = q.num_queries();
+  AIRCH_CHECK(n >= 1 && n <= kMaxQueriesPerFrame,
+              "serve query: query count out of range");
+  BodyWriter w;
+  put_header(w, FrameType::kQuery);
+  w.put_u32(static_cast<std::uint32_t>(q.case_id));
+  w.put_u32(static_cast<std::uint32_t>(n));
+  w.put_u32(static_cast<std::uint32_t>(q.num_features));
+  for (std::int64_t f : q.features) w.put_i64(f);
+  w.put_trailer_checksum();
+  return w.take();
+}
+
+std::vector<unsigned char> encode_reply(const std::vector<std::int32_t>& labels) {
+  AIRCH_CHECK(labels.size() <= kMaxQueriesPerFrame, "serve reply: too many labels");
+  BodyWriter w;
+  put_header(w, FrameType::kReply);
+  w.put_u32(static_cast<std::uint32_t>(labels.size()));
+  for (std::int32_t v : labels) w.put_i32(v);
+  w.put_trailer_checksum();
+  return w.take();
+}
+
+std::vector<unsigned char> encode_error(const std::string& message) {
+  // Truncate rather than reject: the error path must always be encodable.
+  const std::size_t len = std::min(message.size(), kMaxErrorBytes);
+  BodyWriter w;
+  put_header(w, FrameType::kError);
+  w.put_u32(static_cast<std::uint32_t>(len));
+  w.put_bytes(message.data(), len);
+  w.put_trailer_checksum();
+  return w.take();
+}
+
+Frame decode_frame(const unsigned char* data, std::size_t n) {
+  AIRCH_CHECK(n <= kMaxFrameBytes, "serve frame exceeds the size cap");
+  BodyReader r(data, n);
+  AIRCH_CHECK(r.get_u32() == kMagic, "serve frame: bad magic");
+  AIRCH_CHECK(r.get_u32() == kVersion, "serve frame: unsupported version");
+  const std::uint32_t type = r.get_u32();
+  Frame out;
+  switch (type) {
+    case static_cast<std::uint32_t>(FrameType::kQuery): {
+      out.type = FrameType::kQuery;
+      out.query.case_id = static_cast<int>(r.get_u32());
+      const std::uint32_t count = r.get_u32();
+      const std::uint32_t arity = r.get_u32();
+      AIRCH_CHECK(out.query.case_id >= 1 && out.query.case_id <= 3,
+                  "serve query: case id must be 1..3");
+      AIRCH_CHECK(count >= 1 && count <= kMaxQueriesPerFrame,
+                  "serve query: query count out of range");
+      AIRCH_CHECK(arity >= 1 && arity <= kMaxFeaturesPerQuery,
+                  "serve query: feature arity out of range");
+      // Validate the declared payload against the bytes actually present
+      // before sizing the allocation from it (binio discipline).
+      const std::size_t cells = static_cast<std::size_t>(count) * arity;
+      AIRCH_CHECK(r.remaining() == cells * sizeof(std::int64_t) + 8,
+                  "serve query: payload length mismatch");
+      out.query.num_features = arity;
+      out.query.features.resize(cells);
+      for (auto& f : out.query.features) f = r.get_i64();
+      break;
+    }
+    case static_cast<std::uint32_t>(FrameType::kReply): {
+      out.type = FrameType::kReply;
+      const std::uint32_t count = r.get_u32();
+      AIRCH_CHECK(count <= kMaxQueriesPerFrame, "serve reply: too many labels");
+      AIRCH_CHECK(r.remaining() == static_cast<std::size_t>(count) * sizeof(std::int32_t) + 8,
+                  "serve reply: payload length mismatch");
+      out.labels.resize(count);
+      for (auto& v : out.labels) v = r.get_i32();
+      break;
+    }
+    case static_cast<std::uint32_t>(FrameType::kError): {
+      out.type = FrameType::kError;
+      const std::uint32_t len = r.get_u32();
+      AIRCH_CHECK(len <= kMaxErrorBytes, "serve error: message too long");
+      AIRCH_CHECK(r.remaining() == static_cast<std::size_t>(len) + 8,
+                  "serve error: payload length mismatch");
+      out.error.resize(len);
+      if (len > 0) r.get_bytes(out.error.data(), len);
+      break;
+    }
+    default:
+      AIRCH_CHECK(false, "serve frame: unknown type");
+  }
+  r.verify_trailer_and_end();
+  return out;
+}
+
+}  // namespace airch::serve

@@ -1,0 +1,69 @@
+#pragma once
+// Minimal RAII TCP-loopback plumbing for the recommender service. Only
+// what serving needs: a listener bound to 127.0.0.1 on an ephemeral port
+// (no fixed-port collisions between parallel test shards), poll-based
+// accept with a timeout (so the acceptor thread can observe a stop flag
+// without racing a cross-thread close), and blocking whole-message
+// send/recv with the u32-length-prefixed framing from serve/protocol.hpp.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace airch::serve {
+
+/// Owns one connected socket fd. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket();
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Sends length prefix + body, retrying short writes. Throws
+  /// std::runtime_error when the peer is gone.
+  void send_frame(const std::vector<unsigned char>& body);
+
+  /// Receives one length-prefixed body. Empty optional = clean EOF before
+  /// any byte of a new frame; anything partial or over `max_body` throws.
+  std::optional<std::vector<unsigned char>> recv_frame(std::size_t max_body);
+
+  /// Shuts down both directions so a blocked recv on another thread
+  /// returns; the fd itself stays owned until destruction.
+  void shutdown_both() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket on 127.0.0.1:<ephemeral>.
+class Listener {
+ public:
+  /// Binds and listens; throws std::runtime_error on any socket failure.
+  Listener();
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Port the kernel picked.
+  int port() const { return port_; }
+
+  /// Waits up to timeout_ms for a connection. Empty optional on timeout —
+  /// the acceptor loop's chance to check its stop flag.
+  std::optional<Socket> accept_one(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+/// Connects to 127.0.0.1:port; throws std::runtime_error on failure.
+Socket connect_local(int port);
+
+}  // namespace airch::serve

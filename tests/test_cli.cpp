@@ -184,6 +184,29 @@ TEST(Cli, GenerateDatasetStyleDuplicateFlagsRejected) {
   }
 }
 
+TEST(Cli, QueryRecommenderTopkRangeAcceptsEndpoints) {
+  // Mirrors query_recommender's --topk registration: bounded to the
+  // largest output space (case 3, 1944 labels) so a nonsense k dies in
+  // parse() instead of deep inside recommend_topk.
+  for (const char* ok : {"--topk=1", "--topk=1944"}) {
+    ArgParser p("query_recommender", "topk range");
+    p.flag_i64("topk", 1, "print the k most likely configurations", 1, 1944);
+    const char* argv[] = {"query_recommender", ok};
+    p.parse(2, argv);
+  }
+}
+
+TEST(Cli, QueryRecommenderTopkRangeRejectsOutOfRange) {
+  // The old behavior accepted any int64 here and recommend_topk silently
+  // clamped k<1 to 1 — both ends must now fail loudly.
+  for (const char* bad : {"--topk=0", "--topk=-1", "--topk=1945", "--topk=99999999"}) {
+    ArgParser p("query_recommender", "topk range");
+    p.flag_i64("topk", 1, "print the k most likely configurations", 1, 1944);
+    const char* argv[] = {"query_recommender", bad};
+    EXPECT_THROW(p.parse(2, argv), std::invalid_argument) << bad;
+  }
+}
+
 TEST(Cli, UsageListsFlags) {
   auto p = make_parser();
   const auto usage = p.usage();

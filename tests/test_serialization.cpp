@@ -165,9 +165,38 @@ TEST(RecommenderTopK, OrderedAndContainsTop1) {
       EXPECT_NE(top5[i], top5[j]);
     }
   }
-  // k larger than the space clamps.
-  EXPECT_EQ(rec.recommend_topk(features, 10000).size(),
+  // k == the full space is the largest legal request; anything outside
+  // [1, num_classes] is a caller bug and is rejected, not clamped.
+  EXPECT_EQ(rec.recommend_topk(features, study.num_classes()).size(),
             static_cast<std::size_t>(study.num_classes()));
+  EXPECT_THROW(rec.recommend_topk(features, 0), ContractViolation);
+  EXPECT_THROW(rec.recommend_topk(features, -3), ContractViolation);
+  EXPECT_THROW(rec.recommend_topk(features, study.num_classes() + 1), ContractViolation);
+}
+
+TEST_F(RecommenderSerialization, ValAccuracyRoundTripsExactly) {
+  // save() must write val_accuracy at max_digits10 like the weights; the
+  // old 6-digit default truncated it, so load() saw a different double.
+  // Pin with a value 6 digits cannot represent: 990 points at a 0.9 split
+  // leave 99 validation samples, and k/99 has a repeating decimal for every
+  // k except 0 and 99 — so any non-degenerate accuracy differs from its
+  // 6-digit rendering.
+  ArrayDataflowStudy study(Case1Config{5, 10, {}}, 10);
+  Recommender::TrainOptions opts;
+  opts.dataset_size = 990;
+  opts.epochs = 2;
+  const Recommender rec = Recommender::train(study, opts);
+
+  const double acc = rec.report().val_accuracy;
+  std::ostringstream six;
+  six << acc;  // the old code path: default 6-digit formatting
+  ASSERT_NE(std::stod(six.str()), acc)
+      << "val_accuracy happened to be 6-digit exact; pick a dataset_size "
+         "whose validation split produces a non-terminating ratio";
+
+  rec.save(path_);
+  const Recommender loaded = Recommender::load(path_, study);
+  EXPECT_EQ(loaded.report().val_accuracy, acc);
 }
 
 }  // namespace

@@ -5,8 +5,8 @@
 #
 #   tools/check.sh             # everything (slow: three full builds)
 #   tools/check.sh default     # just the Release build + full test suite
-#   tools/check.sh asan tsan   # any subset of: default bench arch asan tsan
-#                              # tidy capability
+#   tools/check.sh asan tsan   # any subset of: default bench arch serve
+#                              # asan tsan tidy capability
 #
 # The `bench` stage (in the default set; needs the default stage's build)
 # runs tiny-points smokes of bench_dataset_throughput — which asserts
@@ -19,6 +19,13 @@
 # gate (tools/validate_bench.py, also invoked by CI so the two can't
 # drift), which requires the snapshot section to report
 # labels_bit_identical for all three cases.
+#
+# The `serve` stage (in the default set; shares the default stage's build
+# tree) smokes the batched recommender service end to end: bench_serve
+# trains tiny warm models, stands the socket service up in-process, drives
+# it at three concurrency levels, asserts every reply bit-identical to a
+# direct in-process recommend_batch, and emits BENCH_serve-schema JSON
+# that is then validated by tools/validate_bench.py --mode serve.
 #
 # The `arch` stage (in the default set) builds and runs both static
 # analyzers standalone: lint_airch (style/idiom rules) and arch_check
@@ -58,7 +65,7 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 STAGES=("$@")
-if [ ${#STAGES[@]} -eq 0 ]; then STAGES=(default bench arch asan tsan); fi
+if [ ${#STAGES[@]} -eq 0 ]; then STAGES=(default bench arch serve asan tsan); fi
 
 CURRENT_STAGE="(startup)"
 PASSED_STAGES=()
@@ -117,6 +124,23 @@ for stage in "${STAGES[@]}"; do
         skip_or_fail python3 "bench JSON schema validation"
       fi
       ;;
+    serve)
+      run cmake --preset checked
+      run cmake --build build-checked -j "$JOBS" --target bench_serve
+      run ./build-checked/bench/bench_serve \
+        --points1=400 --points2=300 --points3=200 --epochs=1 \
+        --requests=30 --levels=1,2,4 \
+        --out=build-checked/BENCH_serve_smoke.json >/dev/null
+      if command -v python3 >/dev/null 2>&1; then
+        if ! run python3 tools/validate_bench.py serve \
+            build-checked/BENCH_serve_smoke.json --min-levels=3; then
+          echo "check.sh: serve bench JSON schema validation FAILED" >&2
+          exit 1
+        fi
+      else
+        skip_or_fail python3 "serve bench JSON schema validation"
+      fi
+      ;;
     arch)
       run cmake --preset checked
       run cmake --build build-checked -j "$JOBS" --target lint_airch arch_check
@@ -134,7 +158,7 @@ for stage in "${STAGES[@]}"; do
       run cmake --preset tsan
       run cmake --build build-tsan -j "$JOBS" --target \
         test_parallel test_sanitizer_stress test_sweep_cache test_matmul_kernel \
-        test_sync lint_airch
+        test_sync test_serve lint_airch
       TSAN_OPTIONS=halt_on_error=1 AIRCH_THREADS=4 \
         run ctest --test-dir build-tsan -L tsan --output-on-failure
       ;;
@@ -147,7 +171,7 @@ for stage in "${STAGES[@]}"; do
       run cmake --preset tidy
       run cmake --build build-tidy -j "$JOBS" --target \
         airch_common airch_workload airch_sim airch_search airch_dataset \
-        airch_ml airch_models airch_core
+        airch_ml airch_models airch_core airch_serve
       ;;
     capability)
       if ! command -v clang++ >/dev/null 2>&1; then
@@ -160,7 +184,7 @@ for stage in "${STAGES[@]}"; do
       # src/; tests/bench/examples keep the base warning set.
       run cmake --build build-capability -j "$JOBS" --target \
         airch_common airch_workload airch_sim airch_search airch_dataset \
-        airch_ml airch_models airch_core
+        airch_ml airch_models airch_core airch_serve
       # The must-not-compile thread-safety snippets + positive control.
       run ctest --test-dir build-capability -L thread_safety --output-on-failure
       # Header hygiene under the strict compiler: every src/ header must

@@ -25,8 +25,16 @@ int main(int argc, char** argv) {
   args.flag_str("dataflow", "WS", "case 2: array dataflow (OS/WS/IS)");
   args.flag_i64("bandwidth", 10, "case 2: DRAM bandwidth (bytes/cycle)");
   args.flag_i64("limit_kb", 900, "case 2: total SRAM capacity budget");
-  args.flag_i64("topk", 1, "print the k most likely configurations");
-  args.parse(argc, argv);
+  // Upper bound = the largest output space of the three case studies
+  // (case 3's 1944 schedules); recommend_topk re-checks against the
+  // actual study so the CLI bound only has to be a sane global cap.
+  args.flag_i64("topk", 1, "print the k most likely configurations", 1, 1944);
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "query_recommender: " << e.what() << "\n";
+    return 1;
+  }
 
   const auto case_num = args.i64("case");
   if (case_num < 1 || case_num > 3) {
